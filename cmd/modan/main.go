@@ -1,0 +1,123 @@
+// Command modan analyzes a MiniPL program and reports interprocedural
+// side effects: GMOD/GUSE summaries, RMOD for reference formals, alias
+// pairs, per-call-site MOD/USE sets, and regular-section refinements.
+//
+// Usage:
+//
+//	modan [flags] file.mpl        # or - for stdin
+//
+// Flags select report parts; with no selection the full report is
+// printed. -dot emits Graphviz renderings of the call multi-graph or
+// the binding multi-graph instead of a report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sideeffect"
+	"sideeffect/internal/lang/parser"
+	"sideeffect/internal/lang/printer"
+	"sideeffect/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("modan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gmod     = fs.Bool("gmod", false, "print only the GMOD/GUSE summary table")
+		rmod     = fs.Bool("rmod", false, "print only the RMOD table")
+		sites    = fs.Bool("sites", false, "print only the per-call-site MOD/USE table")
+		sections = fs.Bool("sections", false, "print only the regular-section table")
+		aliases  = fs.Bool("aliases", false, "print only the alias-pair table")
+		dot      = fs.String("dot", "", "emit Graphviz instead of a report: cg (call graph) or beta (binding graph)")
+		format   = fs.Bool("fmt", false, "reformat the program to canonical style instead of analyzing")
+		asJSON   = fs.Bool("json", false, "emit the complete analysis as JSON")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: modan [flags] <file.mpl | ->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	var src []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "modan: %v\n", err)
+		return 1
+	}
+
+	if *format {
+		tree, err := parser.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "modan: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, printer.Print(tree))
+		return 0
+	}
+
+	a, err := sideeffect.Analyze(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "modan: %v\n", err)
+		return 1
+	}
+
+	if *asJSON {
+		out, err := report.JSON(a.Mod, a.Use, a.Aliases, a.SecMod)
+		if err != nil {
+			fmt.Fprintf(stderr, "modan: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, out)
+		return 0
+	}
+
+	switch *dot {
+	case "":
+	case "cg":
+		fmt.Fprint(stdout, report.DotCallGraph(a.Prog))
+		return 0
+	case "beta":
+		fmt.Fprint(stdout, report.DotBinding(a.Mod.Beta))
+		return 0
+	default:
+		fmt.Fprintf(stderr, "modan: -dot must be cg or beta, got %q\n", *dot)
+		return 2
+	}
+
+	any := false
+	show := func(cond bool, body func() string) {
+		if cond {
+			fmt.Fprint(stdout, body())
+			any = true
+		}
+	}
+	show(*gmod, func() string { return report.Summaries(a.Mod, a.Use) })
+	show(*rmod, func() string { return report.RMODTable(a.Mod) })
+	show(*aliases, func() string { return report.Aliases(a.Aliases) })
+	show(*sites, func() string { return report.CallSites(a.Mod, a.Use, a.Aliases) })
+	show(*sections, func() string { return report.Sections(a.SecMod) })
+	if !any {
+		fmt.Fprint(stdout, a.Report())
+	}
+	return 0
+}

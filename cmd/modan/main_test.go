@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `
+program t;
+global g;
+proc q(ref x) begin x := 1 end;
+begin call q(g) end.
+`
+
+func runCmd(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestStdinFullReport(t *testing.T) {
+	code, out, _ := runCmd(t, []string{"-"}, sample)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Interprocedural summaries", "GMOD", "q", "{g}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.mpl")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCmd(t, []string{"-gmod", path}, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "GMOD") || strings.Contains(out, "Alias pairs") {
+		t.Errorf("-gmod output wrong:\n%s", out)
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	code, out, _ := runCmd(t, []string{"-rmod", "-aliases", "-"}, sample)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "RMOD") || !strings.Contains(out, "⟨g, q.x⟩") {
+		t.Errorf("selector output wrong:\n%s", out)
+	}
+	if strings.Contains(out, "GUSE") {
+		t.Error("unselected table printed")
+	}
+}
+
+func TestDotOutputs(t *testing.T) {
+	code, out, _ := runCmd(t, []string{"-dot", "cg", "-"}, sample)
+	if code != 0 || !strings.Contains(out, "digraph callgraph") {
+		t.Errorf("dot cg: code=%d out=%q", code, out)
+	}
+	code, out, _ = runCmd(t, []string{"-dot", "beta", "-"}, sample)
+	if code != 0 || !strings.Contains(out, "digraph beta") {
+		t.Errorf("dot beta: code=%d out=%q", code, out)
+	}
+	code, _, errb := runCmd(t, []string{"-dot", "nope", "-"}, sample)
+	if code != 2 || !strings.Contains(errb, "-dot must be") {
+		t.Errorf("bad -dot: code=%d err=%q", code, errb)
+	}
+}
+
+func TestBadSource(t *testing.T) {
+	code, _, errb := runCmd(t, []string{"-"}, "program p; begin x := 1 end.")
+	if code != 1 || !strings.Contains(errb, "undeclared") {
+		t.Errorf("code=%d err=%q", code, errb)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	code, _, errb := runCmd(t, []string{"/nonexistent/file.mpl"}, "")
+	if code != 1 || errb == "" {
+		t.Errorf("code=%d err=%q", code, errb)
+	}
+}
+
+func TestUsageOnNoArgs(t *testing.T) {
+	code, _, errb := runCmd(t, nil, "")
+	if code != 2 || !strings.Contains(errb, "usage:") {
+		t.Errorf("code=%d err=%q", code, errb)
+	}
+}
+
+func TestFmtMode(t *testing.T) {
+	code, out, _ := runCmd(t, []string{"-fmt", "-"}, sample)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "proc q(ref x)") || !strings.Contains(out, "end.") {
+		t.Errorf("-fmt output:\n%s", out)
+	}
+	// Formatting must not print a report.
+	if strings.Contains(out, "GMOD") {
+		t.Error("-fmt printed analysis output")
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	code, out, _ := runCmd(t, []string{"-json", "-"}, sample)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, `"program": "t"`) || !strings.Contains(out, `"rmod"`) {
+		t.Errorf("-json output:\n%s", out)
+	}
+}

@@ -1,0 +1,166 @@
+// Command mpli executes MiniPL programs on the instrumented
+// interpreter. Beyond plain execution it offers -validate, which
+// cross-checks every dynamic observation against the static analysis:
+// each variable seen modified (used) during a call's dynamic extent
+// must be in the analyzer's MOD(s) (USE(s)). This is the soundness
+// property of the paper's problem statement, checked on a real run.
+//
+// Usage:
+//
+//	mpli prog.mpl                  # run, print `write` output
+//	mpli -trace prog.mpl           # also print per-call observations
+//	mpli -validate prog.mpl        # run + soundness cross-check
+//	genprog -family random | mpli -validate -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sideeffect"
+	"sideeffect/internal/interp"
+	"sideeffect/internal/lang/parser"
+	"sideeffect/internal/lang/token"
+	"sideeffect/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpli", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		trace    = fs.Bool("trace", false, "print per-call-site MOD/USE observations")
+		validate = fs.Bool("validate", false, "cross-check observations against the static analysis")
+		maxSteps = fs.Int("steps", 500_000, "execution step budget")
+		maxDepth = fs.Int("depth", 200, "call depth budget")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mpli [flags] <file.mpl | ->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	var src []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "mpli: %v\n", err)
+		return 1
+	}
+
+	tree, err := parser.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "mpli: %v\n", err)
+		return 1
+	}
+	res, err := interp.Run(tree, interp.Options{MaxSteps: *maxSteps, MaxDepth: *maxDepth})
+	if err != nil {
+		fmt.Fprintf(stderr, "mpli: %v\n", err)
+		return 1
+	}
+	for _, v := range res.Output {
+		fmt.Fprintln(stdout, v)
+	}
+	if res.Aborted {
+		fmt.Fprintf(stderr, "mpli: execution aborted after %d steps (budget)\n", res.Steps)
+	}
+
+	if *trace {
+		printTrace(stdout, res)
+	}
+	if *validate {
+		return validateRun(string(src), res, stdout, stderr)
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printTrace(stdout io.Writer, res *interp.Result) {
+	poss := make([]token.Pos, 0, len(res.Calls))
+	for pos := range res.Calls {
+		poss = append(poss, pos)
+	}
+	sort.Slice(poss, func(i, j int) bool {
+		if poss[i].Line != poss[j].Line {
+			return poss[i].Line < poss[j].Line
+		}
+		return poss[i].Col < poss[j].Col
+	})
+	for _, pos := range poss {
+		obs := res.Calls[pos]
+		fmt.Fprintf(stdout, "call@%s observed MOD=%v USE=%v\n",
+			pos, sortedKeys(obs.Mod), sortedKeys(obs.Use))
+	}
+}
+
+func validateRun(src string, res *interp.Result, stdout, stderr io.Writer) int {
+	a, err := sideeffect.Analyze(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "mpli: validate: %v\n", err)
+		return 1
+	}
+	type sets struct{ mod, use map[string]bool }
+	byPos := map[token.Pos]sets{}
+	for _, cs := range a.Prog.Sites {
+		s := sets{mod: map[string]bool{}, use: map[string]bool{}}
+		for _, n := range report.VarNames(a.Prog, a.ModSets[cs.ID]) {
+			s.mod[n] = true
+		}
+		for _, n := range report.VarNames(a.Prog, a.UseSets[cs.ID]) {
+			s.use[n] = true
+		}
+		byPos[cs.Pos] = s
+	}
+	violations, checked := 0, 0
+	for pos, obs := range res.Calls {
+		an, ok := byPos[pos]
+		if !ok {
+			fmt.Fprintf(stderr, "mpli: validate: executed call at %s unknown to analysis\n", pos)
+			violations++
+			continue
+		}
+		for name := range obs.Mod {
+			checked++
+			if !an.mod[name] {
+				fmt.Fprintf(stderr, "mpli: UNSOUND: call@%s modified %q ∉ MOD(s)\n", pos, name)
+				violations++
+			}
+		}
+		for name := range obs.Use {
+			checked++
+			if !an.use[name] {
+				fmt.Fprintf(stderr, "mpli: UNSOUND: call@%s used %q ∉ USE(s)\n", pos, name)
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		return 1
+	}
+	fmt.Fprintf(stdout, "validate: OK — %d observations at %d call sites all within MOD/USE\n",
+		checked, len(res.Calls))
+	return 0
+}

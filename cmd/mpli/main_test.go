@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `
+program t;
+global g, h;
+proc bump(ref x) begin x := x + h end;
+begin
+  g := 1; h := 2;
+  call bump(g);
+  write g
+end.
+`
+
+func runCmd(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExecute(t *testing.T) {
+	code, out, errb := runCmd(t, []string{"-"}, sample)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if strings.TrimSpace(out) != "3" {
+		t.Errorf("output = %q, want 3", out)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	code, out, _ := runCmd(t, []string{"-trace", "-"}, sample)
+	if code != 0 {
+		t.Fatal("nonzero exit")
+	}
+	if !strings.Contains(out, "observed MOD=[g]") || !strings.Contains(out, "USE=[g h]") {
+		t.Errorf("trace output:\n%s", out)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	code, out, errb := runCmd(t, []string{"-validate", "-"}, sample)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "validate: OK") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestBudgetAbort(t *testing.T) {
+	src := `
+program i;
+proc loop() begin call loop() end;
+begin call loop() end.
+`
+	code, _, errb := runCmd(t, []string{"-depth", "10", "-validate", "-"}, src)
+	if code != 0 {
+		t.Fatalf("exit %d (aborted runs still validate): %s", code, errb)
+	}
+	if !strings.Contains(errb, "aborted") {
+		t.Errorf("stderr = %q", errb)
+	}
+}
+
+func TestBadSource(t *testing.T) {
+	code, _, errb := runCmd(t, []string{"-"}, "program p begin")
+	if code != 1 || errb == "" {
+		t.Errorf("code=%d err=%q", code, errb)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	code, _, errb := runCmd(t, nil, "")
+	if code != 2 || !strings.Contains(errb, "usage:") {
+		t.Errorf("code=%d err=%q", code, errb)
+	}
+}

@@ -1,0 +1,123 @@
+// Optimize: the paper's Section 2 motivation. Without interprocedural
+// analysis a compiler must assume every call clobbers and reads every
+// visible variable, killing register promotion, redundancy elimination
+// and code motion across calls. With MOD/USE summaries per call site,
+// the compiler keeps values live across exactly the calls that leave
+// them untouched.
+//
+// This example runs the analysis and, for each call site in the main
+// program, reports which globals can stay in registers across the call
+// (not in MOD), which loads after the call remain redundant (not in
+// MOD), and which stores before the call are dead to the callee (not
+// in USE) — then contrasts it with the "worst case" assumption.
+//
+// Run with:
+//
+//	go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sideeffect"
+)
+
+const src = `
+program kernels;
+
+global cfg, scale, bias;     { read-mostly configuration }
+global acc, steps;           { hot accumulators }
+global log1, log2;           { write-only logging sinks }
+
+proc logit(val v)
+begin
+  log1 := v;
+  log2 := log2 + 1
+end;
+
+proc step(ref x)
+begin
+  x := x * scale + bias;
+  call logit(x)
+end;
+
+proc reconfigure()
+begin
+  cfg := cfg + 1;
+  scale := scale + cfg;
+  call logit(scale)
+end;
+
+begin
+  acc := 0;
+  steps := 0;
+  call step(acc);
+  call logit(acc);
+  call reconfigure();
+  call step(steps)
+end.
+`
+
+func main() {
+	a, err := sideeffect.Analyze(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := a.Prog
+
+	globals := []string{}
+	for _, v := range prog.Globals() {
+		globals = append(globals, v.Name)
+	}
+	sort.Strings(globals)
+
+	fmt.Println("Per-call-site optimization facts for the main program")
+	fmt.Printf("(globals: %v)\n\n", globals)
+
+	for _, cs := range prog.Sites {
+		if !cs.Caller.IsMain {
+			continue
+		}
+		mod := a.ModSets[cs.ID]
+		use := a.UseSets[cs.ID]
+		var keep, reload, deadStore []string
+		for _, v := range prog.Globals() {
+			if mod.Has(v.ID) {
+				reload = append(reload, v.Name)
+			} else {
+				keep = append(keep, v.Name)
+			}
+			if !use.Has(v.ID) && !mod.Has(v.ID) {
+				deadStore = append(deadStore, v.Name)
+			}
+		}
+		fmt.Printf("call %s:\n", cs.Callee.Name)
+		fmt.Printf("  registers that survive the call : %v\n", keep)
+		fmt.Printf("  values that must be reloaded    : %v\n", reload)
+		fmt.Printf("  stores the callee never observes: %v\n", deadStore)
+	}
+
+	// Quantify against the no-analysis baseline: every call clobbers
+	// and reads all globals.
+	totalSlots, clobbered, read := 0, 0, 0
+	for _, cs := range prog.Sites {
+		for _, v := range prog.Globals() {
+			totalSlots++
+			if a.ModSets[cs.ID].Has(v.ID) {
+				clobbered++
+			}
+			if a.UseSets[cs.ID].Has(v.ID) {
+				read++
+			}
+		}
+	}
+	fmt.Printf("\nAcross all %d call sites × %d globals:\n", prog.NumSites(), len(prog.Globals()))
+	fmt.Printf("  without analysis: %3d/%d (global, call) pairs clobbered, %3d/%d read\n",
+		totalSlots, totalSlots, totalSlots, totalSlots)
+	fmt.Printf("  with MOD/USE    : %3d/%d clobbered, %3d/%d read\n",
+		clobbered, totalSlots, read, totalSlots)
+	fmt.Printf("  → %.0f%% of cross-call register kills eliminated\n",
+		100*(1-float64(clobbered)/float64(totalSlots)))
+}

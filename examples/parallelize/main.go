@@ -1,0 +1,167 @@
+// Parallelize: the motivating application of the paper's Section 6.
+//
+// A parallelizing compiler wants to run loop iterations concurrently.
+// When the loop body contains a call, classical whole-array summaries
+// ("the callee modifies A somewhere") force serialization. Regular
+// section analysis refines the summary to a subregion — if each
+// iteration touches a different column, the loop is parallel.
+//
+// This example drives the analysis over several loops and prints the
+// scheduling decision each analysis level supports, reproducing the
+// precision gap Callahan & Kennedy measured (and the paper's E10
+// experiment quantifies).
+//
+// Run with:
+//
+//	go run ./examples/parallelize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sideeffect"
+	"sideeffect/internal/core"
+	"sideeffect/internal/ir"
+	"sideeffect/internal/section"
+)
+
+const src = `
+program worker;
+
+global grid[64, 64];
+global image[64, 64];
+global hist[64];
+global n, i;
+
+{ Update one column of the grid: a data decomposition. }
+proc relaxcol(ref col[*], val len)
+  var r;
+begin
+  for r := 2 to len do
+    col[r] := col[r] + col[r - 1]
+  end
+end;
+
+{ Update one row of the image. }
+proc blurrow(ref row[*], val len)
+  var r;
+begin
+  for r := 1 to len do row[r] := row[r] / 2 end
+end;
+
+{ Scatter: writes an unpredictable element of its whole-array arg. }
+proc scatter(ref h[*], val v)
+  var slot;
+begin
+  slot := v - v / 2 * 2;
+  h[slot + 1] := h[slot + 1] + 1
+end;
+
+begin
+  { loop 1: column-parallel }
+  for i := 1 to n do
+    call relaxcol(grid[*, i], 64)
+  end;
+
+  { loop 2: row-parallel }
+  for i := 1 to n do
+    call blurrow(image[i, *], 64)
+  end;
+
+  { loop 3: genuinely serial (scatter into shared histogram) }
+  for i := 1 to n do
+    call scatter(hist, i)
+  end
+end.
+`
+
+func main() {
+	a, err := sideeffect.Analyze(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := a.Prog
+	loopVar := prog.Var("i")
+
+	fmt.Println("Loop scheduling decisions (one call per loop body):")
+	fmt.Println()
+	for _, cs := range prog.Sites {
+		// Whole-array verdict: any modified array shared across
+		// iterations serializes the loop.
+		wholeVerdict := "PARALLEL"
+		modSet := a.Mod.DMOD[cs.ID]
+		modifiesSharedArray := false
+		modSet.ForEach(func(id int) {
+			if prog.Vars[id].Rank() > 0 {
+				modifiesSharedArray = true
+			}
+		})
+		if modifiesSharedArray {
+			wholeVerdict = "serialize"
+		}
+
+		// Section verdict: iterations are independent if every
+		// affected array's per-iteration sections are disjoint across
+		// iterations.
+		sections := a.SecMod.AtCallWithin(cs, loopVar)
+		secVerdict := "PARALLEL"
+		var descs []string
+		for vid, rsd := range sections {
+			descs = append(descs, rsd.Format(prog.Vars[vid].Name, prog.Vars))
+			if !section.DisjointAcrossIterations(rsd, rsd, loopVar) {
+				secVerdict = "serialize"
+			}
+		}
+
+		fmt.Printf("loop calling %-9s whole-array: %-9s sections: %-10v → %s\n",
+			cs.Callee.Name, wholeVerdict, descs, secVerdict)
+	}
+
+	fmt.Println()
+	fmt.Println("Whole-array summaries serialize every loop above; section analysis")
+	fmt.Println("recovers the column- and row-parallel loops and correctly keeps the")
+	fmt.Println("histogram scatter serial.")
+
+	// The one-call public API does the same MOD×USE dependence test.
+	fmt.Println()
+	fmt.Println("Via Analysis.LoopParallelizable (full MOD/USE dependence test):")
+	for i, cs := range prog.Sites {
+		v, err := a.LoopParallelizable("i", i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "PARALLEL"
+		if !v.Parallel {
+			verdict = fmt.Sprintf("serialize (%v)", v.Conflicts)
+		}
+		fmt.Printf("  loop{ call %s } → %s\n", cs.Callee.Name, verdict)
+	}
+
+	// Show the underlying formal-parameter sections too.
+	fmt.Println()
+	fmt.Println("Callee-side section summaries:")
+	for _, name := range []string{"relaxcol", "blurrow", "scatter"} {
+		p := prog.Proc(name)
+		f := p.Formals[0]
+		fmt.Printf("  rsd(%s.%s) = %s\n", name, f.Name,
+			a.SecMod.FormalOf(f).Format(f.Name, prog.Vars))
+	}
+	demoUse(a, prog, loopVar)
+}
+
+// demoUse shows the USE side matters too: a loop is only parallel if
+// reads and writes of different iterations don't collide either.
+func demoUse(a *sideeffect.Analysis, prog *ir.Program, loopVar *ir.Variable) {
+	fmt.Println()
+	fmt.Println("USE-side sections (read regions) for the same calls:")
+	useSec := a.SecUse
+	for _, cs := range prog.Sites {
+		at := useSec.AtCallWithin(cs, loopVar)
+		for vid, rsd := range at {
+			fmt.Printf("  %s→%s reads %s\n", cs.Caller.Name, cs.Callee.Name,
+				rsd.Format(prog.Vars[vid].Name, prog.Vars))
+		}
+	}
+	_ = core.Use // (the Use problem ran inside sideeffect.Analyze)
+}

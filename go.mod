@@ -1,0 +1,3 @@
+module sideeffect
+
+go 1.22

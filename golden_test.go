@@ -1,0 +1,102 @@
+package sideeffect
+
+import (
+	"strings"
+	"testing"
+
+	"sideeffect/internal/workload"
+)
+
+// TestGoldenReport pins the complete formatted report for a fixed
+// program. It exists to catch unintended changes in any layer — a
+// solver regression, a precision change, or a formatting drift all
+// show up as a diff here. Update deliberately when behaviour is meant
+// to change.
+func TestGoldenReport(t *testing.T) {
+	a, err := Analyze(`
+program golden;
+global g, h;
+global A[4, 4];
+proc swap(ref a, ref b)
+  var t;
+begin
+  t := a; a := b; b := t
+end;
+proc colset(ref c[*], val v)
+  var i;
+begin
+  for i := 1 to 4 do c[i] := v end
+end;
+begin
+  call swap(g, h);
+  call colset(A[*, 2], g)
+end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Report()
+	want := `program golden: 3 procedures, 2 call sites, 9 variables (3 global)
+
+== Interprocedural summaries ==
+procedure  GMOD                      GUSE
+---------  ------------------------  ------------------------
+$main      {A, g, h}                 {g, h}
+swap       {swap.a, swap.b, swap.t}  {swap.a, swap.b, swap.t}
+colset     {colset.c, colset.i}      {colset.i, colset.v}
+
+== Reference formal parameters (RMOD) ==
+procedure  RMOD
+---------  ------
+swap       {a, b}
+colset     {c}
+
+== Alias pairs ==
+procedure  alias pairs
+---------  -----------------------
+swap       ⟨g, swap.a⟩ ⟨h, swap.b⟩
+colset     ⟨A, colset.c⟩
+
+== Call sites ==
+call site       at    MOD     USE
+--------------  ----  ------  ------
+$main → swap    16:3  {g, h}  {g, h}
+$main → colset  17:3  {A}     {g}
+
+== Regular sections (MOD) ==
+call site       array sections (MOD)
+--------------  --------------------
+$main → colset  A(*, 2)
+`
+	if got != want {
+		t.Errorf("golden report drifted:\n--- got\n%s\n--- want\n%s", got, want)
+		// Show the first differing line to ease updating.
+		gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Logf("first diff at line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+				break
+			}
+		}
+	}
+}
+
+// TestLargeProgramRobustness exercises the full pipeline on a
+// 20k-procedure program — the scale where quadratic missteps and
+// recursion-depth bugs would surface. Skipped with -short.
+func TestLargeProgramRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test skipped in -short mode")
+	}
+	cfg := workload.DefaultConfig(20_000, 1)
+	cfg.Globals = 2_000 // keep the bit vectors big but the run under a minute
+	prog := workload.Random(cfg)
+	a := AnalyzeProgram(prog)
+	if a.Prog.NumProcs() < 20_000 {
+		t.Fatalf("procs = %d", a.Prog.NumProcs())
+	}
+	// Sanity: main must reach effects.
+	if a.Mod.GMOD[a.Prog.Main.ID].Len() == 0 {
+		t.Error("GMOD(main) empty on large program")
+	}
+}

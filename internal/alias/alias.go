@@ -1,0 +1,207 @@
+// Package alias computes flow-insensitive alias pairs introduced by
+// reference-parameter passing and factors them into MOD/USE sets, the
+// final step of the paper's pipeline (Section 5).
+//
+// The paper assumes "simple sets of alias pairs are available for each
+// procedure"; this package provides them in the classical
+// Banning/Cooper style. A pair ⟨x, y⟩ ∈ ALIAS(p) means x and y may
+// name the same location on some entry to p. Pairs arise at call
+// sites, from three sources, and propagate transitively down call
+// chains:
+//
+//  1. a non-local variable v (global, or a visible local of an
+//     enclosing scope) passed by reference to formal f: ⟨f, v⟩ holds
+//     in the callee if v remains visible there;
+//  2. the same variable passed by reference to two formals f_i, f_j of
+//     one call: ⟨f_i, f_j⟩;
+//  3. an actual x with an existing pair ⟨x, z⟩ ∈ ALIAS(caller) bound
+//     to formal f: ⟨f, z⟩ if z is visible in the callee; and two
+//     actuals x, y with ⟨x, y⟩ ∈ ALIAS(caller) bound to formals f_i,
+//     f_j: ⟨f_i, f_j⟩.
+//
+// The computation is a monotone worklist over the call multi-graph;
+// it terminates because the pair universe is finite. Section 5 notes
+// any summary algorithm must spend time at least linear in the number
+// of alias pairs; this one is linear in pairs × call sites in the
+// worst case, and tiny on realistic binding patterns.
+package alias
+
+import (
+	"sort"
+
+	"sideeffect/internal/bitset"
+	"sideeffect/internal/core"
+	"sideeffect/internal/ir"
+)
+
+// Pair is an unordered alias pair of variable IDs with X < Y.
+type Pair struct {
+	X, Y int
+}
+
+func mkPair(a, b int) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{X: a, Y: b}
+}
+
+// Analysis holds the alias solution for a program.
+type Analysis struct {
+	Prog *ir.Program
+	// Sets[pid] is ALIAS(p) as a set of pairs.
+	Sets []map[Pair]bool
+	// adj[pid] maps a variable ID to the IDs aliased to it in p.
+	adj []map[int][]int
+}
+
+// Pairs returns ALIAS(p) in deterministic (sorted) order.
+func (a *Analysis) Pairs(p *ir.Procedure) []Pair {
+	out := make([]Pair, 0, len(a.Sets[p.ID]))
+	for pr := range a.Sets[p.ID] {
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// NumPairs returns the total number of alias pairs across procedures.
+func (a *Analysis) NumPairs() int {
+	n := 0
+	for _, s := range a.Sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Compute runs the alias-pair analysis.
+func Compute(prog *ir.Program) *Analysis {
+	a := &Analysis{
+		Prog: prog,
+		Sets: make([]map[Pair]bool, prog.NumProcs()),
+		adj:  make([]map[int][]int, prog.NumProcs()),
+	}
+	for i := range a.Sets {
+		a.Sets[i] = map[Pair]bool{}
+		a.adj[i] = map[int][]int{}
+	}
+	add := func(pid int, pr Pair) bool {
+		if pr.X == pr.Y || a.Sets[pid][pr] {
+			return false
+		}
+		a.Sets[pid][pr] = true
+		a.adj[pid][pr.X] = append(a.adj[pid][pr.X], pr.Y)
+		a.adj[pid][pr.Y] = append(a.adj[pid][pr.Y], pr.X)
+		return true
+	}
+
+	inQ := make([]bool, prog.NumProcs())
+	queue := make([]int, 0, prog.NumProcs())
+	push := func(id int) {
+		if !inQ[id] {
+			inQ[id] = true
+			queue = append(queue, id)
+		}
+	}
+	// process introduces pairs implied by one call site given the
+	// caller's current pairs.
+	process := func(cs *ir.CallSite) bool {
+		q := cs.Callee
+		changed := false
+		for i, ai := range cs.Args {
+			if ai.Mode != ir.FormalRef || ai.Var == nil {
+				continue
+			}
+			fi := q.Formals[i]
+			// Source 1: non-local actual still visible in callee.
+			if ai.Var.Owner != q && q.Visible(ai.Var) {
+				changed = add(q.ID, mkPair(fi.ID, ai.Var.ID)) || changed
+			}
+			// Source 3a: pairs of the actual propagate to the formal.
+			for _, z := range a.adj[cs.Caller.ID][ai.Var.ID] {
+				if q.Visible(prog.Vars[z]) {
+					changed = add(q.ID, mkPair(fi.ID, z)) || changed
+				}
+			}
+			for j := i + 1; j < len(cs.Args); j++ {
+				aj := cs.Args[j]
+				if aj.Mode != ir.FormalRef || aj.Var == nil {
+					continue
+				}
+				fj := q.Formals[j]
+				// Source 2: same variable twice.
+				if ai.Var == aj.Var {
+					changed = add(q.ID, mkPair(fi.ID, fj.ID)) || changed
+				}
+				// Source 3b: aliased actuals.
+				if a.Sets[cs.Caller.ID][mkPair(ai.Var.ID, aj.Var.ID)] {
+					changed = add(q.ID, mkPair(fi.ID, fj.ID)) || changed
+				}
+			}
+		}
+		return changed
+	}
+
+	for _, p := range prog.Procs {
+		push(p.ID)
+	}
+	for len(queue) > 0 {
+		pid := queue[0]
+		queue = queue[1:]
+		inQ[pid] = false
+		for _, cs := range prog.Procs[pid].Calls {
+			if process(cs) {
+				push(cs.Callee.ID)
+			}
+		}
+		// Lexical nesting: a pair holding on entry to p also holds
+		// while any procedure nested in p runs (both names stay
+		// visible), so pairs flow down the nesting tree as well as
+		// along call edges.
+		for _, child := range prog.Procs[pid].Nested {
+			changed := false
+			for pr := range a.Sets[pid] {
+				if add(child.ID, pr) {
+					changed = true
+				}
+			}
+			if changed {
+				push(child.ID)
+			}
+		}
+	}
+	return a
+}
+
+// Factor applies step (2) of Section 5: MOD(s) = DMOD(s) extended
+// with every variable aliased (in the enclosing procedure) to a member
+// of DMOD(s). The input sets are not modified; the result is indexed
+// by call-site ID like core.Result.DMOD.
+func (a *Analysis) Factor(dmod []*bitset.Set) []*bitset.Set {
+	out := make([]*bitset.Set, len(dmod))
+	for _, cs := range a.Prog.Sites {
+		m := dmod[cs.ID].Clone()
+		adj := a.adj[cs.Caller.ID]
+		if len(adj) > 0 {
+			dmod[cs.ID].ForEach(func(x int) {
+				for _, y := range adj[x] {
+					m.Add(y)
+				}
+			})
+		}
+		out[cs.ID] = m
+	}
+	return out
+}
+
+// ComputeMOD is the complete Section 5 pipeline: given a core result
+// (DMOD plus the supporting sets), produce final MOD (or USE) sets per
+// call site.
+func ComputeMOD(res *core.Result) []*bitset.Set {
+	return Compute(res.Prog).Factor(res.DMOD)
+}

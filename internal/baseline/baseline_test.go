@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"testing"
+
+	"sideeffect/internal/binding"
+	"sideeffect/internal/core"
+	"sideeffect/internal/workload"
+)
+
+func TestRMODReachabilityChain(t *testing.T) {
+	prog := workload.Chain(10)
+	facts := core.ComputeFacts(prog, core.Mod)
+	beta := binding.Build(prog)
+	out := RMODReachability(beta, facts)
+	for n := range beta.Nodes {
+		if !out[n] {
+			t.Errorf("node %d (%s) false, want true", n, beta.Nodes[n])
+		}
+	}
+	// USE problem: no seeds anywhere.
+	factsU := core.ComputeFacts(prog, core.Use)
+	outU := RMODReachability(beta, factsU)
+	for n := range beta.Nodes {
+		if outU[n] {
+			t.Errorf("USE node %d true, want false", n)
+		}
+	}
+}
+
+func TestRMODReachabilitySelfSeed(t *testing.T) {
+	prog := workload.PaperExample()
+	facts := core.ComputeFacts(prog, core.Mod)
+	beta := binding.Build(prog)
+	out := RMODReachability(beta, facts)
+	// bot.c is seeded directly (empty path case).
+	n := beta.NodeOf[prog.Var("bot.c").ID]
+	if !out[n] {
+		t.Error("directly seeded node not true")
+	}
+}
+
+func TestBanningIterativePaperExample(t *testing.T) {
+	prog := workload.PaperExample()
+	facts := core.ComputeFacts(prog, core.Mod)
+	res := BanningIterative(prog, facts)
+	// Hand-computed GMOD sets (see core tests for the derivation).
+	expect := map[string][]string{
+		"bot":   {"bot.c"},
+		"mid":   {"h", "mid.b"},
+		"top":   {"h", "top.a"},
+		"$main": {"g", "h"},
+	}
+	for name, want := range expect {
+		p := prog.Proc(name)
+		got := res.GMOD[p.ID]
+		if got.Len() != len(want) {
+			t.Errorf("GMOD(%s) = %v, want %v", name, got, want)
+			continue
+		}
+		for _, w := range want {
+			if !got.Has(prog.Var(w).ID) {
+				t.Errorf("GMOD(%s) missing %s", name, w)
+			}
+		}
+	}
+	if res.Stats.Iterations == 0 || res.Stats.BitVecOps == 0 {
+		t.Error("stats not counted")
+	}
+}
+
+func TestSwiftDecomposedPaperExample(t *testing.T) {
+	prog := workload.PaperExample()
+	facts := core.ComputeFacts(prog, core.Mod)
+	res := SwiftDecomposed(prog, facts)
+	for _, n := range []string{"top.a", "mid.b", "bot.c"} {
+		if !res.RMODOf(prog.Var(n)) {
+			t.Errorf("RMOD(%s) = false", n)
+		}
+	}
+	if res.RMODOf(prog.Var("g")) {
+		t.Error("RMODOf(global) = true")
+	}
+	// IMOD+ and GMOD should match the Figure-1/Figure-2 pipeline.
+	ref := core.Analyze(prog, core.Mod, core.Options{})
+	for _, p := range prog.Procs {
+		if !res.IMODPlus[p.ID].Equal(ref.IMODPlus[p.ID]) {
+			t.Errorf("IMOD+(%s): swift %v, core %v", p.Name, res.IMODPlus[p.ID], ref.IMODPlus[p.ID])
+		}
+		if !res.GMOD[p.ID].Equal(ref.GMOD[p.ID]) {
+			t.Errorf("GMOD(%s): swift %v, core %v", p.Name, res.GMOD[p.ID], ref.GMOD[p.ID])
+		}
+	}
+}
+
+func TestGMODReachabilityFanout(t *testing.T) {
+	prog := workload.Fanout(5)
+	facts := core.ComputeFacts(prog, core.Mod)
+	beta := binding.Build(prog)
+	rmod := core.SolveRMOD(beta, facts)
+	imodPlus := core.ComputeIMODPlus(facts, rmod)
+	out := GMODReachability(prog, imodPlus, facts)
+	// main reaches every leaf's global.
+	main := out[prog.Main.ID]
+	for i := 0; i < 5; i++ {
+		g := prog.Var("g" + string(rune('0'+i)))
+		if !main.Has(g.ID) {
+			t.Errorf("oracle GMOD(main) missing g%d", i)
+		}
+	}
+	// Leaves see only their own effects.
+	p0 := out[prog.Proc("p0").ID]
+	if p0.Has(prog.Var("g1").ID) {
+		t.Error("oracle GMOD(p0) contains g1")
+	}
+}
+
+// TestIterativeCostGrowsWithChainDepth pins the complexity contrast
+// the benchmarks measure: the worklist solvers need Θ(n) iterations on
+// an n-chain, while Figure 1 performs O(Nβ+Eβ) boolean steps total.
+func TestIterativeCostGrowsWithChainDepth(t *testing.T) {
+	small := workload.Chain(10)
+	large := workload.Chain(100)
+	fs := core.ComputeFacts(small, core.Mod)
+	fl := core.ComputeFacts(large, core.Mod)
+	rs := SwiftDecomposed(small, fs)
+	rl := SwiftDecomposed(large, fl)
+	if rl.Stats.Iterations <= rs.Stats.Iterations {
+		t.Errorf("iterations: chain(100)=%d ≤ chain(10)=%d",
+			rl.Stats.Iterations, rs.Stats.Iterations)
+	}
+	// And the figure-1 solver's boolean work stays linear in β size.
+	bs := binding.Build(small)
+	bl := binding.Build(large)
+	ss := core.SolveRMOD(bs, fs).Stats.BoolSteps
+	sl := core.SolveRMOD(bl, fl).Stats.BoolSteps
+	if sl > 12*ss { // 10× the size, small constant slack
+		t.Errorf("figure-1 steps grew superlinearly: %d → %d", ss, sl)
+	}
+}
+
+func TestBaselinesOnEmptyMain(t *testing.T) {
+	prog := workload.Fanout(0) // just main, no procs
+	facts := core.ComputeFacts(prog, core.Mod)
+	ban := BanningIterative(prog, facts)
+	if !ban.GMOD[prog.Main.ID].Empty() {
+		t.Error("GMOD(main) of empty program not empty")
+	}
+	sw := SwiftDecomposed(prog, facts)
+	if !sw.GMOD[prog.Main.ID].Empty() {
+		t.Error("swift GMOD(main) of empty program not empty")
+	}
+	beta := binding.Build(prog)
+	if len(RMODReachability(beta, facts)) != 0 {
+		t.Error("β of empty program should have no nodes")
+	}
+}

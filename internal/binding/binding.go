@@ -1,0 +1,135 @@
+// Package binding constructs the paper's central data structure, the
+// binding multi-graph β = (Nβ, Eβ).
+//
+// Nodes of β are the by-reference formal parameters of the program
+// (the paper's fp_i^p). There is an edge (fp_i^p, fp_j^q) for every
+// binding event: a call site at which fp_i^p is passed as the j-th
+// actual parameter of q. Because the same pair of formals can be bound
+// at several call sites, β is a multi-graph. A call site that passes
+// only locals, globals, or expressions contributes no edges.
+//
+// Lexical nesting (Section 3.3, case 2): the call site performing the
+// binding need not be in the procedure that owns the formal — a formal
+// of p may be passed as an actual inside a procedure nested within p.
+// The construction therefore keys edges on the *owner* of the actual
+// variable, not on the calling procedure.
+//
+// Construction is a single scan of the call sites, linear in the size
+// of the program (Section 3.1).
+package binding
+
+import (
+	"fmt"
+
+	"sideeffect/internal/graph"
+	"sideeffect/internal/ir"
+)
+
+// Beta is the binding multi-graph of a program.
+type Beta struct {
+	Prog *ir.Program
+	G    *graph.Graph
+	// Nodes maps β-node index → the ref formal it represents.
+	Nodes []*ir.Variable
+	// NodeOf maps ir.Variable.ID → β-node index, or -1 for variables
+	// that are not by-reference formals.
+	NodeOf []int
+	// EdgeSite and EdgeArg map β-edge ID → the call site and actual
+	// position that generated the binding (needed to recover the
+	// regular-section mapping functions g_e of Section 6).
+	EdgeSite []*ir.CallSite
+	EdgeArg  []int
+}
+
+// Build constructs β for p. Every by-reference formal is represented
+// as a node (isolated nodes carry their own RMOD seed); Stats reports
+// how many nodes actually touch an edge, the quantity the paper's Nβ
+// counts.
+func Build(p *ir.Program) *Beta {
+	b := &Beta{Prog: p, NodeOf: make([]int, p.NumVars())}
+	for i := range b.NodeOf {
+		b.NodeOf[i] = -1
+	}
+	for _, q := range p.Procs {
+		for _, f := range q.Formals {
+			if f.Kind == ir.FormalRef {
+				b.NodeOf[f.ID] = len(b.Nodes)
+				b.Nodes = append(b.Nodes, f)
+			}
+		}
+	}
+	b.G = graph.New(len(b.Nodes))
+	for _, cs := range p.Sites {
+		for i, a := range cs.Args {
+			if a.Mode != ir.FormalRef || a.Var == nil {
+				continue
+			}
+			src := b.NodeOf[a.Var.ID]
+			if src < 0 {
+				continue // actual is not a ref formal: no binding chain
+			}
+			dst := b.NodeOf[cs.Callee.Formals[i].ID]
+			if dst < 0 {
+				panic(fmt.Sprintf("binding: ref formal %s has no β node",
+					cs.Callee.Formals[i]))
+			}
+			b.G.AddEdge(src, dst)
+			b.EdgeSite = append(b.EdgeSite, cs)
+			b.EdgeArg = append(b.EdgeArg, i)
+		}
+	}
+	return b
+}
+
+// Formal returns the ref formal represented by β-node n.
+func (b *Beta) Formal(n int) *ir.Variable { return b.Nodes[n] }
+
+// Stats reports the size of β and its relation to the call
+// multi-graph, the subject of Section 3.1: Nβ ≤ µ_f·N_C and
+// Eβ ≤ µ_a·E_C, and 2·Eβ ≥ Nβ when only edge-touching nodes are
+// represented.
+type Stats struct {
+	// NBetaAll counts every ref formal; NBeta counts only formals that
+	// are an endpoint of at least one binding edge (the paper's Nβ).
+	NBetaAll, NBeta int
+	EBeta           int
+	// Components is the number of weakly-connected pieces among the
+	// touched nodes; the paper notes β "will almost certainly consist
+	// of a number of disjoint components".
+	Components int
+}
+
+// Stats computes size statistics for β.
+func (b *Beta) Stats() Stats {
+	s := Stats{NBetaAll: len(b.Nodes), EBeta: b.G.NumEdges()}
+	touched := make([]bool, len(b.Nodes))
+	for _, e := range b.G.Edges() {
+		touched[e.From] = true
+		touched[e.To] = true
+	}
+	// Union-find over touched nodes for weak components.
+	parent := make([]int, len(b.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range b.G.Edges() {
+		parent[find(e.From)] = find(e.To)
+	}
+	roots := make(map[int]bool)
+	for i, t := range touched {
+		if t {
+			s.NBeta++
+			roots[find(i)] = true
+		}
+	}
+	s.Components = len(roots)
+	return s
+}

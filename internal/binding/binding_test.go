@@ -1,0 +1,210 @@
+package binding
+
+import (
+	"testing"
+
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/sem"
+)
+
+func analyze(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := sem.AnalyzeSource(src)
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	return p
+}
+
+// nodeByName finds the β node index of a qualified formal name.
+func nodeByName(t *testing.T, b *Beta, name string) int {
+	t.Helper()
+	v := b.Prog.Var(name)
+	if v == nil {
+		t.Fatalf("no variable %q", name)
+	}
+	n := b.NodeOf[v.ID]
+	if n < 0 {
+		t.Fatalf("%q has no β node", name)
+	}
+	return n
+}
+
+func TestBuildChain(t *testing.T) {
+	p := analyze(t, `
+program c;
+global g;
+proc bottom(ref z) begin z := 1 end;
+proc mid(ref y) begin call bottom(y) end;
+proc top(ref x) begin call mid(x) end;
+begin call top(g) end.
+`)
+	b := Build(p)
+	if len(b.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(b.Nodes))
+	}
+	// Edges: top.x→mid.y, mid.y→bottom.z. The call top(g) passes a
+	// global, so it generates no β edge.
+	if b.G.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2: %v", b.G.NumEdges(), b.G.Edges())
+	}
+	x := nodeByName(t, b, "top.x")
+	y := nodeByName(t, b, "mid.y")
+	z := nodeByName(t, b, "bottom.z")
+	found := map[[2]int]bool{}
+	for _, e := range b.G.Edges() {
+		found[[2]int{e.From, e.To}] = true
+	}
+	if !found[[2]int{x, y}] || !found[[2]int{y, z}] {
+		t.Errorf("edges = %v, want x→y and y→z", b.G.Edges())
+	}
+}
+
+func TestMultiEdges(t *testing.T) {
+	p := analyze(t, `
+program m;
+global g;
+proc q(ref b) begin b := 1 end;
+proc p(ref a)
+begin
+  call q(a);
+  call q(a)
+end;
+begin call p(g) end.
+`)
+	b := Build(p)
+	if b.G.NumEdges() != 2 {
+		t.Fatalf("parallel binding edges = %d, want 2", b.G.NumEdges())
+	}
+	if b.EdgeSite[0] == b.EdgeSite[1] {
+		t.Error("parallel edges should come from distinct call sites")
+	}
+	if b.EdgeArg[0] != 0 || b.EdgeArg[1] != 0 {
+		t.Errorf("EdgeArg = %v %v", b.EdgeArg[0], b.EdgeArg[1])
+	}
+}
+
+func TestValFormalsExcluded(t *testing.T) {
+	p := analyze(t, `
+program v;
+global g;
+proc q(ref a, val n) begin a := n end;
+proc p(val m, ref b) begin call q(b, m) end;
+begin call p(3, g) end.
+`)
+	b := Build(p)
+	// Only ref formals are nodes: q.a and p.b.
+	if len(b.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(b.Nodes))
+	}
+	// p.b→q.a is the only edge; passing val m as val n contributes
+	// nothing, and passing the global g contributes nothing.
+	if b.G.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", b.G.NumEdges())
+	}
+	e := b.G.Edges()[0]
+	if b.Formal(e.From).String() != "p.b" || b.Formal(e.To).String() != "q.a" {
+		t.Errorf("edge = %s→%s", b.Formal(e.From), b.Formal(e.To))
+	}
+}
+
+func TestNestedBindingRule(t *testing.T) {
+	// Section 3.3 case 2: a formal of p passed as an actual at a call
+	// site *inside a nested procedure* still generates the edge from
+	// p's formal.
+	p := analyze(t, `
+program n;
+global g;
+proc sink(ref s) begin s := 1 end;
+proc outer(ref x)
+  proc inner()
+  begin
+    call sink(x)
+  end;
+begin
+  call inner()
+end;
+begin call outer(g) end.
+`)
+	b := Build(p)
+	x := nodeByName(t, b, "outer.x")
+	s := nodeByName(t, b, "sink.s")
+	if b.G.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", b.G.NumEdges())
+	}
+	e := b.G.Edges()[0]
+	if e.From != x || e.To != s {
+		t.Errorf("edge = %v, want outer.x→sink.s", e)
+	}
+}
+
+func TestRecursiveCycle(t *testing.T) {
+	p := analyze(t, `
+program r;
+global g;
+proc f(ref a) begin call f(a) end;
+begin call f(g) end.
+`)
+	b := Build(p)
+	if b.G.NumEdges() != 1 {
+		t.Fatalf("edges = %d", b.G.NumEdges())
+	}
+	e := b.G.Edges()[0]
+	if e.From != e.To {
+		t.Errorf("self-binding should be a self-loop: %v", e)
+	}
+}
+
+func TestArrayElementActualGeneratesEdge(t *testing.T) {
+	// Passing an element of a ref formal array binds the array's
+	// formal to the callee's scalar formal.
+	p := analyze(t, `
+program a;
+global A[10];
+proc setelem(ref e) begin e := 0 end;
+proc p(ref M[*]) begin call setelem(M[1]) end;
+begin call p(A) end.
+`)
+	b := Build(p)
+	m := nodeByName(t, b, "p.M")
+	e := nodeByName(t, b, "setelem.e")
+	if b.G.NumEdges() != 1 {
+		t.Fatalf("edges = %d", b.G.NumEdges())
+	}
+	edge := b.G.Edges()[0]
+	if edge.From != m || edge.To != e {
+		t.Errorf("edge = %v", edge)
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := analyze(t, `
+program s;
+global g, h;
+proc isolated(ref u) begin u := 1 end;
+proc q(ref b) begin b := 1 end;
+proc p(ref a) begin call q(a) end;
+begin
+  call p(g);
+  call isolated(h)
+end.
+`)
+	b := Build(p)
+	st := b.Stats()
+	if st.NBetaAll != 3 {
+		t.Errorf("NBetaAll = %d, want 3", st.NBetaAll)
+	}
+	if st.NBeta != 2 {
+		t.Errorf("NBeta = %d, want 2 (isolated.u untouched)", st.NBeta)
+	}
+	if st.EBeta != 1 {
+		t.Errorf("EBeta = %d, want 1", st.EBeta)
+	}
+	if st.Components != 1 {
+		t.Errorf("Components = %d, want 1", st.Components)
+	}
+	// 2·Eβ ≥ Nβ must hold when counting only touched nodes.
+	if 2*st.EBeta < st.NBeta {
+		t.Errorf("2Eβ=%d < Nβ=%d", 2*st.EBeta, st.NBeta)
+	}
+}

@@ -1,0 +1,303 @@
+// Package bitset implements dense bit-vector sets over the integers
+// [0, n). Interprocedural analyses manipulate sets whose universe is
+// "every variable in the program", and the paper observes that such bit
+// vectors grow linearly with program size; this package is the shared
+// representation for GMOD/GUSE/IMOD+/LOCAL and friends.
+//
+// The zero value of Set is an empty set of capacity zero. All
+// destructive operations grow the receiver as needed, so a Set built
+// with New(n) never needs explicit resizing when used within a fixed
+// universe.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit vector. Element i is present when bit i%64 of
+// word i/64 is set. Trailing zero words are permitted; two Sets are
+// Equal when they contain the same elements regardless of capacity.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity for elements in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing exactly the given elements.
+func FromSlice(elems []int) *Set {
+	s := New(0)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// grow ensures the receiver can hold element i.
+func (s *Set) grow(i int) {
+	w := i/wordBits + 1
+	if w > len(s.words) {
+		nw := make([]uint64, w)
+		copy(nw, s.words)
+		s.words = nw
+	}
+}
+
+// Add inserts i into the set. It panics if i is negative.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: Add(%d): negative element", i))
+	}
+	s.grow(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set. Removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if t == nil || i >= len(t.words) {
+			s.words[i] = 0
+		} else {
+			s.words[i] &= t.words[i]
+		}
+	}
+}
+
+// DifferenceWith removes from s every element of t.
+func (s *Set) DifferenceWith(t *Set) {
+	if t == nil {
+		return
+	}
+	for i := range s.words {
+		if i >= len(t.words) {
+			break
+		}
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// UnionDiffWith adds to s every element of t that is NOT in mask, and
+// reports whether s changed. This is the workhorse of equation (4) of
+// the paper: GMOD[p] ∪= GMOD[q] ∖ LOCAL[q], performed in a single pass
+// without allocating a temporary.
+func (s *Set) UnionDiffWith(t, mask *Set) bool {
+	if t == nil {
+		return false
+	}
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	changed := false
+	for i, w := range t.words {
+		if mask != nil && i < len(mask.words) {
+			w &^= mask.words[i]
+		}
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Union returns a new set s ∪ t.
+func Union(s, t *Set) *Set {
+	c := s.Clone()
+	c.UnionWith(t)
+	return c
+}
+
+// Intersect returns a new set s ∩ t.
+func Intersect(s, t *Set) *Set {
+	c := s.Clone()
+	c.IntersectWith(t)
+	return c
+}
+
+// Difference returns a new set s ∖ t.
+func Difference(s, t *Set) *Set {
+	c := s.Clone()
+	c.DifferenceWith(t)
+	return c
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if t == nil {
+		return s == nil || s.Empty()
+	}
+	if s == nil {
+		return t.Empty()
+	}
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if t != nil && i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the elements of the set in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls f for each element in increasing order.
+func (s *Set) ForEach(f func(int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Words returns the number of 64-bit words backing the set. It is the
+// unit in which "bit-vector steps" are converted to machine operations
+// when the experiment harness reports operation counts.
+func (s *Set) Words() int { return len(s.words) }

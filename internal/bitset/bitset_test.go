@@ -1,0 +1,295 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(10)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	s.Add(3)
+	s.Add(64)
+	s.Add(200) // beyond initial capacity: must grow
+	for _, i := range []int{3, 64, 200} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{0, 2, 4, 63, 65, 199, 201, 1000} {
+		if s.Has(i) {
+			t.Errorf("Has(%d) = true, want false", i)
+		}
+	}
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Remove(64) did not remove")
+	}
+	s.Remove(10_000) // out of range: no-op
+	if got := s.Len(); got != 2 {
+		t.Errorf("Len after remove = %d, want 2", got)
+	}
+}
+
+func TestHasNegative(t *testing.T) {
+	s := New(8)
+	if s.Has(-1) {
+		t.Error("Has(-1) = true")
+	}
+	s.Remove(-5) // must not panic
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	New(1).Add(-1)
+}
+
+func TestUnionWith(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3})
+	u := FromSlice([]int{3, 100})
+	if !s.UnionWith(u) {
+		t.Error("UnionWith reported no change")
+	}
+	if s.UnionWith(u) {
+		t.Error("second UnionWith reported change")
+	}
+	want := []int{1, 2, 3, 100}
+	if got := s.Elems(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Elems = %v, want %v", got, want)
+	}
+	if s.UnionWith(nil) {
+		t.Error("UnionWith(nil) reported change")
+	}
+}
+
+func TestIntersectAndDifference(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3, 64, 65})
+	tt := FromSlice([]int{2, 64, 200})
+	i := Intersect(s, tt)
+	if got, want := i.Elems(), []int{2, 64}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	d := Difference(s, tt)
+	if got, want := d.Elems(), []int{1, 3, 65}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Difference = %v, want %v", got, want)
+	}
+	s2 := s.Clone()
+	s2.IntersectWith(nil)
+	if !s2.Empty() {
+		t.Error("IntersectWith(nil) should empty the set")
+	}
+	s3 := s.Clone()
+	s3.DifferenceWith(nil)
+	if !s3.Equal(s) {
+		t.Error("DifferenceWith(nil) should be a no-op")
+	}
+}
+
+func TestUnionDiffWith(t *testing.T) {
+	// GMOD[p] ∪= GMOD[q] ∖ LOCAL[q]
+	p := FromSlice([]int{1})
+	q := FromSlice([]int{2, 3, 70})
+	local := FromSlice([]int{3})
+	if !p.UnionDiffWith(q, local) {
+		t.Error("UnionDiffWith reported no change")
+	}
+	want := []int{1, 2, 70}
+	if got := p.Elems(); !reflect.DeepEqual(got, want) {
+		t.Errorf("after UnionDiffWith: %v, want %v", got, want)
+	}
+	if p.UnionDiffWith(q, local) {
+		t.Error("repeat UnionDiffWith reported change")
+	}
+	// nil mask behaves like plain union.
+	r := New(0)
+	r.UnionDiffWith(q, nil)
+	if !r.Equal(q) {
+		t.Errorf("UnionDiffWith(q, nil) = %v, want %v", r, q)
+	}
+}
+
+func TestEqualIgnoresCapacity(t *testing.T) {
+	a := New(1000)
+	b := New(1)
+	a.Add(5)
+	b.Add(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with same elements but different capacity not Equal")
+	}
+	a.Add(999)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("unequal sets reported Equal")
+	}
+	var nilSet *Set
+	if !New(10).Equal(nilSet) {
+		t.Error("empty set should Equal nil")
+	}
+}
+
+func TestSubsetIntersects(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := FromSlice([]int{1, 2, 3})
+	if !a.SubsetOf(b) {
+		t.Error("a ⊄ b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊂ a")
+	}
+	if !a.Intersects(b) {
+		t.Error("a does not intersect b")
+	}
+	if a.Intersects(FromSlice([]int{99})) {
+		t.Error("disjoint sets reported intersecting")
+	}
+	if a.Intersects(nil) {
+		t.Error("Intersects(nil) = true")
+	}
+	if !New(4).SubsetOf(nil) {
+		t.Error("empty not subset of nil")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got, want := FromSlice([]int{5, 1}).String(), "{1, 5}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := New(3).String(), "{}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromSlice([]int{300, 5, 70})
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if want := []int{5, 70, 300}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEach order = %v, want %v", got, want)
+	}
+}
+
+// refSet is a map-based reference model for property testing.
+type refSet map[int]bool
+
+func randomPair(r *rand.Rand) (*Set, refSet) {
+	s, m := New(0), refSet{}
+	n := r.Intn(100)
+	for i := 0; i < n; i++ {
+		e := r.Intn(500)
+		s.Add(e)
+		m[e] = true
+	}
+	return s, m
+}
+
+func TestQuickUnionMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, ma := randomPair(r)
+		b, mb := randomPair(r)
+		u := Union(a, b)
+		for e := 0; e < 520; e++ {
+			if u.Has(e) != (ma[e] || mb[e]) {
+				return false
+			}
+		}
+		i := Intersect(a, b)
+		for e := 0; e < 520; e++ {
+			if i.Has(e) != (ma[e] && mb[e]) {
+				return false
+			}
+		}
+		d := Difference(a, b)
+		for e := 0; e < 520; e++ {
+			if d.Has(e) != (ma[e] && !mb[e]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionDiffIdentity(t *testing.T) {
+	// s.UnionDiffWith(t, m) ≡ s.UnionWith(Difference(t, m))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := randomPair(r)
+		tt, _ := randomPair(r)
+		m, _ := randomPair(r)
+		a := s.Clone()
+		b := s.Clone()
+		ca := a.UnionDiffWith(tt, m)
+		cb := b.UnionWith(Difference(tt, m))
+		return ca == cb && a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLatticeLaws(t *testing.T) {
+	// Union/Intersect are commutative, associative, idempotent, and
+	// absorb each other on random sets.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randomPair(r)
+		b, _ := randomPair(r)
+		c, _ := randomPair(r)
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		if !Intersect(a, b).Equal(Intersect(b, a)) {
+			return false
+		}
+		if !Union(Union(a, b), c).Equal(Union(a, Union(b, c))) {
+			return false
+		}
+		if !Union(a, a).Equal(a) || !Intersect(a, a).Equal(a) {
+			return false
+		}
+		if !Union(a, Intersect(a, b)).Equal(a) {
+			return false
+		}
+		if !Intersect(a, Union(a, b)).Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int{1})
+	b := a.Clone()
+	b.Add(2)
+	if a.Has(2) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestClearRetainsCapacity(t *testing.T) {
+	s := FromSlice([]int{500})
+	w := s.Words()
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear did not empty set")
+	}
+	if s.Words() != w {
+		t.Error("Clear changed capacity")
+	}
+}

@@ -1,0 +1,70 @@
+// Package callgraph builds the program's call multi-graph C = (N_C,
+// E_C): one node per procedure (including main) and one edge per call
+// site. Node indices equal ir.Procedure.ID and edge identifiers equal
+// ir.CallSite.ID, so analyses can move freely between the graph and
+// the program model.
+package callgraph
+
+import (
+	"sideeffect/internal/graph"
+	"sideeffect/internal/ir"
+)
+
+// CallGraph couples the multi-graph with its program.
+type CallGraph struct {
+	Prog *ir.Program
+	G    *graph.Graph
+}
+
+// Build constructs the call multi-graph of p.
+func Build(p *ir.Program) *CallGraph {
+	g := graph.New(p.NumProcs())
+	for _, cs := range p.Sites {
+		id := g.AddEdge(cs.Caller.ID, cs.Callee.ID)
+		if id != cs.ID {
+			// Sites are ID-dense and added in order, so this cannot
+			// happen for a validated program.
+			panic("callgraph: call-site IDs not dense")
+		}
+	}
+	return &CallGraph{Prog: p, G: g}
+}
+
+// Site returns the call site corresponding to a graph edge.
+func (c *CallGraph) Site(edgeID int) *ir.CallSite { return c.Prog.Sites[edgeID] }
+
+// Stats summarizes the size quantities the paper's complexity bounds
+// are stated in.
+type Stats struct {
+	N int // N_C: procedures
+	E int // E_C: call sites
+	// MuF is µ_f, the average number of formal parameters per
+	// procedure; MuA is µ_a, the average number of actuals per call
+	// site. The paper assumes both are bounded by a small constant k.
+	MuF, MuA float64
+	// Globals is the number of program-level global variables (the
+	// paper argues this grows linearly with program size, making the
+	// overall bound O(N² + NE)).
+	Globals int
+}
+
+// Stats computes size statistics for the program.
+func (c *CallGraph) Stats() Stats {
+	s := Stats{N: c.Prog.NumProcs(), E: c.Prog.NumSites()}
+	tf := 0
+	for _, q := range c.Prog.Procs {
+		tf += len(q.Formals)
+	}
+	ta := 0
+	for _, cs := range c.Prog.Sites {
+		ta += len(cs.Args)
+	}
+	if s.N > 0 {
+		s.MuF = float64(tf) / float64(s.N)
+	}
+	if s.E > 0 {
+		s.MuA = float64(ta) / float64(s.E)
+	}
+	s.Globals = len(c.Prog.Globals())
+	return s
+}

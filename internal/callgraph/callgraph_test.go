@@ -1,0 +1,90 @@
+package callgraph
+
+import (
+	"testing"
+
+	"sideeffect/internal/lang/sem"
+)
+
+func TestBuildAndStats(t *testing.T) {
+	p, err := sem.AnalyzeSource(`
+program cg;
+global g, h, k;
+proc a(ref x, val n) begin x := n end;
+proc b(ref y)
+begin
+  call a(y, 1);
+  call a(g, 2)
+end;
+begin
+  call b(h);
+  call b(k);
+  call a(g, 3)
+end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Build(p)
+	if c.G.NumNodes() != 3 { // $main, a, b
+		t.Fatalf("nodes = %d", c.G.NumNodes())
+	}
+	if c.G.NumEdges() != 5 {
+		t.Fatalf("edges = %d, want 5", c.G.NumEdges())
+	}
+	// Edge IDs coincide with call-site IDs.
+	for _, e := range c.G.Edges() {
+		cs := c.Site(e.ID)
+		if cs.Caller.ID != e.From || cs.Callee.ID != e.To {
+			t.Errorf("edge %v does not match site %v", e, cs)
+		}
+	}
+	st := c.Stats()
+	if st.N != 3 || st.E != 5 {
+		t.Errorf("stats N=%d E=%d", st.N, st.E)
+	}
+	// Formals: a has 2, b has 1, main has 0 → µ_f = 1.
+	if st.MuF != 1.0 {
+		t.Errorf("MuF = %v, want 1.0", st.MuF)
+	}
+	// Actuals: 2+2+1+1+2 = 8 over 5 sites.
+	if st.MuA != 8.0/5.0 {
+		t.Errorf("MuA = %v", st.MuA)
+	}
+	if st.Globals != 3 {
+		t.Errorf("Globals = %d", st.Globals)
+	}
+}
+
+func TestParallelCallEdges(t *testing.T) {
+	p, err := sem.AnalyzeSource(`
+program m;
+proc q() begin end;
+begin call q(); call q() end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Build(p)
+	if c.G.NumEdges() != 2 {
+		t.Errorf("parallel call edges = %d, want 2", c.G.NumEdges())
+	}
+	if c.G.Succs(p.Main.ID)[0].To != p.Proc("q").ID {
+		t.Error("edge target wrong")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p, err := sem.AnalyzeSource("program e; begin end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Build(p)
+	if c.G.NumNodes() != 1 || c.G.NumEdges() != 0 {
+		t.Errorf("empty program graph: %d nodes %d edges", c.G.NumNodes(), c.G.NumEdges())
+	}
+	st := c.Stats()
+	if st.MuA != 0 || st.MuF != 0 {
+		t.Errorf("stats on empty program: %+v", st)
+	}
+}

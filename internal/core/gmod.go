@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sideeffect/internal/bitset"
+	"sideeffect/internal/graph"
+)
+
+// GMODStats counts the bit-vector steps performed by FindGMOD, the
+// quantities of Theorem 2: the union at the paper's line 17 executes
+// at most once per call-graph edge, and the union at line 22 at most
+// once per node.
+type GMODStats struct {
+	// Visits is the number of procedures visited (≤ N_C per run).
+	Visits int
+	// EdgeUnions counts executions of line 17 (GMOD[p] ∪= GMOD[q] ∖
+	// LOCAL[q]); NodeUnions counts executions of line 22.
+	EdgeUnions, NodeUnions int
+	// Components is the number of SCCs closed.
+	Components int
+}
+
+// BitVectorSteps returns the total bit-vector operations, the unit of
+// Theorem 2's O(E_C + N_C) bound.
+func (s GMODStats) BitVectorSteps() int { return s.EdgeUnions + s.NodeUnions + s.Visits }
+
+// FindGMOD is the paper's findgmod (Figure 2): a one-pass adaptation
+// of Tarjan's strongly-connected-components algorithm that evaluates
+// equation (4),
+//
+//	GMOD(p) = IMOD+(p) ∪ ∪_{e=(p,q)} ( GMOD(q) ∖ LOCAL(q) ),
+//
+// during the depth-first search. Each node's set is initialized to
+// IMOD+ (line 8); returning across a tree edge or examining an edge to
+// an already-closed component applies equation (4) (line 17); and when
+// the root of a strongly-connected component is found, every member's
+// set is augmented with the root's non-local variables (line 22),
+// which is correct because all members of the component reach the same
+// set of variables that outlive the component (the paper's Theorem 1).
+//
+// roots lists the depth-first start nodes (normally just main's ID);
+// any procedure not reachable from the roots is searched afterwards so
+// that every procedure receives a solution, matching the paper's
+// assumption that unreachable procedures were eliminated while
+// remaining total on un-pruned inputs.
+//
+// For programs whose procedures all sit at nesting level 0 (two-level
+// languages like C or Fortran — equation (8)'s premise), the result is
+// the exact least solution of equation (4). For nested programs use
+// SolveGMODMultiLevel, which runs this pass once per nesting level.
+//
+// The search is iterative (explicit frame stack) so call chains of
+// hundreds of thousands of procedures cannot overflow the goroutine
+// stack; the structure otherwise mirrors Figure 2 line by line.
+func FindGMOD(g *graph.Graph, imodPlus []*bitset.Set, local []*bitset.Set, roots ...int) ([]*bitset.Set, GMODStats) {
+	n := g.NumNodes()
+	gmod := make([]*bitset.Set, n)
+	var stats GMODStats
+
+	dfn := make([]int, n) // 0 = unvisited
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	stack := make([]int, 0, n)
+	nextdfn := 1
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	var frames []frame
+
+	visit := func(v int) {
+		dfn[v] = nextdfn
+		nextdfn++
+		lowlink[v] = dfn[v]
+		gmod[v] = imodPlus[v].Clone() // line 8
+		stack = append(stack, v)
+		onStack[v] = true
+		stats.Visits++
+		frames = append(frames, frame{v: v})
+	}
+
+	search := func(root int) {
+		if dfn[root] != 0 {
+			return
+		}
+		visit(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.Succs(v)) {
+				e := g.Succs(v)[f.ei]
+				f.ei++
+				q := e.To
+				if dfn[q] == 0 { // tree edge: descend
+					visit(q)
+					advanced = true
+					break
+				}
+				if dfn[q] < dfn[v] && onStack[q] {
+					// Cross or back edge within the current component.
+					if dfn[q] < lowlink[v] {
+						lowlink[v] = dfn[q]
+					}
+				} else {
+					// Edge to a closed component (or a forward edge):
+					// apply equation (4) — line 17.
+					gmod[v].UnionDiffWith(gmod[q], local[q])
+					stats.EdgeUnions++
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is exhausted: close component if v is a root.
+			if lowlink[v] == dfn[v] { // line 19
+				stats.Components++
+				for { // lines 20-24
+					u := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[u] = false
+					if u == v {
+						break
+					}
+					gmod[u].UnionDiffWith(gmod[v], local[v]) // line 22
+					stats.NodeUnions++
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+				// Returning across the tree edge (p.v, v): v's dfn is
+				// greater than p's, so Figure 2's stack test fails and
+				// the else branch applies equation (4). When v belongs
+				// to the same (still-open) component this is only a
+				// partial application; the root fix-up completes it.
+				gmod[p.v].UnionDiffWith(gmod[v], local[v])
+				stats.EdgeUnions++
+			}
+		}
+	}
+
+	for _, r := range roots {
+		search(r)
+	}
+	for v := 0; v < n; v++ {
+		search(v)
+	}
+	return gmod, stats
+}

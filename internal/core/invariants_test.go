@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"testing"
+
+	"sideeffect/internal/core"
+	"sideeffect/internal/ir"
+	"sideeffect/internal/workload"
+)
+
+// TestVisibilityInvariants checks the structural well-formedness the
+// projections b_e guarantee, on random flat and nested programs:
+//
+//   - GMOD(p) ⊆ Visible(p): a summary never names a variable the
+//     procedure cannot see (deep locals are stripped by the per-edge
+//     LOCAL filters and the nesting folds);
+//   - DMOD(s) ⊆ Visible(caller(s)): call-site answers are expressed in
+//     the caller's name space;
+//   - IMOD+(p) ⊆ Visible(p).
+func TestVisibilityInvariants(t *testing.T) {
+	check := func(prog *ir.Program, kind core.Kind, tag string) {
+		res := core.Analyze(prog, kind, core.Options{})
+		prog = res.Prog
+		for _, p := range prog.Procs {
+			for _, set := range []struct {
+				name string
+				ids  []int
+			}{
+				{"GMOD", res.GMOD[p.ID].Elems()},
+				{"IMOD+", res.IMODPlus[p.ID].Elems()},
+			} {
+				for _, id := range set.ids {
+					if !p.Visible(prog.Vars[id]) {
+						t.Errorf("%s: %s(%s) contains invisible %s",
+							tag, set.name, p.Name, prog.Vars[id])
+					}
+				}
+			}
+		}
+		for _, cs := range prog.Sites {
+			for _, id := range res.DMOD[cs.ID].Elems() {
+				if !cs.Caller.Visible(prog.Vars[id]) {
+					t.Errorf("%s: DMOD(%s) contains invisible %s", tag, cs, prog.Vars[id])
+				}
+			}
+		}
+	}
+	for seed := int64(500); seed < 510; seed++ {
+		cfg := workload.DefaultConfig(30, seed)
+		check(workload.Random(cfg), core.Mod, "flat/mod")
+		check(workload.Random(cfg), core.Use, "flat/use")
+		cfg.MaxDepth = 4
+		cfg.NestFraction = 0.6
+		check(workload.Random(cfg).Prune(), core.Mod, "nested/mod")
+		check(workload.Random(cfg).Prune(), core.Use, "nested/use")
+	}
+	check(workload.NestedTower(6), core.Mod, "tower")
+}
+
+// TestMonotonicity checks that growing the local facts only grows the
+// solution — the property the incremental updater rests on.
+func TestMonotonicity(t *testing.T) {
+	for seed := int64(600); seed < 606; seed++ {
+		prog := workload.Random(workload.DefaultConfig(25, seed))
+		before := core.Analyze(prog, core.Mod, core.Options{})
+		// Add a fact: the first procedure with a visible global
+		// modifies it.
+		var target *ir.Procedure
+		var v *ir.Variable
+		for _, p := range prog.Procs {
+			for _, g := range prog.Globals() {
+				if !p.IMOD.Has(g.ID) {
+					target, v = p, g
+					break
+				}
+			}
+			if target != nil {
+				break
+			}
+		}
+		if target == nil {
+			continue
+		}
+		target.IMOD.Add(v.ID)
+		after := core.Analyze(prog, core.Mod, core.Options{})
+		for _, p := range prog.Procs {
+			if !before.GMOD[p.ID].SubsetOf(after.GMOD[p.ID]) {
+				t.Errorf("seed %d: GMOD(%s) shrank after adding a fact", seed, p.Name)
+			}
+		}
+		for _, cs := range prog.Sites {
+			if !before.DMOD[cs.ID].SubsetOf(after.DMOD[cs.ID]) {
+				t.Errorf("seed %d: DMOD(%s) shrank after adding a fact", seed, cs)
+			}
+		}
+	}
+}
+
+// TestGMODContainsIMODPlus pins GMOD(p) ⊇ IMOD+(p) ⊇ I(p).
+func TestGMODContainsIMODPlus(t *testing.T) {
+	for seed := int64(700); seed < 705; seed++ {
+		cfg := workload.DefaultConfig(30, seed)
+		cfg.MaxDepth = 2
+		cfg.NestFraction = 0.4
+		res := core.Analyze(workload.Random(cfg), core.Mod, core.Options{})
+		for _, p := range res.Prog.Procs {
+			if !res.Facts.I[p.ID].SubsetOf(res.IMODPlus[p.ID]) {
+				t.Errorf("seed %d: I(%s) ⊄ IMOD+", seed, p.Name)
+			}
+			if !res.IMODPlus[p.ID].SubsetOf(res.GMOD[p.ID]) {
+				t.Errorf("seed %d: IMOD+(%s) ⊄ GMOD", seed, p.Name)
+			}
+		}
+	}
+}

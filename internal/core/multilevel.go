@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sideeffect/internal/bitset"
+	"sideeffect/internal/callgraph"
+	"sideeffect/internal/graph"
+)
+
+// SolveGMODMultiLevel solves the global side-effect problem for
+// languages with nested procedure declarations (Section 4's
+// extension) by solving the family of problems 0..d_P, where problem i
+// is defined on the call graph with every edge calling a procedure at
+// nesting level < i removed.
+//
+// Rationale: a variable of scope class i (declared in a procedure at
+// level i-1, or a program global for i = 0) survives only as long as
+// its declaring activation; a call chain that invokes a procedure at a
+// level shallower than i necessarily leaves the static scope of the
+// variable and can only reach fresh activations of it. Static
+// visibility guarantees the converse: any chain that stays at levels
+// ≥ i and modifies the variable does so in the activation the chain
+// started from.
+//
+// This is the "simple device" variant the paper describes first: it
+// repeats findgmod once per level, O(d_P·(E_C + N_C)) bit-vector
+// steps. (The paper further sketches a single-pass refinement with a
+// vector of lowlink values reaching O(E_C + d_P·N_C); since d_P is a
+// small constant in practice both are linear, and the repeated form is
+// the one whose correctness follows directly from Theorem 1.)
+//
+// For d_P = 0 the result coincides with a single FindGMOD run.
+func SolveGMODMultiLevel(cg *callgraph.CallGraph, facts *Facts, imodPlus []*bitset.Set) ([]*bitset.Set, []GMODStats) {
+	prog := cg.Prog
+	dP := prog.MaxLevel()
+
+	// Every procedure's own direct and ref-parameter effects are in
+	// its GMOD regardless of levels.
+	result := make([]*bitset.Set, prog.NumProcs())
+	for i := range result {
+		result[i] = imodPlus[i].Clone()
+	}
+	if dP == 0 {
+		gmod, stats := FindGMOD(cg.G, imodPlus, facts.Local, prog.Main.ID)
+		for i := range result {
+			result[i].UnionWith(gmod[i])
+		}
+		return result, []GMODStats{stats}
+	}
+
+	// classVars[i] is the set of variables of scope class i.
+	classVars := make([]*bitset.Set, dP+1)
+	for i := range classVars {
+		classVars[i] = bitset.New(prog.NumVars())
+	}
+	for _, v := range prog.Vars {
+		if lvl := v.ScopeLevel(); lvl <= dP {
+			classVars[lvl].Add(v.ID)
+		}
+		// Variables of class d_P+1 are locals of the deepest
+		// procedures; no call chain can modify them on behalf of a
+		// caller, and they are covered by the IMOD+ base above.
+	}
+
+	var allStats []GMODStats
+	for lvl := 0; lvl <= dP; lvl++ {
+		// Problem lvl: drop edges that invoke a procedure declared at
+		// a level shallower than lvl.
+		gi := graph.New(prog.NumProcs())
+		for _, cs := range prog.Sites {
+			if cs.Callee.Level >= lvl {
+				gi.AddEdge(cs.Caller.ID, cs.Callee.ID)
+			}
+		}
+		seeds := make([]*bitset.Set, prog.NumProcs())
+		for _, p := range prog.Procs {
+			s := imodPlus[p.ID].Clone()
+			s.IntersectWith(classVars[lvl])
+			seeds[p.ID] = s
+		}
+		gmod, stats := FindGMOD(gi, seeds, facts.Local, prog.Main.ID)
+		allStats = append(allStats, stats)
+		for i := range result {
+			result[i].UnionWith(gmod[i])
+		}
+	}
+	return result, allStats
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sideeffect/internal/binding"
+	"sideeffect/internal/ir"
+)
+
+// RMOD is the solution of the reference-formal-parameter problem: for
+// every by-reference formal fp_i^p, whether an invocation of p may
+// modify (or, for Kind Use, read) the variable bound to it.
+type RMOD struct {
+	Kind Kind
+	Beta *binding.Beta
+	// Node[n] is the solution for β node n.
+	Node []bool
+	// Stats counts the simple boolean steps the algorithm performed —
+	// the quantity the paper compares against the swift algorithm's
+	// bit-vector steps (Section 3.2).
+	Stats RMODStats
+}
+
+// RMODStats counts the work done by SolveRMOD.
+type RMODStats struct {
+	// BoolSteps is the number of O(1) boolean operations performed
+	// across all four phases of Figure 1.
+	BoolSteps int
+	// Components is the number of strongly-connected components of β.
+	Components int
+}
+
+// Of reports the solution for a formal parameter variable. Formals
+// that are not by-reference (and non-formals) report false.
+func (r *RMOD) Of(v *ir.Variable) bool {
+	n := r.Beta.NodeOf[v.ID]
+	if n < 0 {
+		return false
+	}
+	return r.Node[n]
+}
+
+// SolveRMOD solves the data-flow system of equation (6),
+//
+//	RMOD(m) = IMOD(m) ∨ ∨_{(m,n)∈Eβ} RMOD(n),
+//
+// with the four-step algorithm of Figure 1: find the SCCs of β,
+// collapse each to a representer whose seed is the disjunction of its
+// members' seeds, propagate over the derived graph from leaves to
+// roots, and copy each representer's value back to its members. Every
+// step is O(Nβ + Eβ), and — unlike the swift algorithm — the steps
+// are single boolean operations, not bit-vector operations.
+//
+// The solution is identical at every node of a strongly connected
+// region because the equations are purely disjunctive; that is the
+// observation that makes the collapse legal.
+func SolveRMOD(beta *binding.Beta, facts *Facts) *RMOD {
+	r := &RMOD{Kind: facts.Kind, Beta: beta, Node: make([]bool, len(beta.Nodes))}
+
+	// Step 1: strongly-connected components of β.
+	scc := beta.G.SCC()
+	r.Stats.Components = scc.NumComponents()
+
+	// Step 2: representer seeds.
+	rep := make([]bool, scc.NumComponents())
+	for n, v := range beta.Nodes {
+		if facts.SeedOf(v) {
+			rep[scc.Comp[n]] = true
+		}
+		r.Stats.BoolSteps++
+	}
+
+	// Step 3: traverse the derived graph from leaves to roots. Tarjan
+	// numbers components in reverse topological order (a component is
+	// closed before every component with an edge into it), so a single
+	// pass in increasing component number applies equation (6): the
+	// value of every successor component is final when its edges are
+	// examined.
+	for c := 0; c < scc.NumComponents(); c++ {
+		if rep[c] {
+			continue
+		}
+		for _, n := range scc.Members[c] {
+			for _, e := range beta.G.Succs(n) {
+				r.Stats.BoolSteps++
+				if rep[scc.Comp[e.To]] {
+					rep[c] = true
+					break
+				}
+			}
+			if rep[c] {
+				break
+			}
+		}
+	}
+
+	// Step 4: copy representer values back to members.
+	for n := range r.Node {
+		r.Node[n] = rep[scc.Comp[n]]
+		r.Stats.BoolSteps++
+	}
+	return r
+}

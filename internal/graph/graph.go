@@ -1,0 +1,105 @@
+// Package graph provides the directed multi-graph substrate shared by
+// the call multi-graph and the binding multi-graph, together with the
+// graph algorithms the paper builds on: Tarjan's strongly-connected
+// components algorithm, condensation, topological ordering of the
+// condensation, depth-first search with edge classification, and
+// reachability.
+//
+// Nodes are dense integers [0, N). Parallel edges are permitted and
+// significant (both the call graph and β are multi-graphs); each edge
+// has a stable integer identifier in [0, E) in insertion order.
+package graph
+
+// Edge is a directed edge. ID identifies the edge within its graph and
+// is the index clients use to attach side tables (e.g. the binding
+// functions g_e of Section 6 of the paper).
+type Edge struct {
+	From, To int
+	ID       int
+}
+
+// Graph is a mutable directed multi-graph.
+type Graph struct {
+	succ  [][]Edge
+	pred  [][]Edge
+	edges []Edge
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{succ: make([][]Edge, n), pred: make([][]Edge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.succ) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a fresh node and returns its index.
+func (g *Graph) AddNode() int {
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return len(g.succ) - 1
+}
+
+// AddEdge inserts a directed edge from→to and returns its ID.
+// Self-loops and parallel edges are allowed.
+func (g *Graph) AddEdge(from, to int) int {
+	e := Edge{From: from, To: to, ID: len(g.edges)}
+	g.edges = append(g.edges, e)
+	g.succ[from] = append(g.succ[from], e)
+	g.pred[to] = append(g.pred[to], e)
+	return e.ID
+}
+
+// Succs returns the out-edges of v. The slice is shared; callers must
+// not mutate it.
+func (g *Graph) Succs(v int) []Edge { return g.succ[v] }
+
+// Preds returns the in-edges of v. The slice is shared; callers must
+// not mutate it.
+func (g *Graph) Preds(v int) []Edge { return g.pred[v] }
+
+// Edges returns all edges in insertion order. The slice is shared.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Reverse returns a new graph with every edge direction flipped.
+// Edge IDs are preserved.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.NumNodes())
+	for _, e := range g.edges {
+		re := Edge{From: e.To, To: e.From, ID: e.ID}
+		r.edges = append(r.edges, re)
+		r.succ[re.From] = append(r.succ[re.From], re)
+		r.pred[re.To] = append(r.pred[re.To], re)
+	}
+	return r
+}
+
+// Reachable returns the set of nodes reachable from any of the roots
+// (the roots themselves included), as a boolean slice indexed by node.
+func (g *Graph) Reachable(roots ...int) []bool {
+	seen := make([]bool, g.NumNodes())
+	stack := make([]int, 0, len(roots))
+	for _, r := range roots {
+		if r >= 0 && r < len(seen) && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.succ[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}

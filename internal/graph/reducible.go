@@ -1,0 +1,110 @@
+package graph
+
+// Reducible reports whether the graph, viewed as a flow graph rooted
+// at root, is reducible in the classical T1/T2 sense: repeatedly
+// removing self-loops (T1) and merging nodes with a unique predecessor
+// into that predecessor (T2) collapses the reachable subgraph to a
+// single node.
+//
+// Relevance to the paper: the swift algorithm's O(E α(E,N)) bound
+// holds only for *reducible* call graphs (Tarjan's path-expression
+// machinery), whereas Section 2 notes that neither of the paper's
+// algorithms relies on reducibility. Mutual recursion makes real call
+// graphs irreducible routinely, so the workload generators produce
+// both kinds; this predicate lets experiments report which.
+func (g *Graph) Reducible(root int) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	// Work on the reachable subgraph only.
+	reach := g.Reachable(root)
+	// parent[v] via union-find represents merged supernodes.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// preds as sets of supernode representatives.
+	preds := make([]map[int]bool, n)
+	for i := range preds {
+		preds[i] = map[int]bool{}
+	}
+	alive := 0
+	for _, e := range g.edges {
+		if reach[e.From] && reach[e.To] && e.From != e.To {
+			preds[e.To][e.From] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if reach[v] {
+			alive++
+		}
+	}
+
+	// Worklist of candidates for T2.
+	queue := make([]int, 0, alive)
+	for v := 0; v < n; v++ {
+		if reach[v] {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		v = find(v)
+		if v == find(root) {
+			continue
+		}
+		// Normalize v's predecessor set under current merges, dropping
+		// self references (T1).
+		np := map[int]bool{}
+		for p := range preds[v] {
+			r := find(p)
+			if r != v {
+				np[r] = true
+			}
+		}
+		preds[v] = np
+		if len(np) != 1 {
+			continue
+		}
+		// T2: merge v into its unique predecessor.
+		var u int
+		for p := range np {
+			u = p
+		}
+		parent[v] = u
+		for p := range preds[v] {
+			if find(p) != u {
+				preds[u][p] = true
+			}
+		}
+		// v's successors now have u as predecessor; rather than keep
+		// successor lists, lazily fix preds on future normalization —
+		// but we must requeue nodes that referenced v.
+		alive--
+		// Requeue everything still alive (small graphs dominate our
+		// usage; an O(N·E) bound here is acceptable for a predicate
+		// used in experiments, not in the analyses).
+		for w := 0; w < n; w++ {
+			if reach[w] && find(w) != find(root) && find(w) == w {
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Reducible iff everything reachable merged into the root.
+	for v := 0; v < n; v++ {
+		if reach[v] && find(v) != find(root) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package interp
+
+import (
+	"fmt"
+
+	"sideeffect/internal/lang/ast"
+)
+
+// call implements procedure invocation: argument binding (reference
+// bindings share storage, including strided sections; value bindings
+// copy), static-link construction, per-call-site observation, and the
+// recursion-depth budget.
+func (in *interp) call(c *ast.Call, sc *scope) error {
+	pd, declScope := sc.lookupProc(c.Name)
+	if pd == nil {
+		return runtimeError{fmt.Sprintf("%s: undefined procedure %q", c.Pos, c.Name)}
+	}
+	if len(c.Args) != len(pd.Params) {
+		return runtimeError{fmt.Sprintf("%s: arity mismatch calling %q", c.Pos, c.Name)}
+	}
+	if in.depth >= in.opts.MaxDepth {
+		return budgetExhausted{}
+	}
+
+	frame := &scope{
+		static: declScope,
+		owner:  pd,
+		names:  make(map[string]*binding, len(pd.Params)+len(pd.Locals)),
+		procs:  make(map[string]*ast.ProcDecl, len(pd.Nested)),
+	}
+	for _, nd := range pd.Nested {
+		frame.procs[nd.Name] = nd
+	}
+
+	for i, prm := range pd.Params {
+		arg := c.Args[i]
+		q := pd.Name + "." + prm.Name
+		switch prm.Mode {
+		case ast.ByRef:
+			b, err := in.bindRef(arg, prm, sc)
+			if err != nil {
+				return err
+			}
+			b.qualified = q
+			frame.names[prm.Name] = b
+		case ast.ByVal:
+			var e ast.Expr
+			if arg.Section != nil {
+				e = &ast.VarRef{Name: arg.Section.Name, Subs: arg.Section.Subs, Pos: arg.Section.Pos}
+			} else {
+				e = arg.Value
+			}
+			v, err := in.expr(e, sc)
+			if err != nil {
+				return err
+			}
+			frame.names[prm.Name] = &binding{c: &cell{v: v}, qualified: q}
+		}
+	}
+	for _, ld := range pd.Locals {
+		frame.names[ld.Name] = makeVar(ld, pd.Name+".")
+	}
+
+	// Observation: aggregate into the site's record; the visible map
+	// snapshots every name reachable from the *caller's* scope at this
+	// moment, keyed by physical storage (cell, or array object).
+	obs := in.res.Calls[c.Pos]
+	if obs == nil {
+		obs = &Obs{Mod: map[string]bool{}, Use: map[string]bool{}}
+		in.res.Calls[c.Pos] = obs
+	}
+	vis := map[any][]string{}
+	for s := sc; s != nil; s = s.static {
+		for name, b := range s.names {
+			if sc.lookup(name) != b {
+				continue // shadowed: not visible at the call site
+			}
+			var key any
+			if b.c != nil {
+				key = b.c
+			} else {
+				key = b.arr.arr
+			}
+			vis[key] = append(vis[key], b.qualified)
+		}
+	}
+	in.recorders = append(in.recorders, obs)
+	in.visible = append(in.visible, vis)
+	in.depth++
+	err := in.block(pd.Body, frame)
+	in.depth--
+	in.recorders = in.recorders[:len(in.recorders)-1]
+	in.visible = in.visible[:len(in.visible)-1]
+	return err
+}
+
+// bindRef produces the storage binding for a by-reference argument:
+// a scalar shares its cell; a whole array shares the (full) view; a
+// section fixes the subscripted dimensions and keeps the starred ones;
+// an element of an array becomes a scalar binding to that element's
+// cell.
+func (in *interp) bindRef(arg *ast.Arg, prm *ast.Param, sc *scope) (*binding, error) {
+	if arg.Section == nil {
+		return nil, runtimeError{fmt.Sprintf("%s: ref parameter %q needs a variable argument", arg.Pos, prm.Name)}
+	}
+	sec := arg.Section
+	b := sc.lookup(sec.Name)
+	if b == nil {
+		return nil, runtimeError{fmt.Sprintf("%s: undefined %q", sec.Pos, sec.Name)}
+	}
+	if b.c != nil {
+		if len(sec.Subs) != 0 {
+			return nil, runtimeError{fmt.Sprintf("%s: scalar %q subscripted", sec.Pos, sec.Name)}
+		}
+		return &binding{c: b.c}, nil
+	}
+	base := *b.arr
+	if sec.Subs == nil {
+		v := base
+		return &binding{arr: &v}, nil
+	}
+	if len(sec.Subs) != len(base.dims) {
+		return nil, runtimeError{fmt.Sprintf("%s: %q has rank %d", sec.Pos, sec.Name, len(base.dims))}
+	}
+	nv := view{arr: base.arr, offset: base.offset}
+	for k := range sec.Subs {
+		if sec.Star(k) {
+			nv.dims = append(nv.dims, base.dims[k])
+			nv.strides = append(nv.strides, base.strides[k])
+			continue
+		}
+		x, err := in.expr(sec.Subs[k], sc)
+		if err != nil {
+			return nil, err
+		}
+		nv.offset += clampIndex(x, base.dims[k]) * base.strides[k]
+	}
+	if len(nv.dims) == 0 {
+		// Element reference: a scalar binding to the cell, remembering
+		// the array it lives in for observation purposes.
+		return &binding{c: &base.arr.data[nv.offset], backing: base.arr}, nil
+	}
+	return &binding{arr: &nv}, nil
+}

@@ -1,0 +1,525 @@
+// Package interp is a tree-walking interpreter for MiniPL with
+// instrumented memory: every read and write of a program variable is
+// observed, and the observations are aggregated per call site.
+//
+// Its purpose is dynamic validation of the static analyses: for any
+// execution, every variable observed to be modified (used) during the
+// dynamic extent of a call statement s must be a member of the
+// analyzer's MOD(s) (USE(s)) — the soundness direction of the paper's
+// flow-insensitive problem. The test suite runs this check over
+// generated program corpora.
+//
+// The runtime implements the semantics the analyses assume:
+// call-by-reference binds the formal to the actual's storage
+// (including array elements and strided array sections such as
+// A[*, j]), call-by-value copies, lexical scoping uses static links
+// (so a nested procedure sees the most recent activation of its
+// lexical parent), and locals are fresh per activation.
+//
+// Execution is bounded by a step budget and a recursion-depth limit;
+// exceeding either aborts the run but keeps the trace collected so
+// far, which remains a valid prefix of a real execution (generated
+// programs routinely contain unbounded recursion).
+package interp
+
+import (
+	"fmt"
+
+	"sideeffect/internal/lang/ast"
+	"sideeffect/internal/lang/token"
+)
+
+// Options bounds and parameterizes an execution.
+type Options struct {
+	// MaxSteps bounds executed statements+expressions (default 200k).
+	MaxSteps int
+	// MaxDepth bounds the call stack (default 200).
+	MaxDepth int
+	// Input supplies values for `read`; when exhausted, reads yield
+	// successive integers 1, 2, 3, …
+	Input []int
+}
+
+// Obs is the observation record for one call site: the caller-visible
+// names (qualified, as in ir.Variable.String()) seen modified or used
+// during the call's dynamic extent.
+type Obs struct {
+	Mod map[string]bool
+	Use map[string]bool
+}
+
+// Result is the outcome of one bounded execution.
+type Result struct {
+	// Steps is the number of evaluation steps consumed.
+	Steps int
+	// Aborted reports that a budget was exhausted (the trace is still
+	// a valid execution prefix).
+	Aborted bool
+	// Output collects the values printed by `write`.
+	Output []int
+	// Calls maps each executed call statement (by source position) to
+	// its aggregated observations across all executions of the site.
+	Calls map[token.Pos]*Obs
+}
+
+// Run executes a parsed program.
+func Run(prog *ast.Program, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 200_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 200
+	}
+	in := &interp{
+		opts: opts,
+		res:  &Result{Calls: map[token.Pos]*Obs{}},
+	}
+	if err := in.program(prog); err != nil {
+		if _, ok := err.(budgetExhausted); ok {
+			in.res.Aborted = true
+			return in.res, nil
+		}
+		return in.res, err
+	}
+	return in.res, nil
+}
+
+type budgetExhausted struct{}
+
+func (budgetExhausted) Error() string { return "interp: budget exhausted" }
+
+// runtimeError is a genuine semantic failure (unknown name, bad
+// subscript shape) — these indicate bugs in the caller's pipeline
+// since sem-validated programs cannot trigger them, except for
+// out-of-range subscripts, which are clamped instead (the analyses are
+// index-insensitive and generated subscripts are not).
+type runtimeError struct{ msg string }
+
+func (e runtimeError) Error() string { return "interp: " + e.msg }
+
+// --- Storage model -----------------------------------------------------
+
+// cell is one scalar storage location.
+type cell struct{ v int }
+
+// array is one array object (row-major).
+type array struct {
+	dims []int
+	data []cell
+}
+
+// view is a strided window onto an array: rank len(dims); element
+// (i_0.., i_{r-1}) lives at offset + Σ i_k·strides[k].
+type view struct {
+	arr     *array
+	offset  int
+	dims    []int
+	strides []int
+}
+
+func wholeView(a *array) view {
+	strides := make([]int, len(a.dims))
+	s := 1
+	for i := len(a.dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= a.dims[i]
+	}
+	return view{arr: a, dims: a.dims, strides: strides}
+}
+
+// clampIndex maps a 1-based MiniPL subscript into [0, extent).
+func clampIndex(i, extent int) int {
+	i-- // 1-based surface syntax
+	if i < 0 {
+		return 0
+	}
+	if i >= extent {
+		return extent - 1
+	}
+	return i
+}
+
+func (v view) cellAt(subs []int) *cell {
+	off := v.offset
+	for k, s := range subs {
+		off += clampIndex(s, v.dims[k]) * v.strides[k]
+	}
+	return &v.arr.data[off]
+}
+
+// binding is the storage bound to a name: exactly one of c or a view.
+type binding struct {
+	c   *cell
+	arr *view
+	// backing, when non-nil, is the array object the scalar cell c
+	// lives inside (an element passed by reference): writes through
+	// the binding are also writes to that array.
+	backing *array
+	// qualified is the diagnostic/observation name, e.g. "p.x" or "g".
+	qualified string
+}
+
+// --- Environments ------------------------------------------------------
+
+// scope is one activation record (or the global frame).
+type scope struct {
+	static *scope // lexical parent activation
+	owner  *ast.ProcDecl
+	names  map[string]*binding
+	procs  map[string]*ast.ProcDecl
+}
+
+func (s *scope) lookup(name string) *binding {
+	for sc := s; sc != nil; sc = sc.static {
+		if b, ok := sc.names[name]; ok {
+			return b
+		}
+	}
+	return nil
+}
+
+func (s *scope) lookupProc(name string) (*ast.ProcDecl, *scope) {
+	for sc := s; sc != nil; sc = sc.static {
+		if p, ok := sc.procs[name]; ok {
+			return p, sc
+		}
+	}
+	return nil, nil
+}
+
+// --- Interpreter -------------------------------------------------------
+
+type interp struct {
+	opts   Options
+	res    *Result
+	steps  int
+	depth  int
+	nextIn int
+	// recorders is the stack of active call observations; every event
+	// reports to each (a write inside nested calls belongs to every
+	// enclosing call's extent).
+	recorders []*Obs
+	// visible maps, per recorder, cells/arrays to the caller-visible
+	// qualified names at that call site (a location can be visible
+	// under several names when reference parameters alias).
+	visible []map[any][]string
+}
+
+func (in *interp) tick() error {
+	in.steps++
+	in.res.Steps = in.steps
+	if in.steps > in.opts.MaxSteps {
+		return budgetExhausted{}
+	}
+	return nil
+}
+
+func (in *interp) recordWrite(locs ...any) {
+	for i, rec := range in.recorders {
+		for _, loc := range locs {
+			for _, name := range in.visible[i][loc] {
+				rec.Mod[name] = true
+			}
+		}
+	}
+}
+
+func (in *interp) recordRead(locs ...any) {
+	for i, rec := range in.recorders {
+		for _, loc := range locs {
+			for _, name := range in.visible[i][loc] {
+				rec.Use[name] = true
+			}
+		}
+	}
+}
+
+func (in *interp) program(prog *ast.Program) error {
+	global := &scope{
+		names: map[string]*binding{},
+		procs: map[string]*ast.ProcDecl{},
+	}
+	for _, g := range prog.Globals {
+		global.names[g.Name] = makeVar(g, "")
+	}
+	for _, pd := range prog.Procs {
+		global.procs[pd.Name] = pd
+	}
+	if prog.Body == nil {
+		return nil
+	}
+	return in.block(prog.Body, global)
+}
+
+// makeVar allocates storage for a declaration; ownerPrefix qualifies
+// the observation name ("" for globals).
+func makeVar(d *ast.VarDecl, ownerPrefix string) *binding {
+	q := ownerPrefix + d.Name
+	if len(d.Dims) == 0 {
+		return &binding{c: &cell{}, qualified: q}
+	}
+	size := 1
+	for _, e := range d.Dims {
+		size *= e
+	}
+	a := &array{dims: d.Dims, data: make([]cell, size)}
+	v := wholeView(a)
+	return &binding{arr: &v, qualified: q}
+}
+
+func (in *interp) block(b *ast.Block, sc *scope) error {
+	for _, s := range b.Stmts {
+		if err := in.stmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) stmt(s ast.Stmt, sc *scope) error {
+	if err := in.tick(); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *ast.Block:
+		return in.block(s, sc)
+	case *ast.Assign:
+		v, err := in.expr(s.Value, sc)
+		if err != nil {
+			return err
+		}
+		return in.assign(s.Target, v, sc)
+	case *ast.Read:
+		var v int
+		if in.nextIn < len(in.opts.Input) {
+			v = in.opts.Input[in.nextIn]
+		} else {
+			v = in.nextIn - len(in.opts.Input) + 1
+		}
+		in.nextIn++
+		return in.assign(s.Target, v, sc)
+	case *ast.Write:
+		v, err := in.expr(s.Value, sc)
+		if err != nil {
+			return err
+		}
+		in.res.Output = append(in.res.Output, v)
+		return nil
+	case *ast.If:
+		c, err := in.expr(s.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return in.block(s.Then, sc)
+		}
+		if s.Else != nil {
+			return in.block(s.Else, sc)
+		}
+		return nil
+	case *ast.While:
+		for {
+			c, err := in.expr(s.Cond, sc)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := in.block(s.Body, sc); err != nil {
+				return err
+			}
+			if err := in.tick(); err != nil {
+				return err
+			}
+		}
+	case *ast.For:
+		lo, err := in.expr(s.Lo, sc)
+		if err != nil {
+			return err
+		}
+		hi, err := in.expr(s.Hi, sc)
+		if err != nil {
+			return err
+		}
+		for i := lo; i <= hi; i++ {
+			if err := in.assign(s.Index, i, sc); err != nil {
+				return err
+			}
+			if err := in.block(s.Body, sc); err != nil {
+				return err
+			}
+			if err := in.tick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.Repeat:
+		for {
+			if err := in.block(s.Body, sc); err != nil {
+				return err
+			}
+			c, err := in.expr(s.Cond, sc)
+			if err != nil {
+				return err
+			}
+			if c != 0 {
+				return nil
+			}
+			if err := in.tick(); err != nil {
+				return err
+			}
+		}
+	case *ast.Call:
+		return in.call(s, sc)
+	default:
+		return runtimeError{fmt.Sprintf("unknown statement %T", s)}
+	}
+}
+
+func (in *interp) assign(t *ast.VarRef, v int, sc *scope) error {
+	b := sc.lookup(t.Name)
+	if b == nil {
+		return runtimeError{fmt.Sprintf("%s: undefined %q", t.Pos, t.Name)}
+	}
+	if len(t.Subs) == 0 {
+		if b.c == nil {
+			return runtimeError{fmt.Sprintf("%s: array %q assigned as scalar", t.Pos, t.Name)}
+		}
+		b.c.v = v
+		if b.backing != nil {
+			in.recordWrite(b.c, b.backing)
+		} else {
+			in.recordWrite(b.c)
+		}
+		return nil
+	}
+	if b.arr == nil || len(t.Subs) != len(b.arr.dims) {
+		return runtimeError{fmt.Sprintf("%s: bad subscripts for %q", t.Pos, t.Name)}
+	}
+	subs := make([]int, len(t.Subs))
+	for i, e := range t.Subs {
+		x, err := in.expr(e, sc)
+		if err != nil {
+			return err
+		}
+		subs[i] = x
+	}
+	c := b.arr.cellAt(subs)
+	c.v = v
+	in.recordWrite(b.arr.arr)
+	return nil
+}
+
+func (in *interp) expr(e ast.Expr, sc *scope) (int, error) {
+	if err := in.tick(); err != nil {
+		return 0, err
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.VarRef:
+		b := sc.lookup(e.Name)
+		if b == nil {
+			return 0, runtimeError{fmt.Sprintf("%s: undefined %q", e.Pos, e.Name)}
+		}
+		if len(e.Subs) == 0 {
+			if b.c == nil {
+				return 0, runtimeError{fmt.Sprintf("%s: whole array %q in expression", e.Pos, e.Name)}
+			}
+			if b.backing != nil {
+				in.recordRead(b.c, b.backing)
+			} else {
+				in.recordRead(b.c)
+			}
+			return b.c.v, nil
+		}
+		if b.arr == nil || len(e.Subs) != len(b.arr.dims) {
+			return 0, runtimeError{fmt.Sprintf("%s: bad subscripts for %q", e.Pos, e.Name)}
+		}
+		subs := make([]int, len(e.Subs))
+		for i, se := range e.Subs {
+			x, err := in.expr(se, sc)
+			if err != nil {
+				return 0, err
+			}
+			subs[i] = x
+		}
+		in.recordRead(b.arr.arr)
+		return b.arr.cellAt(subs).v, nil
+	case *ast.Unary:
+		x, err := in.expr(e.X, sc)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == token.MINUS {
+			return -x, nil
+		}
+		if x == 0 {
+			return 1, nil // not
+		}
+		return 0, nil
+	case *ast.Binary:
+		l, err := in.expr(e.L, sc)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit booleans.
+		switch e.Op {
+		case token.AND:
+			if l == 0 {
+				return 0, nil
+			}
+		case token.OR:
+			if l != 0 {
+				return 1, nil
+			}
+		}
+		r, err := in.expr(e.R, sc)
+		if err != nil {
+			return 0, err
+		}
+		return apply(e.Op, l, r), nil
+	default:
+		return 0, runtimeError{fmt.Sprintf("unknown expression %T", e)}
+	}
+}
+
+func apply(op token.Kind, l, r int) int {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.PLUS:
+		return l + r
+	case token.MINUS:
+		return l - r
+	case token.STAR:
+		return l * r
+	case token.SLASH:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case token.EQ:
+		return b2i(l == r)
+	case token.NEQ:
+		return b2i(l != r)
+	case token.LT:
+		return b2i(l < r)
+	case token.LE:
+		return b2i(l <= r)
+	case token.GT:
+		return b2i(l > r)
+	case token.GE:
+		return b2i(l >= r)
+	case token.AND:
+		return b2i(l != 0 && r != 0)
+	case token.OR:
+		return b2i(l != 0 || r != 0)
+	}
+	return 0
+}

@@ -1,0 +1,483 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"sideeffect/internal/lang/ast"
+	"sideeffect/internal/lang/parser"
+)
+
+func run(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	tree, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(tree, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestArithmeticAndWrite(t *testing.T) {
+	res := run(t, `
+program a;
+global x;
+begin
+  x := 2 + 3 * 4;
+  write x;
+  write (2 + 3) * 4;
+  write -x;
+  write x / 2;
+  write x / 0;
+  write 7 - 2 - 1
+end.
+`, Options{})
+	want := []int{14, 20, -14, 7, 0, 4}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestComparisonsAndBoolean(t *testing.T) {
+	res := run(t, `
+program b;
+global x;
+begin
+  x := 5;
+  write x = 5;
+  write x <> 5;
+  write x < 9 and x > 2;
+  write x < 2 or x >= 5;
+  write not (x = 5);
+  write x <= 5;
+  write x > 5
+end.
+`, Options{})
+	want := []int{1, 0, 1, 1, 0, 1, 0}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+program c;
+global s, i;
+begin
+  s := 0;
+  for i := 1 to 5 do s := s + i end;
+  write s;
+  while s > 10 do s := s - 4 end;
+  write s;
+  if s = 7 then write 100 else write 200 end;
+  if s = 8 then write 300 end
+end.
+`, Options{})
+	want := []int{15, 7, 100}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestSwapByReference(t *testing.T) {
+	res := run(t, `
+program s;
+global x, y;
+proc swap(ref a, ref b)
+  var t;
+begin
+  t := a; a := b; b := t
+end;
+begin
+  x := 1; y := 2;
+  call swap(x, y);
+  write x; write y
+end.
+`, Options{})
+	if !reflect.DeepEqual(res.Output, []int{2, 1}) {
+		t.Errorf("output = %v, want [2 1]", res.Output)
+	}
+}
+
+func TestValCopyDoesNotEscape(t *testing.T) {
+	res := run(t, `
+program v;
+global x;
+proc bump(val n) begin n := n + 1; write n end;
+begin
+  x := 10;
+  call bump(x);
+  write x
+end.
+`, Options{})
+	if !reflect.DeepEqual(res.Output, []int{11, 10}) {
+		t.Errorf("output = %v, want [11 10]", res.Output)
+	}
+}
+
+func TestArraysAndSections(t *testing.T) {
+	res := run(t, `
+program arr;
+global A[3, 3], r;
+proc setcol(ref c[*], val v)
+  var i;
+begin
+  for i := 1 to 3 do c[i] := v end
+end;
+proc setelem(ref e, val v) begin e := v end;
+begin
+  call setcol(A[*, 2], 7);
+  call setelem(A[1, 1], 9);
+  for r := 1 to 3 do
+    write A[r, 1]; write A[r, 2]; write A[r, 3]
+  end
+end.
+`, Options{})
+	want := []int{
+		9, 7, 0,
+		0, 7, 0,
+		0, 7, 0,
+	}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("grid = %v, want %v", res.Output, want)
+	}
+}
+
+func TestRowSectionStrides(t *testing.T) {
+	res := run(t, `
+program rows;
+global A[2, 3], j;
+proc fillrow(ref r[*], val base)
+  var i;
+begin
+  for i := 1 to 3 do r[i] := base + i end
+end;
+begin
+  call fillrow(A[1, *], 10);
+  call fillrow(A[2, *], 20);
+  for j := 1 to 3 do write A[1, j] end;
+  for j := 1 to 3 do write A[2, j] end
+end.
+`, Options{})
+	want := []int{11, 12, 13, 21, 22, 23}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestNestedStaticLinks(t *testing.T) {
+	// inner sees the CURRENT activation of outer's local; a second
+	// call to outer starts fresh.
+	res := run(t, `
+program n;
+global out1, out2;
+proc outer(val seed, ref sink)
+  var acc;
+  proc inner()
+  begin
+    acc := acc + seed
+  end;
+begin
+  acc := 0;
+  call inner();
+  call inner();
+  sink := acc
+end;
+begin
+  call outer(5, out1);
+  call outer(7, out2);
+  write out1; write out2
+end.
+`, Options{})
+	if !reflect.DeepEqual(res.Output, []int{10, 14}) {
+		t.Errorf("output = %v, want [10 14]", res.Output)
+	}
+}
+
+func TestRecursionFactorial(t *testing.T) {
+	res := run(t, `
+program f;
+global result;
+proc fact(val n, ref out)
+  var sub;
+begin
+  if n <= 1 then
+    out := 1
+  else
+    call fact(n - 1, sub);
+    out := n * sub
+  end
+end;
+begin
+  call fact(6, result);
+  write result
+end.
+`, Options{})
+	if !reflect.DeepEqual(res.Output, []int{720}) {
+		t.Errorf("output = %v, want [720]", res.Output)
+	}
+}
+
+func TestInfiniteRecursionAborts(t *testing.T) {
+	res := run(t, `
+program i;
+proc loop() begin call loop() end;
+begin call loop() end.
+`, Options{MaxDepth: 50})
+	if !res.Aborted {
+		t.Error("runaway recursion did not abort")
+	}
+}
+
+func TestInfiniteLoopAborts(t *testing.T) {
+	res := run(t, `
+program w;
+global x;
+begin
+  x := 1;
+  while x > 0 do x := x + 1 end
+end.
+`, Options{MaxSteps: 5000})
+	if !res.Aborted {
+		t.Error("runaway loop did not abort")
+	}
+}
+
+func TestReadInput(t *testing.T) {
+	res := run(t, `
+program r;
+global a, b, c;
+begin
+  read a; read b; read c;
+  write a + b + c
+end.
+`, Options{Input: []int{10, 20}})
+	// Third read falls back to the synthetic stream 1, 2, 3, …
+	if !reflect.DeepEqual(res.Output, []int{31}) {
+		t.Errorf("output = %v, want [31]", res.Output)
+	}
+}
+
+func TestObservationsBasic(t *testing.T) {
+	tree, err := parser.Parse(`
+program o;
+global g, h;
+proc setg(ref x) begin x := h end;
+begin
+  call setg(g)
+end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Calls) != 1 {
+		t.Fatalf("calls observed = %d", len(res.Calls))
+	}
+	for _, obs := range res.Calls {
+		if !obs.Mod["g"] {
+			t.Errorf("Mod = %v, want g", obs.Mod)
+		}
+		if obs.Mod["h"] {
+			t.Errorf("Mod = %v, h not written", obs.Mod)
+		}
+		if !obs.Use["h"] {
+			t.Errorf("Use = %v, want h", obs.Use)
+		}
+	}
+}
+
+func TestObservationAliasedNames(t *testing.T) {
+	// g is passed by reference, so inside driver the write through the
+	// formal is a write to g under BOTH names.
+	tree, err := parser.Parse(`
+program al;
+global g;
+proc set(ref y) begin y := 1 end;
+proc driver(ref x)
+begin
+  call set(x)
+end;
+begin
+  call driver(g)
+end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inner call site (inside driver) must observe both driver.x
+	// and g modified — the alias situation Section 5 factors in.
+	var innerObs *Obs
+	for pos, obs := range res.Calls {
+		if pos.Line == 7 { // call set(x)
+			innerObs = obs
+		}
+	}
+	if innerObs == nil {
+		t.Fatal("inner call not observed")
+	}
+	if !innerObs.Mod["driver.x"] || !innerObs.Mod["g"] {
+		t.Errorf("inner Mod = %v, want driver.x and g", innerObs.Mod)
+	}
+}
+
+func TestCalleeLocalsNotObserved(t *testing.T) {
+	tree, err := parser.Parse(`
+program l;
+proc work()
+  var t;
+begin
+  t := 1
+end;
+begin call work() end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obs := range res.Calls {
+		if len(obs.Mod) != 0 {
+			t.Errorf("Mod = %v, want empty (locals are invisible at the site)", obs.Mod)
+		}
+	}
+}
+
+func TestSubscriptClamping(t *testing.T) {
+	res := run(t, `
+program cl;
+global A[3];
+begin
+  A[0] := 5;
+  A[99] := 9;
+  write A[1]; write A[3]
+end.
+`, Options{})
+	if !reflect.DeepEqual(res.Output, []int{5, 9}) {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestRuntimeErrorUnknownName(t *testing.T) {
+	// Bypass sem (which would reject this) to exercise the runtime
+	// diagnostic path.
+	tree := &ast.Program{
+		Body: &ast.Block{Stmts: []ast.Stmt{
+			&ast.Assign{Target: &ast.VarRef{Name: "nope"}, Value: &ast.IntLit{Value: 1}},
+		}},
+	}
+	if _, err := Run(tree, Options{}); err == nil {
+		t.Error("undefined variable did not error")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	// These bypass sem (which would reject them statically) to
+	// exercise the interpreter's own diagnostics.
+	cases := []struct {
+		name string
+		prog *ast.Program
+	}{
+		{"call undefined", &ast.Program{Body: &ast.Block{Stmts: []ast.Stmt{
+			&ast.Call{Name: "nope"},
+		}}}},
+		{"arity mismatch", &ast.Program{
+			Procs: []*ast.ProcDecl{{Name: "p", Params: []*ast.Param{{Mode: ast.ByRef, Name: "x"}}, Body: &ast.Block{}}},
+			Body: &ast.Block{Stmts: []ast.Stmt{
+				&ast.Call{Name: "p"},
+			}},
+		}},
+		{"ref arg not variable", &ast.Program{
+			Procs: []*ast.ProcDecl{{Name: "p", Params: []*ast.Param{{Mode: ast.ByRef, Name: "x"}}, Body: &ast.Block{}}},
+			Body: &ast.Block{Stmts: []ast.Stmt{
+				&ast.Call{Name: "p", Args: []*ast.Arg{{Value: &ast.IntLit{Value: 1}}}},
+			}},
+		}},
+		{"undefined in expr", &ast.Program{
+			Globals: []*ast.VarDecl{{Name: "x"}},
+			Body: &ast.Block{Stmts: []ast.Stmt{
+				&ast.Assign{Target: &ast.VarRef{Name: "x"}, Value: &ast.VarRef{Name: "ghost"}},
+			}},
+		}},
+		{"scalar subscripted", &ast.Program{
+			Globals: []*ast.VarDecl{{Name: "x"}},
+			Body: &ast.Block{Stmts: []ast.Stmt{
+				&ast.Assign{Target: &ast.VarRef{Name: "x", Subs: []ast.Expr{&ast.IntLit{Value: 1}}},
+					Value: &ast.IntLit{Value: 1}},
+			}},
+		}},
+		{"array as scalar", &ast.Program{
+			Globals: []*ast.VarDecl{{Name: "A", Dims: []int{3}}},
+			Body: &ast.Block{Stmts: []ast.Stmt{
+				&ast.Assign{Target: &ast.VarRef{Name: "A"}, Value: &ast.IntLit{Value: 1}},
+			}},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.prog, Options{}); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestWriteOutputOrder(t *testing.T) {
+	res := run(t, `
+program wo;
+global i;
+begin
+  for i := 1 to 3 do write i * 10 end
+end.
+`, Options{})
+	if !reflect.DeepEqual(res.Output, []int{10, 20, 30}) {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestRepeatUntil(t *testing.T) {
+	res := run(t, `
+program ru;
+global x, sum;
+begin
+  x := 5;
+  sum := 0;
+  repeat
+    sum := sum + x;
+    x := x - 1
+  until x = 0;
+  write sum;
+  { body runs at least once even when the condition starts true }
+  repeat
+    sum := sum + 100
+  until sum > 0;
+  write sum
+end.
+`, Options{})
+	if !reflect.DeepEqual(res.Output, []int{15, 115}) {
+		t.Errorf("output = %v, want [15 115]", res.Output)
+	}
+}
+
+func TestRepeatAborts(t *testing.T) {
+	res := run(t, `
+program ra;
+global x;
+begin
+  repeat x := x + 1 until x < 0
+end.
+`, Options{MaxSteps: 2000})
+	if !res.Aborted {
+		t.Error("endless repeat did not abort")
+	}
+}

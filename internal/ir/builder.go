@@ -1,0 +1,372 @@
+package ir
+
+import (
+	"fmt"
+
+	"sideeffect/internal/bitset"
+	"sideeffect/internal/lang/token"
+)
+
+// Builder constructs Programs with dense, consistent IDs. It is used
+// by the MiniPL semantic analyzer and by the synthetic workload
+// generators. Methods panic on structural misuse (these are internal
+// construction bugs, not user-input errors; user-input validation
+// happens in the semantic analyzer).
+type Builder struct {
+	prog     *Program
+	finished bool
+}
+
+// NewBuilder starts a program named name and creates its main
+// procedure.
+func NewBuilder(name string) *Builder {
+	b := &Builder{prog: &Program{Name: name}}
+	main := &Procedure{ID: 0, Name: "$main", IsMain: true, IMOD: bitset.New(0), IUSE: bitset.New(0)}
+	b.prog.Procs = append(b.prog.Procs, main)
+	b.prog.Main = main
+	return b
+}
+
+// Main returns the program's main procedure.
+func (b *Builder) Main() *Procedure { return b.prog.Main }
+
+func (b *Builder) addVar(v *Variable) *Variable {
+	v.ID = len(b.prog.Vars)
+	b.prog.Vars = append(b.prog.Vars, v)
+	return v
+}
+
+// Global declares a program-level global variable.
+func (b *Builder) Global(name string, dims ...int) *Variable {
+	return b.addVar(&Variable{Name: name, Kind: Global, Ordinal: -1, Dims: dims})
+}
+
+// Proc declares a procedure. parent is the lexical parent (nil for a
+// top-level declaration; pass b.Main() to nest inside the main
+// program's scope only if the language allows it — MiniPL does not,
+// so sem always passes nil or another procedure).
+func (b *Builder) Proc(name string, parent *Procedure) *Procedure {
+	p := &Procedure{
+		ID:   len(b.prog.Procs),
+		Name: name,
+		IMOD: bitset.New(0),
+		IUSE: bitset.New(0),
+	}
+	if parent != nil {
+		p.Parent = parent
+		p.Level = parent.Level + 1
+		parent.Nested = append(parent.Nested, p)
+	}
+	b.prog.Procs = append(b.prog.Procs, p)
+	return p
+}
+
+// Formal declares the next formal parameter of p. kind must be
+// FormalRef or FormalVal; rank > 0 declares an array formal.
+func (b *Builder) Formal(p *Procedure, name string, kind VarKind, rank int) *Variable {
+	if kind != FormalRef && kind != FormalVal {
+		panic(fmt.Sprintf("ir: Formal(%s.%s): kind %v", p.Name, name, kind))
+	}
+	dims := make([]int, rank)
+	v := b.addVar(&Variable{Name: name, Kind: kind, Owner: p, Ordinal: len(p.Formals), Dims: dims})
+	p.Formals = append(p.Formals, v)
+	return v
+}
+
+// Local declares a local variable of p.
+func (b *Builder) Local(p *Procedure, name string, dims ...int) *Variable {
+	v := b.addVar(&Variable{Name: name, Kind: Local, Owner: p, Ordinal: -1, Dims: dims})
+	p.Locals = append(p.Locals, v)
+	return v
+}
+
+// Mod records that p's own statements modify v (contributes to
+// IMOD(p)).
+func (b *Builder) Mod(p *Procedure, v *Variable) {
+	p.IMOD.Add(v.ID)
+}
+
+// Use records that p's own statements use v (contributes to IUSE(p)).
+func (b *Builder) Use(p *Procedure, v *Variable) {
+	p.IUSE.Add(v.ID)
+}
+
+// Access records a direct array access of p for regular section
+// analysis (and also records the Mod/Use fact).
+func (b *Builder) Access(p *Procedure, v *Variable, subs []Sub, mod bool, pos token.Pos) {
+	p.Accesses = append(p.Accesses, ArrayAccess{Var: v, Subs: subs, Mod: mod, Pos: pos})
+	if mod {
+		b.Mod(p, v)
+	} else {
+		b.Use(p, v)
+	}
+	for _, s := range subs {
+		if s.Kind == SubSym {
+			b.Use(p, s.Sym)
+		}
+	}
+}
+
+// Call records a call site in caller invoking callee with the given
+// actuals. Actual arity must match callee's formal arity.
+func (b *Builder) Call(caller, callee *Procedure, args []Actual, pos token.Pos) *CallSite {
+	if len(args) != len(callee.Formals) {
+		panic(fmt.Sprintf("ir: call %s→%s: %d actuals for %d formals",
+			caller.Name, callee.Name, len(args), len(callee.Formals)))
+	}
+	cs := &CallSite{
+		ID:     len(b.prog.Sites),
+		Caller: caller,
+		Callee: callee,
+		Args:   args,
+		Pos:    pos,
+	}
+	b.prog.Sites = append(b.prog.Sites, cs)
+	caller.Calls = append(caller.Calls, cs)
+	// Argument evaluation happens in the caller: record the uses.
+	for _, a := range args {
+		for _, u := range a.Uses {
+			b.Use(caller, u)
+		}
+	}
+	return cs
+}
+
+// Finish validates and returns the program. The Builder must not be
+// used afterwards.
+func (b *Builder) Finish() (*Program, error) {
+	if b.finished {
+		return nil, fmt.Errorf("ir: Finish called twice")
+	}
+	b.finished = true
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustFinish is Finish for construction paths (generators, tests)
+// where a validation failure is a bug.
+func (b *Builder) MustFinish() *Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate checks internal consistency of the program model: dense
+// IDs, argument/formal arity and mode agreement, visibility of actual
+// variables at their call sites, and scope sanity of IMOD/IUSE.
+func (p *Program) Validate() error {
+	for i, v := range p.Vars {
+		if v.ID != i {
+			return fmt.Errorf("ir: variable %q has ID %d at index %d", v.Name, v.ID, i)
+		}
+		if v.IsFormal() != (v.Ordinal >= 0) {
+			return fmt.Errorf("ir: variable %s: ordinal %d inconsistent with kind %v", v, v.Ordinal, v.Kind)
+		}
+	}
+	for i, q := range p.Procs {
+		if q.ID != i {
+			return fmt.Errorf("ir: procedure %q has ID %d at index %d", q.Name, q.ID, i)
+		}
+		if q.Parent != nil && q.Level != q.Parent.Level+1 {
+			return fmt.Errorf("ir: procedure %s: level %d under parent level %d", q.Name, q.Level, q.Parent.Level)
+		}
+		for j, f := range q.Formals {
+			if f.Ordinal != j || f.Owner != q {
+				return fmt.Errorf("ir: formal %s of %s misnumbered", f.Name, q.Name)
+			}
+		}
+		var badIMOD error
+		check := func(set *bitset.Set, what string) {
+			set.ForEach(func(id int) {
+				if badIMOD != nil {
+					return
+				}
+				if id >= len(p.Vars) {
+					badIMOD = fmt.Errorf("ir: %s(%s) contains out-of-range variable %d", what, q.Name, id)
+					return
+				}
+				if !q.Visible(p.Vars[id]) {
+					badIMOD = fmt.Errorf("ir: %s(%s) contains invisible variable %s", what, q.Name, p.Vars[id])
+				}
+			})
+		}
+		check(q.IMOD, "IMOD")
+		check(q.IUSE, "IUSE")
+		if badIMOD != nil {
+			return badIMOD
+		}
+	}
+	for i, cs := range p.Sites {
+		if cs.ID != i {
+			return fmt.Errorf("ir: call site %s has ID %d at index %d", cs, cs.ID, i)
+		}
+		if len(cs.Args) != len(cs.Callee.Formals) {
+			return fmt.Errorf("ir: call site %s: arity mismatch", cs)
+		}
+		for j, a := range cs.Args {
+			f := cs.Callee.Formals[j]
+			if a.Mode != f.Kind {
+				return fmt.Errorf("ir: call site %s arg %d: mode %v for formal kind %v", cs, j, a.Mode, f.Kind)
+			}
+			if a.Mode == FormalRef && a.Var == nil {
+				return fmt.Errorf("ir: call site %s arg %d: ref actual is not a variable", cs, j)
+			}
+			if a.Var != nil && !cs.Caller.Visible(a.Var) {
+				return fmt.Errorf("ir: call site %s arg %d: %s not visible in %s", cs, j, a.Var, cs.Caller.Name)
+			}
+			if a.Var != nil && a.Subs != nil && len(a.Subs) != a.Var.Rank() {
+				return fmt.Errorf("ir: call site %s arg %d: %d subscripts for rank-%d %s",
+					cs, j, len(a.Subs), a.Var.Rank(), a.Var)
+			}
+			if a.Mode == FormalRef && a.Rank() != f.Rank() {
+				return fmt.Errorf("ir: call site %s arg %d: rank %d actual for rank %d formal",
+					cs, j, a.Rank(), f.Rank())
+			}
+		}
+	}
+	return nil
+}
+
+// Prune returns a copy of the program with every procedure that is
+// unreachable from main removed (along with its variables and call
+// sites), implementing the linear-time clean-up step the paper assumes
+// before the nesting arguments of Section 3.3. The original program is
+// not modified.
+func (p *Program) Prune() *Program {
+	reach := p.ReachableProcs()
+	// A nested procedure's parent chain must be retained even if the
+	// parent is itself unreachable as a call target... by the paper's
+	// argument this cannot happen for reachable children (a nested
+	// procedure is reachable only through its parent's scope), but we
+	// keep the model consistent regardless.
+	for _, q := range p.Procs {
+		if reach[q.ID] {
+			for a := q.Parent; a != nil && !reach[a.ID]; a = a.Parent {
+				reach[a.ID] = true
+			}
+		}
+	}
+
+	np := &Program{Name: p.Name}
+	procMap := make(map[*Procedure]*Procedure)
+	varMap := make(map[*Variable]*Variable)
+
+	// Clone procedures in original ID order (parents precede children
+	// in MiniPL construction order; guard anyway).
+	var cloneProc func(q *Procedure) *Procedure
+	cloneProc = func(q *Procedure) *Procedure {
+		if n, ok := procMap[q]; ok {
+			return n
+		}
+		n := &Procedure{
+			Name:   q.Name,
+			IsMain: q.IsMain,
+			Level:  q.Level,
+			Pos:    q.Pos,
+			IMOD:   bitset.New(0),
+			IUSE:   bitset.New(0),
+		}
+		procMap[q] = n
+		if q.Parent != nil {
+			par := cloneProc(q.Parent)
+			n.Parent = par
+			par.Nested = append(par.Nested, n)
+		}
+		n.ID = len(np.Procs)
+		np.Procs = append(np.Procs, n)
+		return n
+	}
+	// Keep globals (even unused ones: they are part of the universe).
+	for _, v := range p.Vars {
+		if v.Kind == Global {
+			nv := &Variable{Name: v.Name, Kind: Global, Ordinal: -1, Dims: v.Dims, Pos: v.Pos}
+			nv.ID = len(np.Vars)
+			np.Vars = append(np.Vars, nv)
+			varMap[v] = nv
+		}
+	}
+	for _, q := range p.Procs {
+		if !reach[q.ID] {
+			continue
+		}
+		n := cloneProc(q)
+		for _, f := range q.Formals {
+			nv := &Variable{Name: f.Name, Kind: f.Kind, Owner: n, Ordinal: f.Ordinal, Dims: f.Dims, Pos: f.Pos}
+			nv.ID = len(np.Vars)
+			np.Vars = append(np.Vars, nv)
+			n.Formals = append(n.Formals, nv)
+			varMap[f] = nv
+		}
+		for _, l := range q.Locals {
+			nv := &Variable{Name: l.Name, Kind: Local, Owner: n, Ordinal: -1, Dims: l.Dims, Pos: l.Pos}
+			nv.ID = len(np.Vars)
+			np.Vars = append(np.Vars, nv)
+			n.Locals = append(n.Locals, nv)
+			varMap[l] = nv
+		}
+	}
+	np.Main = procMap[p.Main]
+	// Second pass: facts and call sites.
+	for _, q := range p.Procs {
+		if !reach[q.ID] {
+			continue
+		}
+		n := procMap[q]
+		q.IMOD.ForEach(func(id int) {
+			if nv, ok := varMap[p.Vars[id]]; ok {
+				n.IMOD.Add(nv.ID)
+			}
+		})
+		q.IUSE.ForEach(func(id int) {
+			if nv, ok := varMap[p.Vars[id]]; ok {
+				n.IUSE.Add(nv.ID)
+			}
+		})
+		for _, acc := range q.Accesses {
+			na := ArrayAccess{Var: varMap[acc.Var], Mod: acc.Mod, Pos: acc.Pos}
+			for _, s := range acc.Subs {
+				ns := s
+				if s.Kind == SubSym {
+					ns.Sym = varMap[s.Sym]
+				}
+				na.Subs = append(na.Subs, ns)
+			}
+			n.Accesses = append(n.Accesses, na)
+		}
+	}
+	for _, cs := range p.Sites {
+		if !reach[cs.Caller.ID] || !reach[cs.Callee.ID] {
+			continue
+		}
+		ncs := &CallSite{
+			ID:     len(np.Sites),
+			Caller: procMap[cs.Caller],
+			Callee: procMap[cs.Callee],
+			Pos:    cs.Pos,
+		}
+		for _, a := range cs.Args {
+			na := Actual{Mode: a.Mode}
+			if a.Var != nil {
+				na.Var = varMap[a.Var]
+			}
+			for _, s := range a.Subs {
+				ns := s
+				if s.Kind == SubSym {
+					ns.Sym = varMap[s.Sym]
+				}
+				na.Subs = append(na.Subs, ns)
+			}
+			for _, u := range a.Uses {
+				na.Uses = append(na.Uses, varMap[u])
+			}
+			ncs.Args = append(ncs.Args, na)
+		}
+		np.Sites = append(np.Sites, ncs)
+		ncs.Caller.Calls = append(ncs.Caller.Calls, ncs)
+	}
+	return np
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"sideeffect/internal/lang/token"
+)
+
+func TestVariableStringAndPredicates(t *testing.T) {
+	b := NewBuilder("m")
+	g := b.Global("g")
+	p := b.Proc("p", nil)
+	f := b.Formal(p, "x", FormalRef, 0)
+	l := b.Local(p, "t")
+	if g.String() != "g" || f.String() != "p.x" || l.String() != "p.t" {
+		t.Errorf("String: %q %q %q", g, f, l)
+	}
+	if !g.IsGlobal() || f.IsGlobal() {
+		t.Error("IsGlobal wrong")
+	}
+	if !f.IsFormal() || g.IsFormal() || l.IsFormal() {
+		t.Error("IsFormal wrong")
+	}
+}
+
+func TestCallSiteString(t *testing.T) {
+	b := NewBuilder("m")
+	p := b.Proc("p", nil)
+	cs := b.Call(b.Main(), p, nil, token.Pos{})
+	if got := cs.String(); !strings.Contains(got, "$main") || !strings.Contains(got, "p") {
+		t.Errorf("CallSite.String = %q", got)
+	}
+}
+
+func TestMaxLevel(t *testing.T) {
+	b := NewBuilder("m")
+	p := b.Proc("p", nil)
+	q := b.Proc("q", p)
+	r := b.Proc("r", q)
+	_ = r
+	prog := b.MustFinish()
+	if prog.MaxLevel() != 2 {
+		t.Errorf("MaxLevel = %d, want 2", prog.MaxLevel())
+	}
+	flat := NewBuilder("f").MustFinish()
+	if flat.MaxLevel() != 0 {
+		t.Errorf("flat MaxLevel = %d", flat.MaxLevel())
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	prog := NewBuilder("m").MustFinish()
+	if prog.Proc("nope") != nil {
+		t.Error("Proc miss returned non-nil")
+	}
+	if prog.Var("nope") != nil {
+		t.Error("Var miss returned non-nil")
+	}
+}
+
+func TestVarKindStringAll(t *testing.T) {
+	for k, want := range map[VarKind]string{
+		Global: "global", Local: "local",
+		FormalRef: "ref formal", FormalVal: "val formal",
+		VarKind(99): "VarKind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("VarKind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestMustFinishPanicsOnInvalid(t *testing.T) {
+	b := NewBuilder("bad")
+	g := b.Global("g")
+	q := b.Proc("q", nil)
+	b.Formal(q, "y", FormalRef, 0)
+	// Mode mismatch slips past Call's arity check and must be caught
+	// by Validate inside MustFinish.
+	b.Call(b.Main(), q, []Actual{{Mode: FormalVal, Var: g, Uses: []*Variable{g}}}, g.Pos)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinish did not panic on invalid program")
+		}
+	}()
+	b.MustFinish()
+}
+
+func TestFormalPanicsOnBadKind(t *testing.T) {
+	b := NewBuilder("bad")
+	p := b.Proc("p", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Formal with kind Global did not panic")
+		}
+	}()
+	b.Formal(p, "x", Global, 0)
+}
+
+func TestValidateCatchesBadIMOD(t *testing.T) {
+	b := NewBuilder("bad")
+	p := b.Proc("p", nil)
+	q := b.Proc("q", nil)
+	lq := b.Local(q, "t")
+	// p cannot see q's local; poke it in directly.
+	p.IMOD.Add(lq.ID)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "invisible") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesSubscriptArity(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Global("A", 4, 4)
+	q := b.Proc("q", nil)
+	b.Formal(q, "e", FormalRef, 0)
+	// One subscript for a rank-2 array.
+	b.Call(b.Main(), q, []Actual{{Mode: FormalRef, Var: a,
+		Subs: []Sub{{Kind: SubConst, Const: 1}}}}, a.Pos)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "subscripts") {
+		t.Errorf("err = %v", err)
+	}
+}

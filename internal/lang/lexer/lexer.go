@@ -1,0 +1,193 @@
+// Package lexer turns MiniPL source text into a token stream.
+//
+// Comments are Pascal-style braces `{ ... }` and may span lines; they
+// do not nest. Identifiers are ASCII letters/digits/underscores
+// starting with a letter; keywords are case-sensitive (lower case).
+package lexer
+
+import (
+	"fmt"
+
+	"sideeffect/internal/lang/token"
+)
+
+// Lexer scans MiniPL source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: lex: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) skipBlanksAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '{':
+			start := token.Pos{Line: l.line, Col: l.col}
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.advance() == '}' {
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				l.errorf(start, "unterminated comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF tokens
+// forever.
+func (l *Lexer) Next() token.Token {
+	l.skipBlanksAndComments()
+	pos := token.Pos{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: k, Text: text, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.INT, Text: l.src[start:l.off], Pos: pos}
+	}
+	one := func(k token.Kind) token.Token {
+		l.advance()
+		return token.Token{Kind: k, Text: string(c), Pos: pos}
+	}
+	switch c {
+	case '(':
+		return one(token.LPAREN)
+	case ')':
+		return one(token.RPAREN)
+	case '[':
+		return one(token.LBRACKET)
+	case ']':
+		return one(token.RBRACKET)
+	case ',':
+		return one(token.COMMA)
+	case ';':
+		return one(token.SEMICOLON)
+	case '.':
+		return one(token.PERIOD)
+	case '*':
+		return one(token.STAR)
+	case '+':
+		return one(token.PLUS)
+	case '-':
+		return one(token.MINUS)
+	case '/':
+		return one(token.SLASH)
+	case '=':
+		return one(token.EQ)
+	case ':':
+		if l.peek2() == '=' {
+			l.advance()
+			l.advance()
+			return token.Token{Kind: token.ASSIGN, Text: ":=", Pos: pos}
+		}
+		l.advance()
+		l.errorf(pos, "unexpected ':' (did you mean ':='?)")
+		return token.Token{Kind: token.ILLEGAL, Text: ":", Pos: pos}
+	case '<':
+		l.advance()
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return token.Token{Kind: token.LE, Text: "<=", Pos: pos}
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.NEQ, Text: "<>", Pos: pos}
+		}
+		return token.Token{Kind: token.LT, Text: "<", Pos: pos}
+	case '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.GE, Text: ">=", Pos: pos}
+		}
+		return token.Token{Kind: token.GT, Text: ">", Pos: pos}
+	}
+	l.advance()
+	l.errorf(pos, "illegal character %q", string(c))
+	return token.Token{Kind: token.ILLEGAL, Text: string(c), Pos: pos}
+}
+
+// All scans the entire input and returns the tokens up to and
+// including the terminating EOF token.
+func All(src string) ([]token.Token, []error) {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, l.Errors()
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package parser implements a recursive-descent parser for MiniPL.
+//
+// The parser is error-tolerant: it accumulates diagnostics and
+// synchronizes at statement boundaries, so a single Parse call reports
+// as many independent errors as it can find. Semicolons between
+// statements are accepted but optional (statement boundaries are
+// unambiguous in the grammar).
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"sideeffect/internal/lang/ast"
+	"sideeffect/internal/lang/lexer"
+	"sideeffect/internal/lang/token"
+)
+
+const maxErrors = 25
+
+// Parser holds parsing state for one source unit.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// Parse parses a complete MiniPL program. On any syntax error it
+// returns a non-nil error (the errors joined); the returned Program
+// may still be partially populated for tooling that wants a best
+// effort tree.
+func Parse(src string) (*ast.Program, error) {
+	toks, lexErrs := lexer.All(src)
+	p := &Parser{toks: toks}
+	p.errs = append(p.errs, lexErrs...)
+	prog := p.parseProgram()
+	if len(p.errs) > 0 {
+		return prog, errors.Join(p.errs...)
+	}
+	return prog, nil
+}
+
+type bailout struct{}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errs) < maxErrors {
+		p.errs = append(p.errs, fmt.Errorf("%s: parse: %s", pos, fmt.Sprintf(format, args...)))
+	}
+	if len(p.errs) >= maxErrors {
+		panic(bailout{})
+	}
+}
+
+func (p *Parser) cur() token.Token { return p.toks[p.pos] }
+func (p *Parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) next() token.Token {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+// sync skips tokens until a likely statement boundary.
+func (p *Parser) sync() {
+	for {
+		switch p.cur().Kind {
+		case token.EOF, token.SEMICOLON, token.END, token.BEGIN,
+			token.PROC, token.ELSE, token.UNTIL:
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseProgram() (prog *ast.Program) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+			if prog == nil {
+				prog = &ast.Program{Name: "<error>"}
+			}
+		}
+	}()
+	prog = &ast.Program{Pos: p.cur().Pos}
+	p.expect(token.PROGRAM)
+	prog.Name = p.expect(token.IDENT).Text
+	p.expect(token.SEMICOLON)
+	for {
+		switch p.cur().Kind {
+		case token.GLOBAL:
+			prog.Globals = append(prog.Globals, p.parseGlobalDecl()...)
+		case token.PROC:
+			prog.Procs = append(prog.Procs, p.parseProcDecl())
+		case token.BEGIN:
+			prog.Body = p.parseBlock()
+			p.expect(token.PERIOD)
+			if !p.at(token.EOF) {
+				p.errorf(p.cur().Pos, "trailing input after final '.'")
+			}
+			return prog
+		case token.EOF:
+			p.errorf(p.cur().Pos, "missing main 'begin ... end.' block")
+			return prog
+		default:
+			p.errorf(p.cur().Pos, "expected 'global', 'proc', or 'begin', found %s", p.cur())
+			p.sync()
+			if p.at(token.SEMICOLON) {
+				p.next()
+			}
+		}
+	}
+}
+
+func (p *Parser) parseGlobalDecl() []*ast.VarDecl {
+	p.expect(token.GLOBAL)
+	var out []*ast.VarDecl
+	for {
+		out = append(out, p.parseVarSpec())
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.SEMICOLON)
+	return out
+}
+
+func (p *Parser) parseVarSpec() *ast.VarDecl {
+	t := p.expect(token.IDENT)
+	d := &ast.VarDecl{Name: t.Text, Pos: t.Pos}
+	if p.accept(token.LBRACKET) {
+		for {
+			it := p.expect(token.INT)
+			n, err := strconv.Atoi(it.Text)
+			if err != nil || n <= 0 {
+				p.errorf(it.Pos, "invalid array extent %q", it.Text)
+				n = 1
+			}
+			d.Dims = append(d.Dims, n)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACKET)
+	}
+	return d
+}
+
+func (p *Parser) parseProcDecl() *ast.ProcDecl {
+	pos := p.expect(token.PROC).Pos
+	d := &ast.ProcDecl{Pos: pos}
+	d.Name = p.expect(token.IDENT).Text
+	p.expect(token.LPAREN)
+	if !p.at(token.RPAREN) {
+		for {
+			d.Params = append(d.Params, p.parseParam())
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	p.accept(token.SEMICOLON) // optional ';' after the header
+	for {
+		switch p.cur().Kind {
+		case token.VAR:
+			p.next()
+			for {
+				d.Locals = append(d.Locals, p.parseVarSpec())
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.SEMICOLON)
+		case token.PROC:
+			d.Nested = append(d.Nested, p.parseProcDecl())
+		case token.BEGIN:
+			d.Body = p.parseBlock()
+			p.accept(token.SEMICOLON) // optional ';' after 'end'
+			return d
+		default:
+			p.errorf(p.cur().Pos, "expected 'var', 'proc', or 'begin' in procedure %s, found %s", d.Name, p.cur())
+			p.sync()
+			if p.at(token.EOF) || p.at(token.END) {
+				d.Body = &ast.Block{Pos: p.cur().Pos}
+				return d
+			}
+			p.accept(token.SEMICOLON)
+		}
+	}
+}
+
+func (p *Parser) parseParam() *ast.Param {
+	var mode ast.ParamMode
+	switch p.cur().Kind {
+	case token.REF:
+		mode = ast.ByRef
+		p.next()
+	case token.VAL:
+		mode = ast.ByVal
+		p.next()
+	default:
+		p.errorf(p.cur().Pos, "expected 'ref' or 'val', found %s", p.cur())
+		mode = ast.ByRef
+	}
+	t := p.expect(token.IDENT)
+	prm := &ast.Param{Mode: mode, Name: t.Text, Pos: t.Pos}
+	if p.accept(token.LBRACKET) {
+		for {
+			st := p.expect(token.STAR)
+			_ = st
+			prm.Rank++
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACKET)
+	}
+	return prm
+}
+
+func (p *Parser) parseBlock() *ast.Block {
+	b := &ast.Block{Pos: p.cur().Pos}
+	p.expect(token.BEGIN)
+	b.Stmts = p.parseStmtList()
+	p.expect(token.END)
+	return b
+}
+
+// parseStmtList parses statements until 'end', 'else', or EOF.
+func (p *Parser) parseStmtList() []ast.Stmt {
+	var out []ast.Stmt
+	for {
+		for p.accept(token.SEMICOLON) {
+		}
+		switch p.cur().Kind {
+		case token.END, token.ELSE, token.UNTIL, token.EOF, token.PERIOD:
+			return out
+		}
+		s := p.parseStmt()
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.BEGIN:
+		return p.parseBlock()
+	case token.IDENT:
+		return p.parseAssign()
+	case token.CALL:
+		return p.parseCall()
+	case token.IF:
+		return p.parseIf()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.FOR:
+		return p.parseFor()
+	case token.REPEAT:
+		return p.parseRepeat()
+	case token.READ:
+		pos := p.next().Pos
+		return &ast.Read{Target: p.parseVarRef(), Pos: pos}
+	case token.WRITE:
+		pos := p.next().Pos
+		return &ast.Write{Value: p.parseExpr(), Pos: pos}
+	default:
+		p.errorf(p.cur().Pos, "expected statement, found %s", p.cur())
+		p.sync()
+		p.accept(token.SEMICOLON)
+		return nil
+	}
+}
+
+func (p *Parser) parseVarRef() *ast.VarRef {
+	t := p.expect(token.IDENT)
+	v := &ast.VarRef{Name: t.Text, Pos: t.Pos}
+	if p.accept(token.LBRACKET) {
+		for {
+			v.Subs = append(v.Subs, p.parseExpr())
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACKET)
+	}
+	return v
+}
+
+func (p *Parser) parseAssign() ast.Stmt {
+	target := p.parseVarRef()
+	pos := p.expect(token.ASSIGN).Pos
+	return &ast.Assign{Target: target, Value: p.parseExpr(), Pos: pos}
+}
+
+func (p *Parser) parseCall() ast.Stmt {
+	pos := p.expect(token.CALL).Pos
+	c := &ast.Call{Pos: pos}
+	c.Name = p.expect(token.IDENT).Text
+	p.expect(token.LPAREN)
+	if !p.at(token.RPAREN) {
+		for {
+			c.Args = append(c.Args, p.parseArg())
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	return c
+}
+
+// parseArg parses an actual parameter. A bare variable reference,
+// array element, or array section (with '*' markers) becomes a
+// SectionRef; anything else is a value expression. A variable
+// reference followed by an operator is re-interpreted as the left
+// operand of a value expression.
+func (p *Parser) parseArg() *ast.Arg {
+	pos := p.cur().Pos
+	if p.at(token.IDENT) {
+		sec := p.parseSectionRef()
+		if p.at(token.COMMA) || p.at(token.RPAREN) {
+			return &ast.Arg{Section: sec, Pos: pos}
+		}
+		// Operator follows: the reference is part of a larger expression.
+		if sec.NumStars() > 0 {
+			p.errorf(pos, "array section %s cannot appear inside an expression", sec.Name)
+		}
+		left := ast.Expr(&ast.VarRef{Name: sec.Name, Subs: sec.Subs, Pos: sec.Pos})
+		return &ast.Arg{Value: p.parseBinaryFrom(left, 1), Pos: pos}
+	}
+	return &ast.Arg{Value: p.parseExpr(), Pos: pos}
+}
+
+func (p *Parser) parseSectionRef() *ast.SectionRef {
+	t := p.expect(token.IDENT)
+	s := &ast.SectionRef{Name: t.Text, Pos: t.Pos}
+	if p.accept(token.LBRACKET) {
+		for {
+			if p.accept(token.STAR) {
+				s.Subs = append(s.Subs, nil)
+			} else {
+				s.Subs = append(s.Subs, p.parseExpr())
+			}
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACKET)
+	}
+	return s
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	pos := p.expect(token.IF).Pos
+	s := &ast.If{Pos: pos}
+	s.Cond = p.parseExpr()
+	p.expect(token.THEN)
+	s.Then = &ast.Block{Pos: p.cur().Pos, Stmts: p.parseStmtList()}
+	if p.accept(token.ELSE) {
+		s.Else = &ast.Block{Pos: p.cur().Pos, Stmts: p.parseStmtList()}
+	}
+	p.expect(token.END)
+	return s
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	pos := p.expect(token.WHILE).Pos
+	s := &ast.While{Pos: pos}
+	s.Cond = p.parseExpr()
+	p.expect(token.DO)
+	s.Body = &ast.Block{Pos: p.cur().Pos, Stmts: p.parseStmtList()}
+	p.expect(token.END)
+	return s
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	pos := p.expect(token.FOR).Pos
+	s := &ast.For{Pos: pos}
+	it := p.expect(token.IDENT)
+	s.Index = &ast.VarRef{Name: it.Text, Pos: it.Pos}
+	p.expect(token.ASSIGN)
+	s.Lo = p.parseExpr()
+	p.expect(token.TO)
+	s.Hi = p.parseExpr()
+	p.expect(token.DO)
+	s.Body = &ast.Block{Pos: p.cur().Pos, Stmts: p.parseStmtList()}
+	p.expect(token.END)
+	return s
+}
+
+func (p *Parser) parseRepeat() ast.Stmt {
+	pos := p.expect(token.REPEAT).Pos
+	s := &ast.Repeat{Pos: pos}
+	s.Body = &ast.Block{Pos: p.cur().Pos, Stmts: p.parseStmtList()}
+	p.expect(token.UNTIL)
+	s.Cond = p.parseExpr()
+	return s
+}
+
+// Operator precedence (binding power); 0 means "not a binary operator".
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.OR:
+		return 1
+	case token.AND:
+		return 2
+	case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+		return 3
+	case token.PLUS, token.MINUS:
+		return 4
+	case token.STAR, token.SLASH:
+		return 5
+	}
+	return 0
+}
+
+func (p *Parser) parseExpr() ast.Expr {
+	return p.parseBinaryFrom(p.parseUnary(), 1)
+}
+
+// parseBinaryFrom continues precedence-climbing with an already-parsed
+// left operand (used by parseArg's backtrack-free re-interpretation).
+func (p *Parser) parseBinaryFrom(left ast.Expr, minPrec int) ast.Expr {
+	for {
+		op := p.cur().Kind
+		prec := binPrec(op)
+		if prec < minPrec {
+			return left
+		}
+		opTok := p.next()
+		right := p.parseUnary()
+		for binPrec(p.cur().Kind) > prec {
+			right = p.parseBinaryFrom(right, prec+1)
+		}
+		left = &ast.Binary{Op: op, L: left, R: right, Pos: opTok.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case token.MINUS:
+		t := p.next()
+		return &ast.Unary{Op: token.MINUS, X: p.parseUnary(), Pos: t.Pos}
+	case token.NOT:
+		t := p.next()
+		return &ast.Unary{Op: token.NOT, X: p.parseUnary(), Pos: t.Pos}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	switch p.cur().Kind {
+	case token.INT:
+		t := p.next()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Text)
+		}
+		return &ast.IntLit{Value: n, Pos: t.Pos}
+	case token.IDENT:
+		return p.parseVarRef()
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	default:
+		t := p.cur()
+		p.errorf(t.Pos, "expected expression, found %s", t)
+		p.next()
+		return &ast.IntLit{Value: 0, Pos: t.Pos}
+	}
+}

@@ -1,0 +1,402 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"sideeffect/internal/lang/ast"
+	"sideeffect/internal/lang/token"
+)
+
+const goodProgram = `
+program demo;
+
+global x, y;
+global A[100, 100];
+
+proc swap(ref a, ref b)
+  var t;
+begin
+  t := a;
+  a := b;
+  b := t
+end;
+
+proc outer(ref p, val n)
+  var lo;
+  proc inner(ref q)
+  begin
+    q := q + p;
+    call swap(p, lo)
+  end;
+begin
+  call inner(p);
+  x := n;
+  for lo := 1 to n do
+    A[lo, 1] := lo
+  end;
+  if x < y then
+    call swap(x, y)
+  else
+    write x
+  end;
+  while y > 0 do
+    y := y - 1
+  end
+end;
+
+begin
+  call outer(x, 3);
+  read y;
+  call outer(A[1, 2], y + 1);
+  write A[1, 2]
+end.
+`
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseGoodProgram(t *testing.T) {
+	p := mustParse(t, goodProgram)
+	if p.Name != "demo" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if len(p.Globals) != 3 {
+		t.Fatalf("globals = %d, want 3", len(p.Globals))
+	}
+	if g := p.Globals[2]; g.Name != "A" || len(g.Dims) != 2 || g.Dims[0] != 100 {
+		t.Errorf("global A = %+v", g)
+	}
+	if len(p.Procs) != 2 {
+		t.Fatalf("top-level procs = %d, want 2", len(p.Procs))
+	}
+	swap := p.Procs[0]
+	if swap.Name != "swap" || len(swap.Params) != 2 || len(swap.Locals) != 1 {
+		t.Errorf("swap = %+v", swap)
+	}
+	if swap.Params[0].Mode != ast.ByRef {
+		t.Errorf("swap param 0 mode = %v", swap.Params[0].Mode)
+	}
+	outer := p.Procs[1]
+	if len(outer.Nested) != 1 || outer.Nested[0].Name != "inner" {
+		t.Fatalf("outer.Nested = %+v", outer.Nested)
+	}
+	if outer.Params[1].Mode != ast.ByVal {
+		t.Errorf("outer param n mode = %v", outer.Params[1].Mode)
+	}
+	if len(swap.Body.Stmts) != 3 {
+		t.Errorf("swap body = %d stmts", len(swap.Body.Stmts))
+	}
+	if p.Body == nil || len(p.Body.Stmts) != 4 {
+		t.Fatalf("main body = %+v", p.Body)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	p := mustParse(t, goodProgram)
+	outer := p.Procs[1]
+	stmts := outer.Body.Stmts
+	if _, ok := stmts[0].(*ast.Call); !ok {
+		t.Errorf("stmt 0 = %T, want Call", stmts[0])
+	}
+	if _, ok := stmts[1].(*ast.Assign); !ok {
+		t.Errorf("stmt 1 = %T, want Assign", stmts[1])
+	}
+	f, ok := stmts[2].(*ast.For)
+	if !ok {
+		t.Fatalf("stmt 2 = %T, want For", stmts[2])
+	}
+	if f.Index.Name != "lo" {
+		t.Errorf("for index = %q", f.Index.Name)
+	}
+	iff, ok := stmts[3].(*ast.If)
+	if !ok {
+		t.Fatalf("stmt 3 = %T, want If", stmts[3])
+	}
+	if iff.Else == nil {
+		t.Error("if has no else")
+	}
+	if _, ok := stmts[4].(*ast.While); !ok {
+		t.Errorf("stmt 4 = %T, want While", stmts[4])
+	}
+}
+
+func TestParseCallArgs(t *testing.T) {
+	p := mustParse(t, goodProgram)
+	main := p.Body.Stmts
+	c0 := main[0].(*ast.Call)
+	if c0.Name != "outer" || len(c0.Args) != 2 {
+		t.Fatalf("call 0 = %+v", c0)
+	}
+	if c0.Args[0].Section == nil || c0.Args[0].Section.Name != "x" {
+		t.Errorf("arg 0 = %+v, want section x", c0.Args[0])
+	}
+	if c0.Args[1].Value == nil {
+		t.Errorf("arg 1 = %+v, want value 3", c0.Args[1])
+	}
+	c2 := main[2].(*ast.Call)
+	// A[1,2] parses as a section with two expression subscripts.
+	if c2.Args[0].Section == nil || c2.Args[0].Section.Name != "A" ||
+		len(c2.Args[0].Section.Subs) != 2 {
+		t.Errorf("arg A[1,2] = %+v", c2.Args[0])
+	}
+	// y + 1 must re-interpret the leading identifier as an expression.
+	b, ok := c2.Args[1].Value.(*ast.Binary)
+	if !ok || b.Op != token.PLUS {
+		t.Errorf("arg y+1 = %+v", c2.Args[1])
+	}
+}
+
+func TestParseSections(t *testing.T) {
+	src := `
+program s;
+global A[10, 10];
+proc colsum(ref col[*], val n) begin write col[n] end;
+begin
+  call colsum(A[*, 3], 10)
+end.
+`
+	p := mustParse(t, src)
+	prm := p.Procs[0].Params[0]
+	if prm.Rank != 1 {
+		t.Errorf("param rank = %d, want 1", prm.Rank)
+	}
+	c := p.Body.Stmts[0].(*ast.Call)
+	sec := c.Args[0].Section
+	if sec == nil || !sec.Star(0) || sec.Star(1) {
+		t.Fatalf("section = %+v", sec)
+	}
+	if sec.NumStars() != 1 {
+		t.Errorf("NumStars = %d", sec.NumStars())
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	src := `
+program e;
+global x, y, z;
+begin
+  x := 1 + 2 * 3;
+  y := (1 + 2) * 3;
+  z := x < y and y < z or not (x = z)
+end.
+`
+	p := mustParse(t, src)
+	a0 := p.Body.Stmts[0].(*ast.Assign)
+	add, ok := a0.Value.(*ast.Binary)
+	if !ok || add.Op != token.PLUS {
+		t.Fatalf("1+2*3 top = %+v, want +", a0.Value)
+	}
+	if mul, ok := add.R.(*ast.Binary); !ok || mul.Op != token.STAR {
+		t.Errorf("right of + = %+v, want *", add.R)
+	}
+	a1 := p.Body.Stmts[1].(*ast.Assign)
+	if mul, ok := a1.Value.(*ast.Binary); !ok || mul.Op != token.STAR {
+		t.Errorf("(1+2)*3 top = %+v, want *", a1.Value)
+	}
+	a2 := p.Body.Stmts[2].(*ast.Assign)
+	or, ok := a2.Value.(*ast.Binary)
+	if !ok || or.Op != token.OR {
+		t.Fatalf("bool expr top = %+v, want or", a2.Value)
+	}
+	if and, ok := or.L.(*ast.Binary); !ok || and.Op != token.AND {
+		t.Errorf("left of or = %+v, want and", or.L)
+	}
+	if not, ok := or.R.(*ast.Unary); !ok || not.Op != token.NOT {
+		t.Errorf("right of or = %+v, want not", or.R)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	p := mustParse(t, "program u; global x; begin x := -x - -1 end.")
+	a := p.Body.Stmts[0].(*ast.Assign)
+	sub, ok := a.Value.(*ast.Binary)
+	if !ok || sub.Op != token.MINUS {
+		t.Fatalf("top = %+v", a.Value)
+	}
+	if _, ok := sub.L.(*ast.Unary); !ok {
+		t.Errorf("left = %+v, want unary", sub.L)
+	}
+	if _, ok := sub.R.(*ast.Unary); !ok {
+		t.Errorf("right = %+v, want unary", sub.R)
+	}
+}
+
+func TestErrorMissingProgram(t *testing.T) {
+	_, err := Parse("global x; begin end.")
+	if err == nil || !strings.Contains(err.Error(), "expected program") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrorMissingMain(t *testing.T) {
+	_, err := Parse("program p; global x;")
+	if err == nil || !strings.Contains(err.Error(), "missing main") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrorTrailingInput(t *testing.T) {
+	_, err := Parse("program p; begin end. extra")
+	if err == nil || !strings.Contains(err.Error(), "trailing input") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrorRecoveryMultiple(t *testing.T) {
+	src := `
+program p;
+global x;
+begin
+  x := ;
+  ? ;
+  x := 1
+end.
+`
+	prog, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	// Recovery must still deliver the valid trailing assignment.
+	if prog == nil || prog.Body == nil {
+		t.Fatal("no tree after recovery")
+	}
+	found := false
+	for _, s := range prog.Body.Stmts {
+		if a, ok := s.(*ast.Assign); ok {
+			if lit, ok := a.Value.(*ast.IntLit); ok && lit.Value == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("recovery lost trailing statement: %+v", prog.Body.Stmts)
+	}
+}
+
+func TestErrorSectionInExpression(t *testing.T) {
+	src := `
+program p;
+global A[5];
+proc q(val n) begin end;
+begin
+  call q(A[*] + 1)
+end.
+`
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "section") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrorBadExtent(t *testing.T) {
+	_, err := Parse("program p; global A[0]; begin end.")
+	if err == nil || !strings.Contains(err.Error(), "extent") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrorCapBailout(t *testing.T) {
+	// A long garbage stream must stop at maxErrors, not loop forever.
+	src := "program p; begin " + strings.Repeat("? ", 100) + "end."
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "parse:"); n > maxErrors {
+		t.Errorf("%d errors reported, cap is %d", n, maxErrors)
+	}
+}
+
+func TestOptionalSemicolons(t *testing.T) {
+	// Semicolons between statements are optional; extra ones are fine.
+	src := `
+program p;
+global x;
+begin
+  ;;
+  x := 1
+  x := 2;;
+  x := 3
+end.
+`
+	p := mustParse(t, src)
+	if len(p.Body.Stmts) != 3 {
+		t.Errorf("stmts = %d, want 3", len(p.Body.Stmts))
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	p := mustParse(t, "program p; global x, A[4]; begin read x; read A[2]; write x + 1 end.")
+	if _, ok := p.Body.Stmts[0].(*ast.Read); !ok {
+		t.Errorf("stmt 0 = %T", p.Body.Stmts[0])
+	}
+	r := p.Body.Stmts[1].(*ast.Read)
+	if r.Target.Name != "A" || len(r.Target.Subs) != 1 {
+		t.Errorf("read target = %+v", r.Target)
+	}
+	if _, ok := p.Body.Stmts[2].(*ast.Write); !ok {
+		t.Errorf("stmt 2 = %T", p.Body.Stmts[2])
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	p := mustParse(t, "program p; global x; begin begin x := 1 end; x := 2 end.")
+	if len(p.Body.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(p.Body.Stmts))
+	}
+	if _, ok := p.Body.Stmts[0].(*ast.Block); !ok {
+		t.Errorf("stmt 0 = %T, want Block", p.Body.Stmts[0])
+	}
+}
+
+func TestEmptyParamList(t *testing.T) {
+	p := mustParse(t, "program p; proc q() begin end; begin call q() end.")
+	if len(p.Procs[0].Params) != 0 {
+		t.Errorf("params = %+v", p.Procs[0].Params)
+	}
+	c := p.Body.Stmts[0].(*ast.Call)
+	if len(c.Args) != 0 {
+		t.Errorf("args = %+v", c.Args)
+	}
+}
+
+func TestParseRepeat(t *testing.T) {
+	p := mustParse(t, `
+program r;
+global x;
+begin
+  repeat
+    x := x + 1;
+    write x
+  until x > 3;
+  x := 0
+end.
+`)
+	if len(p.Body.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(p.Body.Stmts))
+	}
+	rep, ok := p.Body.Stmts[0].(*ast.Repeat)
+	if !ok {
+		t.Fatalf("stmt 0 = %T", p.Body.Stmts[0])
+	}
+	if len(rep.Body.Stmts) != 2 {
+		t.Errorf("repeat body = %d stmts", len(rep.Body.Stmts))
+	}
+	if _, ok := rep.Cond.(*ast.Binary); !ok {
+		t.Errorf("until cond = %T", rep.Cond)
+	}
+}
+
+func TestParseRepeatErrors(t *testing.T) {
+	_, err := Parse("program p; global x; begin repeat x := 1 end.")
+	if err == nil || !strings.Contains(err.Error(), "until") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package printer renders MiniPL syntax trees back to canonical
+// source text (a formatter). Printing then re-parsing yields a
+// structurally identical tree, which the tests verify; the emitted
+// style is the one used throughout this repository's documentation.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"sideeffect/internal/lang/ast"
+	"sideeffect/internal/lang/token"
+)
+
+// Print renders a whole program.
+func Print(p *ast.Program) string {
+	pr := &printer{}
+	pr.printf("program %s;\n", p.Name)
+	if len(p.Globals) > 0 {
+		pr.printf("\n")
+		for _, g := range p.Globals {
+			pr.printf("global %s;\n", varSpec(g))
+		}
+	}
+	for _, d := range p.Procs {
+		pr.printf("\n")
+		pr.proc(d, 0)
+	}
+	pr.printf("\nbegin\n")
+	if p.Body != nil {
+		pr.stmts(p.Body.Stmts, 1)
+	}
+	pr.printf("end.\n")
+	return pr.b.String()
+}
+
+type printer struct {
+	b strings.Builder
+}
+
+func (pr *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&pr.b, format, args...)
+}
+
+func (pr *printer) indent(n int) {
+	pr.b.WriteString(strings.Repeat("  ", n))
+}
+
+func varSpec(d *ast.VarDecl) string {
+	if len(d.Dims) == 0 {
+		return d.Name
+	}
+	parts := make([]string, len(d.Dims))
+	for i, e := range d.Dims {
+		parts[i] = fmt.Sprint(e)
+	}
+	return fmt.Sprintf("%s[%s]", d.Name, strings.Join(parts, ", "))
+}
+
+func (pr *printer) proc(d *ast.ProcDecl, depth int) {
+	pr.indent(depth)
+	params := make([]string, len(d.Params))
+	for i, p := range d.Params {
+		stars := ""
+		if p.Rank > 0 {
+			ss := make([]string, p.Rank)
+			for j := range ss {
+				ss[j] = "*"
+			}
+			stars = "[" + strings.Join(ss, ", ") + "]"
+		}
+		params[i] = fmt.Sprintf("%s %s%s", p.Mode, p.Name, stars)
+	}
+	pr.printf("proc %s(%s)\n", d.Name, strings.Join(params, ", "))
+	for _, l := range d.Locals {
+		pr.indent(depth + 1)
+		pr.printf("var %s;\n", varSpec(l))
+	}
+	for _, n := range d.Nested {
+		pr.proc(n, depth+1)
+	}
+	pr.indent(depth)
+	pr.printf("begin\n")
+	pr.stmts(d.Body.Stmts, depth+1)
+	pr.indent(depth)
+	pr.printf("end;\n")
+}
+
+func (pr *printer) stmts(ss []ast.Stmt, depth int) {
+	for i, s := range ss {
+		pr.stmt(s, depth, i == len(ss)-1)
+	}
+}
+
+func (pr *printer) stmt(s ast.Stmt, depth int, last bool) {
+	sep := ";"
+	if last {
+		sep = ""
+	}
+	switch s := s.(type) {
+	case *ast.Block:
+		pr.indent(depth)
+		pr.printf("begin\n")
+		pr.stmts(s.Stmts, depth+1)
+		pr.indent(depth)
+		pr.printf("end%s\n", sep)
+	case *ast.Assign:
+		pr.indent(depth)
+		pr.printf("%s := %s%s\n", Expr(s.Target), Expr(s.Value), sep)
+	case *ast.Read:
+		pr.indent(depth)
+		pr.printf("read %s%s\n", Expr(s.Target), sep)
+	case *ast.Write:
+		pr.indent(depth)
+		pr.printf("write %s%s\n", Expr(s.Value), sep)
+	case *ast.Call:
+		pr.indent(depth)
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			if a.Section != nil {
+				args[i] = sectionText(a.Section)
+			} else {
+				args[i] = Expr(a.Value)
+			}
+		}
+		pr.printf("call %s(%s)%s\n", s.Name, strings.Join(args, ", "), sep)
+	case *ast.If:
+		pr.indent(depth)
+		pr.printf("if %s then\n", Expr(s.Cond))
+		pr.stmts(s.Then.Stmts, depth+1)
+		if s.Else != nil {
+			pr.indent(depth)
+			pr.printf("else\n")
+			pr.stmts(s.Else.Stmts, depth+1)
+		}
+		pr.indent(depth)
+		pr.printf("end%s\n", sep)
+	case *ast.While:
+		pr.indent(depth)
+		pr.printf("while %s do\n", Expr(s.Cond))
+		pr.stmts(s.Body.Stmts, depth+1)
+		pr.indent(depth)
+		pr.printf("end%s\n", sep)
+	case *ast.For:
+		pr.indent(depth)
+		pr.printf("for %s := %s to %s do\n", s.Index.Name, Expr(s.Lo), Expr(s.Hi))
+		pr.stmts(s.Body.Stmts, depth+1)
+		pr.indent(depth)
+		pr.printf("end%s\n", sep)
+	case *ast.Repeat:
+		pr.indent(depth)
+		pr.printf("repeat\n")
+		pr.stmts(s.Body.Stmts, depth+1)
+		pr.indent(depth)
+		pr.printf("until %s%s\n", Expr(s.Cond), sep)
+	default:
+		panic(fmt.Sprintf("printer: unknown statement %T", s))
+	}
+}
+
+func sectionText(s *ast.SectionRef) string {
+	if s.Subs == nil {
+		return s.Name
+	}
+	parts := make([]string, len(s.Subs))
+	for i := range s.Subs {
+		if s.Star(i) {
+			parts[i] = "*"
+		} else {
+			parts[i] = Expr(s.Subs[i])
+		}
+	}
+	return fmt.Sprintf("%s[%s]", s.Name, strings.Join(parts, ", "))
+}
+
+// prec mirrors the parser's binding powers for minimal-parenthesis
+// printing.
+func prec(op token.Kind) int {
+	switch op {
+	case token.OR:
+		return 1
+	case token.AND:
+		return 2
+	case token.EQ, token.NEQ, token.LT, token.LE, token.GT, token.GE:
+		return 3
+	case token.PLUS, token.MINUS:
+		return 4
+	case token.STAR, token.SLASH:
+		return 5
+	}
+	return 0
+}
+
+// Expr renders an expression with the fewest parentheses that
+// preserve the tree shape (binary operators are left-associative).
+func Expr(e ast.Expr) string {
+	return exprPrec(e, 0)
+}
+
+func exprPrec(e ast.Expr, outer int) string {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return fmt.Sprint(e.Value)
+	case *ast.VarRef:
+		if len(e.Subs) == 0 {
+			return e.Name
+		}
+		parts := make([]string, len(e.Subs))
+		for i, s := range e.Subs {
+			parts[i] = exprPrec(s, 0)
+		}
+		return fmt.Sprintf("%s[%s]", e.Name, strings.Join(parts, ", "))
+	case *ast.Unary:
+		op := "-"
+		if e.Op == token.NOT {
+			op = "not "
+		}
+		s := op + exprPrec(e.X, 6)
+		if outer > 5 {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.Binary:
+		p := prec(e.Op)
+		s := fmt.Sprintf("%s %s %s",
+			exprPrec(e.L, p), e.Op, exprPrec(e.R, p+1))
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("printer: unknown expression %T", e))
+	}
+}

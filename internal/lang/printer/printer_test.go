@@ -1,0 +1,147 @@
+package printer_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sideeffect/internal/lang/parser"
+	"sideeffect/internal/lang/printer"
+	"sideeffect/internal/workload"
+)
+
+// roundTrip asserts that printing is a fixpoint: parse → print →
+// parse → print yields identical text (hence identical structure).
+func roundTrip(t *testing.T, src, tag string) string {
+	t.Helper()
+	tree, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", tag, err)
+	}
+	out1 := printer.Print(tree)
+	tree2, err := parser.Parse(out1)
+	if err != nil {
+		t.Fatalf("%s: re-parse of printed source failed: %v\n%s", tag, err, out1)
+	}
+	out2 := printer.Print(tree2)
+	if out1 != out2 {
+		t.Errorf("%s: printing is not a fixpoint:\n--- first\n%s\n--- second\n%s", tag, out1, out2)
+	}
+	return out1
+}
+
+func TestRoundTripKitchenSink(t *testing.T) {
+	out := roundTrip(t, `
+program sink;
+global x, y;
+global A[10, 20];
+proc p(ref a, val n, ref M[*, *])
+  var t;
+  proc q(ref z) begin z := z + 1 end;
+begin
+  t := -n * (x + 2);
+  a := t / 2 - 1;
+  M[1, n] := a;
+  call q(a);
+  call p(a, n - 1, M);
+  if x < y and not (x = 0) then
+    read y
+  else
+    write x + 1
+  end;
+  while y > 0 do y := y - 1 end;
+  for t := 1 to n do write A[t, 1] end;
+  begin x := 0; y := 0 end
+end;
+begin
+  call p(x, 3, A)
+end.
+`, "sink")
+	for _, want := range []string{
+		"t := -n * (x + 2)",
+		"a := t / 2 - 1",
+		"if x < y and not (x = 0) then",
+		"for t := 1 to n do",
+		"call p(a, n - 1, M)",
+		"ref M[*, *]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTripSections(t *testing.T) {
+	out := roundTrip(t, `
+program sec;
+global A[8, 8], j;
+proc col(ref c[*]) begin c[1] := 0 end;
+begin
+  call col(A[*, j])
+end.
+`, "sections")
+	if !strings.Contains(out, "call col(A[*, j])") {
+		t.Errorf("section argument not preserved:\n%s", out)
+	}
+}
+
+func TestMinimalParentheses(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"x := 1 + 2 * 3", "x := 1 + 2 * 3"},
+		{"x := (1 + 2) * 3", "x := (1 + 2) * 3"},
+		{"x := 1 - (2 - 3)", "x := 1 - (2 - 3)"},
+		{"x := 1 - 2 - 3", "x := 1 - 2 - 3"},
+		{"x := -(1 + 2)", "x := -(1 + 2)"},
+		{"x := x < 1 or x > 2 and x <> 3", "x := x < 1 or x > 2 and x <> 3"},
+		{"x := (x or x) and x", "x := (x or x) and x"},
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf("program p; global x; begin %s end.", c.in)
+		tree, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		out := printer.Print(tree)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("printed %q does not contain %q:\n%s", c.in, c.want, out)
+		}
+		roundTrip(t, src, c.in)
+	}
+}
+
+func TestRoundTripGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := workload.DefaultConfig(15, seed)
+		if seed%2 == 1 {
+			cfg.MaxDepth = 2
+			cfg.NestFraction = 0.5
+		}
+		src := workload.Emit(workload.Random(cfg))
+		roundTrip(t, src, fmt.Sprintf("generated seed %d", seed))
+	}
+	roundTrip(t, workload.Emit(workload.DivideConquer()), "divide")
+	roundTrip(t, workload.Emit(workload.NestedTower(3)), "tower")
+}
+
+func TestEmptyProgram(t *testing.T) {
+	out := roundTrip(t, "program e; begin end.", "empty")
+	if !strings.Contains(out, "program e;") || !strings.Contains(out, "end.") {
+		t.Errorf("empty program printed as:\n%s", out)
+	}
+}
+
+func TestRoundTripRepeat(t *testing.T) {
+	out := roundTrip(t, `
+program rr;
+global x;
+begin
+  repeat
+    x := x + 1
+  until x > 3;
+  write x
+end.
+`, "repeat")
+	if !strings.Contains(out, "repeat\n") || !strings.Contains(out, "until x > 3;") {
+		t.Errorf("printed repeat:\n%s", out)
+	}
+}

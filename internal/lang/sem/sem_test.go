@@ -1,0 +1,474 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"sideeffect/internal/ir"
+)
+
+func mustAnalyze(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	return p
+}
+
+func wantErr(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := AnalyzeSource(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+const nestedProgram = `
+program demo;
+global x, y;
+proc swap(ref a, ref b)
+  var t;
+begin
+  t := a; a := b; b := t
+end;
+proc outer(ref p, val n)
+  var lo;
+  proc inner(ref q)
+  begin
+    q := q + p;
+    call swap(p, lo)
+  end;
+begin
+  call inner(p);
+  x := n
+end;
+begin
+  call outer(x, 3)
+end.
+`
+
+func TestStructure(t *testing.T) {
+	p := mustAnalyze(t, nestedProgram)
+	if p.NumProcs() != 4 { // $main, swap, outer, inner
+		t.Fatalf("procs = %d, want 4", p.NumProcs())
+	}
+	outer := p.Proc("outer")
+	inner := p.Proc("inner")
+	swap := p.Proc("swap")
+	if outer.Level != 0 || swap.Level != 0 {
+		t.Errorf("top-level levels: outer=%d swap=%d", outer.Level, swap.Level)
+	}
+	if inner.Level != 1 || inner.Parent != outer {
+		t.Errorf("inner level=%d parent=%v", inner.Level, inner.Parent)
+	}
+	if len(outer.Nested) != 1 || outer.Nested[0] != inner {
+		t.Errorf("outer.Nested = %v", outer.Nested)
+	}
+	if p.MaxLevel() != 1 {
+		t.Errorf("MaxLevel = %d", p.MaxLevel())
+	}
+	if !p.Main.IsMain {
+		t.Error("main not marked")
+	}
+}
+
+func TestVariablesAndKinds(t *testing.T) {
+	p := mustAnalyze(t, nestedProgram)
+	x := p.Var("x")
+	if x == nil || x.Kind != ir.Global {
+		t.Fatalf("x = %+v", x)
+	}
+	a := p.Var("swap.a")
+	if a == nil || a.Kind != ir.FormalRef || a.Ordinal != 0 {
+		t.Fatalf("swap.a = %+v", a)
+	}
+	n := p.Var("outer.n")
+	if n == nil || n.Kind != ir.FormalVal {
+		t.Fatalf("outer.n = %+v", n)
+	}
+	tv := p.Var("swap.t")
+	if tv == nil || tv.Kind != ir.Local {
+		t.Fatalf("swap.t = %+v", tv)
+	}
+	if x.ScopeLevel() != 0 {
+		t.Errorf("x scope level = %d", x.ScopeLevel())
+	}
+	if tv.ScopeLevel() != 1 {
+		t.Errorf("swap.t scope level = %d", tv.ScopeLevel())
+	}
+	q := p.Var("inner.q")
+	if q.ScopeLevel() != 2 {
+		t.Errorf("inner.q scope level = %d", q.ScopeLevel())
+	}
+}
+
+func TestIMODIUSE(t *testing.T) {
+	p := mustAnalyze(t, nestedProgram)
+	swap := p.Proc("swap")
+	has := func(set interface{ Has(int) bool }, name string) bool {
+		v := p.Var(name)
+		if v == nil {
+			t.Fatalf("no variable %q", name)
+		}
+		return set.Has(v.ID)
+	}
+	// swap modifies t, a, b directly; uses a, b, t.
+	for _, n := range []string{"swap.t", "swap.a", "swap.b"} {
+		if !has(swap.IMOD, n) {
+			t.Errorf("IMOD(swap) missing %s", n)
+		}
+		if !has(swap.IUSE, n) {
+			t.Errorf("IUSE(swap) missing %s", n)
+		}
+	}
+	inner := p.Proc("inner")
+	// inner modifies q directly (not p — that flows through swap).
+	if !has(inner.IMOD, "inner.q") {
+		t.Error("IMOD(inner) missing q")
+	}
+	if has(inner.IMOD, "outer.p") {
+		t.Error("IMOD(inner) wrongly contains outer.p")
+	}
+	// inner uses q and p (q := q + p).
+	if !has(inner.IUSE, "outer.p") {
+		t.Error("IUSE(inner) missing outer.p")
+	}
+	outer := p.Proc("outer")
+	// outer modifies x (x := n), uses n.
+	if !has(outer.IMOD, "x") || !has(outer.IUSE, "outer.n") {
+		t.Errorf("outer IMOD/IUSE wrong: %v / %v", outer.IMOD, outer.IUSE)
+	}
+	// main: call outer(x, 3) uses nothing but passes x by ref; the
+	// literal 3 contributes nothing.
+	if !p.Main.IMOD.Empty() {
+		t.Errorf("IMOD(main) = %v, want empty", p.Main.IMOD)
+	}
+}
+
+func TestCallSites(t *testing.T) {
+	p := mustAnalyze(t, nestedProgram)
+	if p.NumSites() != 3 {
+		t.Fatalf("sites = %d, want 3", p.NumSites())
+	}
+	var innerCallsSwap *ir.CallSite
+	for _, cs := range p.Sites {
+		if cs.Caller.Name == "inner" && cs.Callee.Name == "swap" {
+			innerCallsSwap = cs
+		}
+	}
+	if innerCallsSwap == nil {
+		t.Fatal("missing inner→swap call site")
+	}
+	// call swap(p, lo): first actual is outer's formal p (a binding
+	// from an enclosing procedure's formal at a nested call site —
+	// Section 3.3 case 2), second is outer's local lo.
+	a0 := innerCallsSwap.Args[0]
+	if a0.Var != p.Var("outer.p") || a0.Mode != ir.FormalRef {
+		t.Errorf("arg 0 = %+v", a0)
+	}
+	a1 := innerCallsSwap.Args[1]
+	if a1.Var != p.Var("outer.lo") {
+		t.Errorf("arg 1 = %+v", a1)
+	}
+	// Val argument: main passes literal 3 → Var nil.
+	var mainCall *ir.CallSite
+	for _, cs := range p.Sites {
+		if cs.Caller.IsMain {
+			mainCall = cs
+		}
+	}
+	if mainCall.Args[1].Var != nil || mainCall.Args[1].Mode != ir.FormalVal {
+		t.Errorf("main call arg 1 = %+v", mainCall.Args[1])
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	src := `
+program s;
+global x;
+proc p(val x) begin x := x + 1 end;
+begin call p(x) end.
+`
+	p := mustAnalyze(t, src)
+	pp := p.Proc("p")
+	formal := p.Var("p.x")
+	global := p.Var("x")
+	if !pp.IMOD.Has(formal.ID) {
+		t.Error("IMOD(p) missing shadowing formal x")
+	}
+	if pp.IMOD.Has(global.ID) {
+		t.Error("IMOD(p) contains shadowed global x")
+	}
+	// main uses the global to evaluate the val argument.
+	if !p.Main.IUSE.Has(global.ID) {
+		t.Error("IUSE(main) missing global x")
+	}
+}
+
+func TestArrayFactsAndAccesses(t *testing.T) {
+	src := `
+program arr;
+global A[10, 20], i, j;
+proc touch(ref M[*, *], val k)
+begin
+  M[k, 3] := M[k, 3] + 1
+end;
+begin
+  A[i, j] := 0;
+  write A[i, 1];
+  call touch(A, i)
+end.
+`
+	p := mustAnalyze(t, src)
+	A := p.Var("A")
+	if A.Rank() != 2 {
+		t.Fatalf("A rank = %d", A.Rank())
+	}
+	main := p.Main
+	if !main.IMOD.Has(A.ID) || !main.IUSE.Has(A.ID) {
+		t.Errorf("main IMOD/IUSE on A: %v / %v", main.IMOD, main.IUSE)
+	}
+	if len(main.Accesses) != 2 {
+		t.Fatalf("main accesses = %d, want 2", len(main.Accesses))
+	}
+	def := main.Accesses[0]
+	if !def.Mod || def.Var != A || def.Subs[0].Kind != ir.SubSym || def.Subs[0].Sym != p.Var("i") {
+		t.Errorf("access 0 = %+v", def)
+	}
+	use := main.Accesses[1]
+	if use.Mod || use.Subs[1].Kind != ir.SubConst || use.Subs[1].Const != 1 {
+		t.Errorf("access 1 = %+v", use)
+	}
+	touch := p.Proc("touch")
+	M := p.Var("touch.M")
+	if M.Kind != ir.FormalRef || M.Rank() != 2 {
+		t.Fatalf("touch.M = %+v", M)
+	}
+	if len(touch.Accesses) != 2 {
+		t.Errorf("touch accesses = %d", len(touch.Accesses))
+	}
+	// Whole-array actual: Subs nil, rank = declared rank.
+	cs := p.Sites[0]
+	if cs.Args[0].Var != A || cs.Args[0].Subs != nil || cs.Args[0].Rank() != 2 {
+		t.Errorf("call actual = %+v", cs.Args[0])
+	}
+}
+
+func TestSectionActuals(t *testing.T) {
+	src := `
+program sec;
+global A[10, 20], j;
+proc col(ref c[*]) begin c[1] := 0 end;
+proc elem(ref e) begin e := 0 end;
+begin
+  call col(A[*, j]);
+  call elem(A[2, j])
+end.
+`
+	p := mustAnalyze(t, src)
+	colCall := p.Sites[0]
+	a := colCall.Args[0]
+	if a.Rank() != 1 || a.Subs[0].Kind != ir.SubStar || a.Subs[1].Kind != ir.SubSym {
+		t.Errorf("column actual = %+v", a)
+	}
+	// Subscript j is used by the caller.
+	j := p.Var("j")
+	if !p.Main.IUSE.Has(j.ID) {
+		t.Error("IUSE(main) missing subscript j")
+	}
+	elemCall := p.Sites[1]
+	if elemCall.Args[0].Rank() != 0 {
+		t.Errorf("element actual rank = %d", elemCall.Args[0].Rank())
+	}
+}
+
+func TestForLoopFacts(t *testing.T) {
+	p := mustAnalyze(t, `
+program f;
+global i, n, s;
+begin
+  for i := 1 to n do s := s + i end
+end.
+`)
+	i, n, s := p.Var("i"), p.Var("n"), p.Var("s")
+	if !p.Main.IMOD.Has(i.ID) || !p.Main.IMOD.Has(s.ID) {
+		t.Errorf("IMOD(main) = %v", p.Main.IMOD)
+	}
+	if !p.Main.IUSE.Has(n.ID) || !p.Main.IUSE.Has(i.ID) {
+		t.Errorf("IUSE(main) = %v", p.Main.IUSE)
+	}
+}
+
+func TestMutualRecursionSiblings(t *testing.T) {
+	src := `
+program m;
+global x;
+proc even(val n) begin if n > 0 then call odd(n - 1) end end;
+proc odd(val n) begin if n > 0 then call even(n - 1) end end;
+begin call even(x) end.
+`
+	p := mustAnalyze(t, src)
+	if p.NumSites() != 3 {
+		t.Errorf("sites = %d", p.NumSites())
+	}
+}
+
+func TestRecursionSelf(t *testing.T) {
+	src := `
+program r;
+proc f(ref a) begin call f(a) end;
+global g;
+begin call f(g) end.
+`
+	p := mustAnalyze(t, src)
+	cs := p.Procs[p.Proc("f").ID].Calls[0]
+	if cs.Callee.Name != "f" {
+		t.Errorf("self call resolves to %s", cs.Callee.Name)
+	}
+}
+
+func TestNestedSeesAncestorProcs(t *testing.T) {
+	src := `
+program n;
+global g;
+proc top(ref a)
+  proc mid(ref b)
+    proc bot(ref c)
+    begin
+      call top(c);
+      call mid(c);
+      call helper(c)
+    end;
+  begin call bot(b) end;
+begin call mid(a) end;
+proc helper(ref h) begin h := 0 end;
+begin call top(g) end.
+`
+	p := mustAnalyze(t, src)
+	if p.NumProcs() != 5 {
+		t.Fatalf("procs = %d", p.NumProcs())
+	}
+	if p.Proc("bot").Level != 2 {
+		t.Errorf("bot level = %d", p.Proc("bot").Level)
+	}
+}
+
+func TestErrUndeclaredVariable(t *testing.T) {
+	wantErr(t, "program p; begin x := 1 end.", "undeclared variable")
+}
+
+func TestErrUndeclaredProc(t *testing.T) {
+	wantErr(t, "program p; begin call q() end.", "undeclared procedure")
+}
+
+func TestErrDuplicateGlobal(t *testing.T) {
+	wantErr(t, "program p; global x, x; begin end.", "duplicate global")
+}
+
+func TestErrDuplicateParam(t *testing.T) {
+	wantErr(t, "program p; proc q(ref a, val a) begin end; begin end.", "duplicate parameter")
+}
+
+func TestErrDuplicateLocal(t *testing.T) {
+	wantErr(t, "program p; proc q() var t, t; begin end; begin end.", "duplicate local")
+}
+
+func TestErrDuplicateProc(t *testing.T) {
+	wantErr(t, "program p; proc q() begin end; proc q() begin end; begin end.", "duplicate procedure")
+}
+
+func TestErrArity(t *testing.T) {
+	wantErr(t, "program p; global x; proc q(ref a) begin end; begin call q(x, x) end.", "2 arguments for 1")
+}
+
+func TestErrRefNeedsLValue(t *testing.T) {
+	wantErr(t, "program p; global x; proc q(ref a) begin end; begin call q(x + 1) end.", "must be a variable")
+}
+
+func TestErrRankMismatchActual(t *testing.T) {
+	wantErr(t, `
+program p;
+global A[5, 5];
+proc q(ref a[*]) begin a[1] := 0 end;
+begin call q(A) end.
+`, "rank")
+}
+
+func TestErrValArray(t *testing.T) {
+	wantErr(t, "program p; proc q(val a[*]) begin end; begin end.", "cannot be an array")
+}
+
+func TestErrWholeArrayInExpr(t *testing.T) {
+	wantErr(t, "program p; global A[5], x; begin x := A end.", "whole array")
+}
+
+func TestErrScalarSubscripted(t *testing.T) {
+	wantErr(t, "program p; global x; begin x[1] := 0 end.", "rank 0")
+}
+
+func TestErrSubscriptCount(t *testing.T) {
+	wantErr(t, "program p; global A[5, 5]; begin A[1] := 0 end.", "rank 2, got 1")
+}
+
+func TestErrArrayAsSubscript(t *testing.T) {
+	wantErr(t, "program p; global A[5], B[5]; begin A[B] := 0 end.", "used as a subscript")
+}
+
+func TestErrValSection(t *testing.T) {
+	wantErr(t, `
+program p;
+global A[5];
+proc q(val n) begin end;
+begin call q(A[*]) end.
+`, "section")
+}
+
+func TestErrForIndexArray(t *testing.T) {
+	wantErr(t, "program p; global A[5]; begin for A := 1 to 2 do end end.", "is an array")
+}
+
+func TestValArgElementOk(t *testing.T) {
+	// Passing an array element by value is fine; uses include the
+	// array and the subscript variable.
+	src := `
+program p;
+global A[5], i;
+proc q(val n) begin end;
+begin call q(A[i]) end.
+`
+	prog := mustAnalyze(t, src)
+	if !prog.Main.IUSE.Has(prog.Var("A").ID) || !prog.Main.IUSE.Has(prog.Var("i").ID) {
+		t.Errorf("IUSE(main) = %v", prog.Main.IUSE)
+	}
+	cs := prog.Sites[0]
+	if cs.Args[0].Var != nil {
+		t.Errorf("element val actual should not record a root Var, got %+v", cs.Args[0])
+	}
+}
+
+func TestValidatePasses(t *testing.T) {
+	p := mustAnalyze(t, nestedProgram)
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRepeatFacts(t *testing.T) {
+	p := mustAnalyze(t, `
+program rf;
+global x, y;
+begin
+  repeat x := x + 1 until x > y
+end.
+`)
+	if !p.Main.IMOD.Has(p.Var("x").ID) {
+		t.Error("IMOD(main) missing x")
+	}
+	if !p.Main.IUSE.Has(p.Var("y").ID) || !p.Main.IUSE.Has(p.Var("x").ID) {
+		t.Errorf("IUSE(main) = %v", p.Main.IUSE)
+	}
+}

@@ -1,0 +1,126 @@
+// Package token defines the lexical tokens of MiniPL, the small
+// imperative source language used to drive the interprocedural
+// analyses. MiniPL is a Fortran/Pascal hybrid chosen to exercise
+// exactly the features the paper's algorithms depend on: global
+// variables, call-by-reference and call-by-value formal parameters,
+// nested procedure declarations, arrays (for regular section
+// analysis), and recursion.
+package token
+
+import "fmt"
+
+// Kind enumerates the lexical token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT // x, swap
+	INT   // 42
+
+	// Punctuation.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	PERIOD    // .
+	ASSIGN    // :=
+	STAR      // * (also the "whole dimension" marker in sections)
+
+	// Operators.
+	PLUS  // +
+	MINUS // -
+	SLASH // /
+	EQ    // =
+	NEQ   // <>
+	LT    // <
+	LE    // <=
+	GT    // >
+	GE    // >=
+
+	// Keywords.
+	PROGRAM
+	GLOBAL
+	PROC
+	VAR
+	REF
+	VAL
+	BEGIN
+	END
+	CALL
+	IF
+	THEN
+	ELSE
+	WHILE
+	DO
+	FOR
+	TO
+	REPEAT
+	UNTIL
+	READ
+	WRITE
+	AND
+	OR
+	NOT
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT",
+	LPAREN: "(", RPAREN: ")", LBRACKET: "[", RBRACKET: "]",
+	COMMA: ",", SEMICOLON: ";", PERIOD: ".", ASSIGN: ":=", STAR: "*",
+	PLUS: "+", MINUS: "-", SLASH: "/",
+	EQ: "=", NEQ: "<>", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	PROGRAM: "program", GLOBAL: "global", PROC: "proc", VAR: "var",
+	REF: "ref", VAL: "val", BEGIN: "begin", END: "end", CALL: "call",
+	IF: "if", THEN: "then", ELSE: "else", WHILE: "while", DO: "do",
+	FOR: "for", TO: "to", REPEAT: "repeat", UNTIL: "until",
+	READ: "read", WRITE: "write",
+	AND: "and", OR: "or", NOT: "not",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"program": PROGRAM, "global": GLOBAL, "proc": PROC, "var": VAR,
+	"ref": REF, "val": VAL, "begin": BEGIN, "end": END, "call": CALL,
+	"if": IF, "then": THEN, "else": ELSE, "while": WHILE, "do": DO,
+	"for": FOR, "to": TO, "repeat": REPEAT, "until": UNTIL,
+	"read": READ, "write": WRITE,
+	"and": AND, "or": OR, "not": NOT,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

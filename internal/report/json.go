@@ -1,0 +1,123 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sideeffect/internal/alias"
+	"sideeffect/internal/core"
+	"sideeffect/internal/section"
+)
+
+// JSONReport is the stable machine-readable schema for a complete
+// analysis, designed for the separate-compilation scenario the paper's
+// programming environment ran in: summaries computed once, stored, and
+// recombined by downstream tools. Variable names are qualified as in
+// ir.Variable.String ("g" for globals, "proc.x" otherwise).
+type JSONReport struct {
+	Program    string          `json:"program"`
+	Procedures []JSONProcedure `json:"procedures"`
+	CallSites  []JSONCallSite  `json:"callSites"`
+}
+
+// JSONProcedure is one procedure's summary.
+type JSONProcedure struct {
+	Name   string `json:"name"`
+	Level  int    `json:"level"`
+	Parent string `json:"parent,omitempty"`
+	// GMOD/GUSE are the per-procedure summary sets.
+	GMOD []string `json:"gmod"`
+	GUSE []string `json:"guse"`
+	// RMOD lists the by-reference formals an invocation may modify.
+	RMOD []string `json:"rmod,omitempty"`
+	// Aliases lists the alias pairs holding on entry.
+	Aliases [][2]string `json:"aliases,omitempty"`
+}
+
+// JSONCallSite is one call site's final answer.
+type JSONCallSite struct {
+	ID       int      `json:"id"`
+	Caller   string   `json:"caller"`
+	Callee   string   `json:"callee"`
+	Pos      string   `json:"pos"`
+	MOD      []string `json:"mod"`
+	USE      []string `json:"use"`
+	Sections []string `json:"sections,omitempty"`
+}
+
+// BuildJSON assembles the report structure. mod and use must be the
+// two problem results for the same program; aliases and secMod may be
+// nil (the corresponding fields are then omitted and MOD/USE are the
+// unfactored DMOD/DUSE).
+func BuildJSON(mod, use *core.Result, aliases *alias.Analysis, secMod *section.Result) *JSONReport {
+	prog := mod.Prog
+	r := &JSONReport{Program: prog.Name}
+	modSets, useSets := mod.DMOD, use.DMOD
+	if aliases != nil {
+		modSets = aliases.Factor(mod.DMOD)
+		useSets = aliases.Factor(use.DMOD)
+	}
+	for _, p := range prog.Procs {
+		jp := JSONProcedure{
+			Name:  p.Name,
+			Level: p.Level,
+			GMOD:  VarNames(prog, mod.GMOD[p.ID]),
+			GUSE:  VarNames(prog, use.GMOD[p.ID]),
+		}
+		if p.Parent != nil {
+			jp.Parent = p.Parent.Name
+		}
+		for _, f := range p.Formals {
+			if mod.RMOD.Of(f) {
+				jp.RMOD = append(jp.RMOD, f.Name)
+			}
+		}
+		if aliases != nil {
+			for _, pr := range aliases.Pairs(p) {
+				jp.Aliases = append(jp.Aliases,
+					[2]string{prog.Vars[pr.X].String(), prog.Vars[pr.Y].String()})
+			}
+		}
+		r.Procedures = append(r.Procedures, jp)
+	}
+	for _, cs := range prog.Sites {
+		jc := JSONCallSite{
+			ID:     cs.ID,
+			Caller: cs.Caller.Name,
+			Callee: cs.Callee.Name,
+			Pos:    cs.Pos.String(),
+			MOD:    VarNames(prog, modSets[cs.ID]),
+			USE:    VarNames(prog, useSets[cs.ID]),
+		}
+		if secMod != nil {
+			at := secMod.AtCall(cs)
+			ids := make([]int, 0, len(at))
+			for id := range at {
+				ids = append(ids, id)
+			}
+			sortInts(ids)
+			for _, id := range ids {
+				jc.Sections = append(jc.Sections, at[id].Format(prog.Vars[id].Name, prog.Vars))
+			}
+		}
+		r.CallSites = append(r.CallSites, jc)
+	}
+	return r
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// JSON renders the report as indented JSON.
+func JSON(mod, use *core.Result, aliases *alias.Analysis, secMod *section.Result) (string, error) {
+	b, err := json.MarshalIndent(BuildJSON(mod, use, aliases, secMod), "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return string(b) + "\n", nil
+}

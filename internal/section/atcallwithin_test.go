@@ -1,0 +1,77 @@
+package section
+
+import (
+	"testing"
+
+	"sideeffect/internal/core"
+)
+
+func TestAtCallWithin(t *testing.T) {
+	prog := fromSource(t, `
+program acw;
+global A[16, 16], n, i;
+proc colop(ref c[*], val m)
+  var r;
+begin
+  for r := 1 to m do c[r] := 0 end
+end;
+begin
+  for i := 1 to n do
+    call colop(A[*, i], n)
+  end
+end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	cs := prog.Sites[0]
+	i := prog.Var("i")
+	aID := prog.Var("A").ID
+
+	// Whole-procedure view: i is modified by the loop, so the column
+	// coordinate widens.
+	whole := res.AtCall(cs)[aID]
+	if !whole.IsWhole() {
+		t.Errorf("AtCall = %s, want A(*, *)", whole.Format("A", prog.Vars))
+	}
+	// Iteration-local view: i is pinned within one iteration.
+	local := res.AtCallWithin(cs, i)[aID]
+	want := NewRSD(StarAtom, SymAtom(i))
+	if !local.Equal(want) {
+		t.Errorf("AtCallWithin = %s, want A(*, i)", local.Format("A", prog.Vars))
+	}
+	// The override must not leak: a second plain AtCall still widens.
+	again := res.AtCall(cs)[aID]
+	if !again.IsWhole() {
+		t.Errorf("AtCall after AtCallWithin = %s (invariance state leaked)",
+			again.Format("A", prog.Vars))
+	}
+}
+
+func TestAtomEqual(t *testing.T) {
+	if !StarAtom.Equal(StarAtom) {
+		t.Error("StarAtom ≠ itself")
+	}
+	if ConstAtom(1).Equal(ConstAtom(2)) {
+		t.Error("distinct constants compare equal")
+	}
+	if ConstAtom(1).Equal(StarAtom) {
+		t.Error("const equals star")
+	}
+}
+
+func TestFormalOfNonArray(t *testing.T) {
+	prog := fromSource(t, `
+program f;
+global g;
+proc q(ref x) begin x := 1 end;
+begin call q(g) end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	// Scalar formals report ⊤ (sections only describe arrays).
+	if !res.FormalOf(prog.Var("q.x")).IsNone() {
+		t.Error("scalar formal should be ⊤")
+	}
+	// Non-formals too.
+	if !res.FormalOf(prog.Var("g")).IsNone() {
+		t.Error("global should be ⊤")
+	}
+}

@@ -1,0 +1,112 @@
+package section
+
+import "fmt"
+
+// Lattice selects the regular-section lattice instance. The paper
+// (after Callahan & Kennedy) points out that the framework
+// accommodates a spectrum of lattices that trade representation and
+// meet cost for precision; this package implements two:
+//
+//   - SimpleSections — the paper's Figure 3: a dimension is an exact
+//     coordinate (constant or invariant symbol) or the whole extent.
+//     Two different constants generalize straight to ⋆.
+//   - BoundedSections — constants additionally generalize to *bounded
+//     ranges* lo:hi (the convex hull), so A(1) ⊓ A(3) = A(1:3) instead
+//     of A(*). Intersection tests can then separate A(1:3, j) from
+//     A(7:9, j), which the simple lattice cannot.
+//
+// Meets stay O(rank); the bounded lattice is deeper (its descent per
+// dimension is bounded by the number of distinct constants in the
+// program), which is exactly the cost/precision trade the paper's
+// Section 6 discusses — and, as it notes, the solver's complexity
+// does not depend on that depth.
+type Lattice int
+
+// Lattice instances.
+const (
+	SimpleSections Lattice = iota
+	BoundedSections
+)
+
+// String names the lattice.
+func (l Lattice) String() string {
+	if l == BoundedSections {
+		return "bounded"
+	}
+	return "simple"
+}
+
+// RangeAtom returns a bounded coordinate lo:hi (inclusive). Callers
+// normally obtain ranges from bounded meets rather than directly.
+func RangeAtom(lo, hi int) Atom {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo == hi {
+		return ConstAtom(lo)
+	}
+	return Atom{Kind: Range, C: lo, C2: hi}
+}
+
+// span returns the constant bounds of an atom, if it has them.
+func span(a Atom) (lo, hi int, ok bool) {
+	switch a.Kind {
+	case Const:
+		return a.C, a.C, true
+	case Range:
+		return a.C, a.C2, true
+	}
+	return 0, 0, false
+}
+
+// MeetAtomIn generalizes two coordinates under the chosen lattice.
+func MeetAtomIn(l Lattice, a, b Atom) Atom {
+	if a == b {
+		return a
+	}
+	if l == BoundedSections {
+		if alo, ahi, ok := span(a); ok {
+			if blo, bhi, ok2 := span(b); ok2 {
+				lo, hi := alo, ahi
+				if blo < lo {
+					lo = blo
+				}
+				if bhi > hi {
+					hi = bhi
+				}
+				return RangeAtom(lo, hi)
+			}
+		}
+	}
+	return StarAtom
+}
+
+// MeetIn is Meet under the chosen lattice.
+func MeetIn(l Lattice, a, b RSD) RSD {
+	if a.None {
+		return b
+	}
+	if b.None {
+		return a
+	}
+	if len(a.Dims) != len(b.Dims) {
+		panic(fmt.Sprintf("section: meet of rank %d and rank %d", len(a.Dims), len(b.Dims)))
+	}
+	out := make([]Atom, len(a.Dims))
+	for i := range out {
+		out[i] = MeetAtomIn(l, a.Dims[i], b.Dims[i])
+	}
+	return RSD{Dims: out}
+}
+
+// atomsMayOverlap reports whether two coordinates can denote a common
+// index.
+func atomsMayOverlap(x, y Atom) bool {
+	xlo, xhi, xok := span(x)
+	ylo, yhi, yok := span(y)
+	if xok && yok {
+		return xlo <= yhi && ylo <= xhi
+	}
+	// A symbol or ⋆ may coincide with anything.
+	return true
+}

@@ -1,0 +1,199 @@
+package section
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sideeffect/internal/core"
+)
+
+func TestBoundedMeetAtoms(t *testing.T) {
+	cases := []struct {
+		a, b, want Atom
+	}{
+		{ConstAtom(1), ConstAtom(3), RangeAtom(1, 3)},
+		{ConstAtom(3), ConstAtom(1), RangeAtom(1, 3)},
+		{ConstAtom(2), ConstAtom(2), ConstAtom(2)},
+		{RangeAtom(1, 3), ConstAtom(7), RangeAtom(1, 7)},
+		{RangeAtom(1, 3), RangeAtom(2, 9), RangeAtom(1, 9)},
+		{ConstAtom(1), StarAtom, StarAtom},
+		{RangeAtom(1, 3), StarAtom, StarAtom},
+		{Atom{Kind: Sym, V: 0}, ConstAtom(1), StarAtom},
+		{Atom{Kind: Sym, V: 0}, Atom{Kind: Sym, V: 0}, Atom{Kind: Sym, V: 0}},
+		{Atom{Kind: Sym, V: 0}, Atom{Kind: Sym, V: 1}, StarAtom},
+	}
+	for _, c := range cases {
+		if got := MeetAtomIn(BoundedSections, c.a, c.b); got != c.want {
+			t.Errorf("bounded %v ⊓ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// The simple lattice never produces ranges.
+	if got := MeetAtomIn(SimpleSections, ConstAtom(1), ConstAtom(3)); got != StarAtom {
+		t.Errorf("simple 1 ⊓ 3 = %v, want ⋆", got)
+	}
+}
+
+func TestRangeAtomNormalizes(t *testing.T) {
+	if RangeAtom(5, 2) != RangeAtom(2, 5) {
+		t.Error("RangeAtom does not normalize order")
+	}
+	if RangeAtom(4, 4) != ConstAtom(4) {
+		t.Error("degenerate range should collapse to a constant")
+	}
+}
+
+func TestRangeIntersection(t *testing.T) {
+	a := NewRSD(RangeAtom(1, 3), StarAtom)
+	b := NewRSD(RangeAtom(7, 9), StarAtom)
+	c := NewRSD(RangeAtom(3, 7), StarAtom)
+	if MayIntersect(a, b) {
+		t.Error("1:3 and 7:9 must be disjoint")
+	}
+	if !MayIntersect(a, c) || !MayIntersect(b, c) {
+		t.Error("3:7 touches both")
+	}
+	if MayIntersect(NewRSD(ConstAtom(5)), NewRSD(RangeAtom(1, 3))) {
+		t.Error("5 outside 1:3")
+	}
+	if !MayIntersect(NewRSD(ConstAtom(2)), NewRSD(RangeAtom(1, 3))) {
+		t.Error("2 inside 1:3")
+	}
+}
+
+func TestRangeFormat(t *testing.T) {
+	r := NewRSD(RangeAtom(1, 3), StarAtom)
+	if got := r.Format("A", nil); got != "A(1:3, *)" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func randomBoundedAtom(r *rand.Rand) Atom {
+	switch r.Intn(4) {
+	case 0:
+		return StarAtom
+	case 1:
+		return ConstAtom(r.Intn(5))
+	case 2:
+		return Atom{Kind: Sym, V: r.Intn(3)}
+	default:
+		lo := r.Intn(5)
+		return RangeAtom(lo, lo+1+r.Intn(4))
+	}
+}
+
+func TestQuickBoundedLatticeLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() RSD {
+			if r.Intn(8) == 0 {
+				return Unaccessed()
+			}
+			return NewRSD(randomBoundedAtom(r), randomBoundedAtom(r))
+		}
+		a, b, c := mk(), mk(), mk()
+		in := func(x, y RSD) RSD { return MeetIn(BoundedSections, x, y) }
+		if !in(a, b).Equal(in(b, a)) {
+			return false
+		}
+		if !in(in(a, b), c).Equal(in(a, in(b, c))) {
+			return false
+		}
+		if !in(a, a).Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoundedRefinesSimple checks the precision relation: the
+// bounded meet's region is contained in the simple meet's region
+// (everything the bounded descriptor can denote, the simple one can).
+func TestQuickBoundedRefinesSimple(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewRSD(randomBoundedAtom(r), randomBoundedAtom(r))
+		b := NewRSD(randomBoundedAtom(r), randomBoundedAtom(r))
+		bm := MeetIn(BoundedSections, a, b)
+		sm := MeetIn(SimpleSections, a, b)
+		// Per dimension the two meets either agree exactly, or the
+		// simple lattice widened to ⋆ where the bounded one kept
+		// something tighter — i.e. region(bounded) ⊆ region(simple).
+		for i := range bm.Dims {
+			sa, ba := sm.Dims[i], bm.Dims[i]
+			if sa != ba && sa.Kind != Star {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundedSolverKeepsDisjointBlocks runs the full section analysis
+// under both lattices on a program whose procedures write constant
+// blocks of an array; only the bounded lattice can keep the two halves
+// apart.
+func TestBoundedSolverKeepsDisjointBlocks(t *testing.T) {
+	prog := fromSource(t, `
+program blocks;
+global A[100];
+proc low(ref v[*])
+begin
+  v[1] := 0;
+  v[2] := 0;
+  v[3] := 0
+end;
+proc high(ref v[*])
+begin
+  v[90] := 0;
+  v[91] := 0
+end;
+begin
+  call low(A);
+  call high(A)
+end.
+`)
+	modRes := core.Analyze(prog, core.Mod, core.Options{})
+
+	simple := AnalyzeIn(modRes, core.Mod, SimpleSections)
+	bounded := AnalyzeIn(modRes, core.Mod, BoundedSections)
+	aID := prog.Var("A").ID
+
+	// Simple lattice: each callee's summary widens to A(*).
+	if got := simple.AtCall(prog.Sites[0])[aID]; !got.IsWhole() {
+		t.Errorf("simple low = %s, want A(*)", got.Format("A", prog.Vars))
+	}
+	// Bounded lattice: A(1:3) and A(90:91), provably disjoint.
+	lo := bounded.AtCall(prog.Sites[0])[aID]
+	hi := bounded.AtCall(prog.Sites[1])[aID]
+	if !lo.Equal(NewRSD(RangeAtom(1, 3))) {
+		t.Errorf("bounded low = %s, want A(1:3)", lo.Format("A", prog.Vars))
+	}
+	if !hi.Equal(NewRSD(RangeAtom(90, 91))) {
+		t.Errorf("bounded high = %s, want A(90:91)", hi.Format("A", prog.Vars))
+	}
+	if MayIntersect(lo, hi) {
+		t.Error("bounded blocks must be provably disjoint")
+	}
+	// The merged per-procedure summary at main still meets into one
+	// hull under the bounded lattice.
+	merged := bounded.Global[prog.Main.ID][aID]
+	if !merged.Equal(NewRSD(RangeAtom(1, 91))) {
+		t.Errorf("merged = %s, want A(1:91)", merged.Format("A", prog.Vars))
+	}
+	if bounded.Lattice != BoundedSections || simple.Lattice != SimpleSections {
+		t.Error("Lattice field not recorded")
+	}
+}
+
+func TestLatticeString(t *testing.T) {
+	if SimpleSections.String() != "simple" || BoundedSections.String() != "bounded" {
+		t.Error("Lattice.String wrong")
+	}
+}

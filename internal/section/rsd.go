@@ -1,0 +1,213 @@
+// Package section implements regular section analysis (Section 6 of
+// the paper, after Callahan & Kennedy): side-effect summaries whose
+// elements are not single bits but descriptors of array subregions, so
+// that a call that modifies one row or column of an array is not
+// reported as modifying the whole array — the precision that loop
+// parallelization across call sites needs.
+//
+// The lattice is the one of the paper's Figure 3: for a rank-r array,
+// a regular section descriptor (RSD) fixes each dimension to a
+// constant, to an invariant symbol, or leaves it whole (⋆):
+//
+//	A(I,J)   A(K,J)   A(K,L)        single elements
+//	    A(*,J)    A(K,*)            whole columns / rows
+//	         A(*,*)                 the whole array
+//
+// plus a top element ("unaccessed"). The meet generalizes per
+// dimension: equal atoms stay, differing atoms widen to ⋆.
+package section
+
+import (
+	"fmt"
+	"strings"
+
+	"sideeffect/internal/ir"
+)
+
+// AtomKind classifies one dimension of an RSD.
+type AtomKind int
+
+// Atom kinds.
+const (
+	// Star is the whole extent of the dimension.
+	Star AtomKind = iota
+	// Const is a known integer subscript.
+	Const
+	// Sym is an invariant symbolic subscript, identified by the
+	// variable's ID.
+	Sym
+	// Range is a bounded span of constant subscripts lo:hi (produced
+	// only under the BoundedSections lattice; see bounded.go).
+	Range
+)
+
+// Atom is one dimension coordinate of a regular section.
+type Atom struct {
+	Kind AtomKind
+	// C is the constant for Const atoms and the lower bound for Range
+	// atoms.
+	C int
+	// C2 is the upper bound for Range atoms.
+	C2 int
+	// V is the variable ID for Sym atoms.
+	V int
+}
+
+// StarAtom is the whole-dimension coordinate.
+var StarAtom = Atom{Kind: Star}
+
+// ConstAtom returns a constant coordinate.
+func ConstAtom(c int) Atom { return Atom{Kind: Const, C: c} }
+
+// SymAtom returns a symbolic coordinate for variable v.
+func SymAtom(v *ir.Variable) Atom { return Atom{Kind: Sym, V: v.ID} }
+
+// Equal reports atom equality.
+func (a Atom) Equal(b Atom) bool { return a == b }
+
+// MeetAtom generalizes two coordinates: equal atoms are preserved,
+// anything else widens to ⋆.
+func MeetAtom(a, b Atom) Atom {
+	if a == b {
+		return a
+	}
+	return StarAtom
+}
+
+// RSD is a regular section descriptor for one array. The zero value is
+// not meaningful; use Unaccessed or NewRSD.
+type RSD struct {
+	// None marks the top element: the array is not accessed at all.
+	None bool
+	// Dims holds one atom per array dimension (empty when None).
+	Dims []Atom
+}
+
+// Unaccessed returns the top element ⊤ (no access).
+func Unaccessed() RSD { return RSD{None: true} }
+
+// NewRSD returns a section with the given coordinates.
+func NewRSD(dims ...Atom) RSD { return RSD{Dims: dims} }
+
+// Whole returns the bottom element for rank r: the entire array.
+func Whole(r int) RSD {
+	d := make([]Atom, r)
+	for i := range d {
+		d[i] = StarAtom
+	}
+	return RSD{Dims: d}
+}
+
+// IsNone reports whether the RSD is ⊤ (unaccessed).
+func (r RSD) IsNone() bool { return r.None }
+
+// IsWhole reports whether every dimension is ⋆ (the bottom element).
+func (r RSD) IsWhole() bool {
+	if r.None {
+		return false
+	}
+	for _, a := range r.Dims {
+		if a.Kind != Star {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank returns the number of dimensions (0 for ⊤ and for scalars).
+func (r RSD) Rank() int { return len(r.Dims) }
+
+// Equal reports structural equality.
+func (r RSD) Equal(s RSD) bool {
+	if r.None != s.None || len(r.Dims) != len(s.Dims) {
+		return false
+	}
+	for i := range r.Dims {
+		if r.Dims[i] != s.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet returns the greatest lower bound of two descriptors of the same
+// array under the paper's Figure-3 lattice (SimpleSections): ⊤ is the
+// identity; otherwise dimensions generalize pointwise. Meeting
+// descriptors of different ranks is a programming error and panics (it
+// would mean mixing descriptors of different arrays). For the bounded
+// lattice use MeetIn.
+func Meet(a, b RSD) RSD {
+	return MeetIn(SimpleSections, a, b)
+}
+
+// Leq reports r ⊑ s in the lattice order (r is below s, i.e. r is the
+// more conservative / wider descriptor; Meet(a, b) ⊑ a and ⊑ b).
+func Leq(r, s RSD) bool {
+	return Meet(r, s).Equal(r)
+}
+
+// MayIntersect reports whether the regions described by two RSDs of
+// the same array can overlap. It is conservative: only dimensions with
+// provably disjoint constant spans (distinct constants, or
+// non-overlapping bounded ranges) separate regions — distinct symbols
+// may carry equal values at run time. ⊤ intersects nothing.
+func MayIntersect(a, b RSD) bool {
+	if a.None || b.None {
+		return false
+	}
+	for i := range a.Dims {
+		if !atomsMayOverlap(a.Dims[i], b.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DisjointAcrossIterations reports whether two occurrences of the
+// descriptors, taken from *different iterations* of a loop over the
+// index variable loopVar, are provably disjoint: some dimension pins
+// both descriptors to the symbol loopVar, whose value differs between
+// distinct iterations. This is the data-decomposition test the paper's
+// Section 6 motivates (each processor works on its own row/column).
+func DisjointAcrossIterations(a, b RSD, loopVar *ir.Variable) bool {
+	if a.None || b.None {
+		return true
+	}
+	if len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		x, y := a.Dims[i], b.Dims[i]
+		if x.Kind == Sym && y.Kind == Sym && x.V == loopVar.ID && y.V == loopVar.ID {
+			return true
+		}
+	}
+	// Also disjoint if plainly non-intersecting.
+	return !MayIntersect(a, b)
+}
+
+// Format renders the RSD for array name using the variables table for
+// symbolic atoms, e.g. "A(*, j)" or "A(⊤)".
+func (r RSD) Format(name string, vars []*ir.Variable) string {
+	if r.None {
+		return name + "(⊤)"
+	}
+	parts := make([]string, len(r.Dims))
+	for i, a := range r.Dims {
+		switch a.Kind {
+		case Star:
+			parts[i] = "*"
+		case Const:
+			parts[i] = fmt.Sprintf("%d", a.C)
+		case Sym:
+			if a.V >= 0 && a.V < len(vars) {
+				parts[i] = vars[a.V].Name
+			} else {
+				parts[i] = fmt.Sprintf("v%d", a.V)
+			}
+		case Range:
+			parts[i] = fmt.Sprintf("%d:%d", a.C, a.C2)
+		}
+	}
+	return name + "(" + strings.Join(parts, ", ") + ")"
+}

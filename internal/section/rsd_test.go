@@ -1,0 +1,224 @@
+package section
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sideeffect/internal/ir"
+)
+
+// figure3 builds the paper's Figure 3 lattice instance: symbolic
+// parameters I, J, K, L over a rank-2 array A.
+func figure3(t *testing.T) (vars map[string]*ir.Variable, mk func(a, b string) RSD) {
+	t.Helper()
+	b := ir.NewBuilder("fig3")
+	vars = map[string]*ir.Variable{}
+	for _, n := range []string{"I", "J", "K", "L"} {
+		vars[n] = b.Global(n)
+	}
+	atom := func(s string) Atom {
+		if s == "*" {
+			return StarAtom
+		}
+		return SymAtom(vars[s])
+	}
+	mk = func(a, b string) RSD { return NewRSD(atom(a), atom(b)) }
+	return vars, mk
+}
+
+// TestFigure3Lattice reproduces the meet structure of the paper's
+// Figure 3: single elements meet into rows/columns, rows and columns
+// meet into the whole array.
+func TestFigure3Lattice(t *testing.T) {
+	_, mk := figure3(t)
+	aIJ := mk("I", "J")
+	aKJ := mk("K", "J")
+	aKL := mk("K", "L")
+	colJ := mk("*", "J")
+	rowK := mk("K", "*")
+	whole := mk("*", "*")
+
+	cases := []struct {
+		a, b, want RSD
+		desc       string
+	}{
+		{aIJ, aKJ, colJ, "A(I,J) ⊓ A(K,J) = A(*,J)"},
+		{aKJ, aKL, rowK, "A(K,J) ⊓ A(K,L) = A(K,*)"},
+		{aIJ, aKL, whole, "A(I,J) ⊓ A(K,L) = A(*,*)"},
+		{colJ, rowK, whole, "A(*,J) ⊓ A(K,*) = A(*,*)"},
+		{aKJ, colJ, colJ, "A(K,J) ⊓ A(*,J) = A(*,J)"},
+		{aKJ, rowK, rowK, "A(K,J) ⊓ A(K,*) = A(K,*)"},
+		{whole, aIJ, whole, "A(*,*) ⊓ A(I,J) = A(*,*)"},
+	}
+	for _, c := range cases {
+		if got := Meet(c.a, c.b); !got.Equal(c.want) {
+			t.Errorf("%s: got %+v", c.desc, got)
+		}
+		if got := Meet(c.b, c.a); !got.Equal(c.want) {
+			t.Errorf("%s (flipped): got %+v", c.desc, got)
+		}
+	}
+	// Order relations of the figure.
+	for _, pair := range [][2]RSD{{colJ, aIJ}, {colJ, aKJ}, {rowK, aKJ}, {rowK, aKL}, {whole, colJ}, {whole, rowK}} {
+		if !Leq(pair[0], pair[1]) {
+			t.Errorf("expected %+v ⊑ %+v", pair[0], pair[1])
+		}
+		if Leq(pair[1], pair[0]) {
+			t.Errorf("unexpected %+v ⊑ %+v", pair[1], pair[0])
+		}
+	}
+	if !whole.IsWhole() || aIJ.IsWhole() {
+		t.Error("IsWhole misclassifies")
+	}
+}
+
+func TestUnaccessedIdentity(t *testing.T) {
+	_, mk := figure3(t)
+	x := mk("K", "*")
+	if !Meet(Unaccessed(), x).Equal(x) || !Meet(x, Unaccessed()).Equal(x) {
+		t.Error("⊤ is not the meet identity")
+	}
+	if !Meet(Unaccessed(), Unaccessed()).IsNone() {
+		t.Error("⊤ ⊓ ⊤ ≠ ⊤")
+	}
+	if Unaccessed().IsWhole() {
+		t.Error("⊤ reported as whole")
+	}
+}
+
+func TestMeetRankMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("meet of different ranks did not panic")
+		}
+	}()
+	Meet(Whole(1), Whole(2))
+}
+
+func TestMayIntersect(t *testing.T) {
+	_, mk := figure3(t)
+	if !MayIntersect(mk("K", "J"), mk("K", "*")) {
+		t.Error("row and element in the row must intersect")
+	}
+	if !MayIntersect(mk("I", "J"), mk("K", "J")) {
+		t.Error("distinct symbols may be equal: must intersect")
+	}
+	if MayIntersect(NewRSD(ConstAtom(1), StarAtom), NewRSD(ConstAtom(2), StarAtom)) {
+		t.Error("distinct constant rows cannot intersect")
+	}
+	if !MayIntersect(NewRSD(ConstAtom(1), StarAtom), NewRSD(StarAtom, ConstAtom(5))) {
+		t.Error("row 1 and column 5 intersect at (1,5)")
+	}
+	if MayIntersect(Unaccessed(), Whole(2)) {
+		t.Error("⊤ intersects nothing")
+	}
+}
+
+func TestDisjointAcrossIterations(t *testing.T) {
+	vars, mk := figure3(t)
+	i := vars["I"]
+	rowI := mk("I", "*")
+	if !DisjointAcrossIterations(rowI, rowI, i) {
+		t.Error("row I vs row I across iterations of i must be disjoint")
+	}
+	colJ := mk("*", "J")
+	if DisjointAcrossIterations(colJ, colJ, i) {
+		t.Error("column J does not vary with i: not disjoint")
+	}
+	if DisjointAcrossIterations(Whole(2), Whole(2), i) {
+		t.Error("whole array overlaps itself")
+	}
+	if !DisjointAcrossIterations(Unaccessed(), Whole(2), i) {
+		t.Error("⊤ is disjoint from everything")
+	}
+	// Mixed element: A(I, J) vs A(I, L) — dimension 0 pins the loop
+	// variable in both → disjoint across iterations.
+	if !DisjointAcrossIterations(mk("I", "J"), mk("I", "L"), i) {
+		t.Error("elements in row I across iterations must be disjoint")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	b := ir.NewBuilder("f")
+	j := b.Global("j")
+	prog := b.MustFinish()
+	r := NewRSD(StarAtom, SymAtom(j))
+	if got := r.Format("A", prog.Vars); got != "A(*, j)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := NewRSD(ConstAtom(3)).Format("B", prog.Vars); got != "B(3)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := Unaccessed().Format("C", prog.Vars); got != "C(⊤)" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+// randomRSD generates a random rank-2 descriptor over a small symbol
+// universe.
+func randomRSD(r *rand.Rand) RSD {
+	if r.Intn(8) == 0 {
+		return Unaccessed()
+	}
+	mk := func() Atom {
+		switch r.Intn(3) {
+		case 0:
+			return StarAtom
+		case 1:
+			return ConstAtom(r.Intn(3))
+		default:
+			return Atom{Kind: Sym, V: r.Intn(3)}
+		}
+	}
+	return NewRSD(mk(), mk())
+}
+
+func TestQuickLatticeLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomRSD(r), randomRSD(r), randomRSD(r)
+		if !Meet(a, b).Equal(Meet(b, a)) {
+			return false
+		}
+		if !Meet(Meet(a, b), c).Equal(Meet(a, Meet(b, c))) {
+			return false
+		}
+		if !Meet(a, a).Equal(a) {
+			return false
+		}
+		// Meet is a lower bound.
+		if !Leq(Meet(a, b), a) || !Leq(Meet(a, b), b) {
+			return false
+		}
+		// Whole is the bottom, ⊤ the top.
+		if !a.IsNone() {
+			if !Leq(Whole(2), a) || !Leq(a, Unaccessed()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeetWidensIntersection(t *testing.T) {
+	// If x intersects a then x intersects Meet(a, b): meets only widen
+	// regions.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, x := randomRSD(r), randomRSD(r), randomRSD(r)
+		if MayIntersect(x, a) && !MayIntersect(x, Meet(a, b)) {
+			return false
+		}
+		if !MayIntersect(a, b) != !MayIntersect(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

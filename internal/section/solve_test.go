@@ -1,0 +1,279 @@
+package section
+
+import (
+	"testing"
+
+	"sideeffect/internal/core"
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/sem"
+	"sideeffect/internal/workload"
+)
+
+func solve(t *testing.T, prog *ir.Program, kind core.Kind) (*core.Result, *Result) {
+	t.Helper()
+	modRes := core.Analyze(prog, core.Mod, core.Options{})
+	return modRes, Analyze(modRes, kind)
+}
+
+func fromSource(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := sem.AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestColumnSummary(t *testing.T) {
+	prog := fromSource(t, `
+program colupdate;
+global A[10, 10], n, j;
+proc setcol(ref c[*], val m)
+  var i;
+begin
+  for i := 1 to m do c[i] := 0 end
+end;
+begin
+  call setcol(A[*, j], n)
+end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	// rsd(setcol.c) = c(*): the subscript i is locally modified.
+	c := res.FormalOf(prog.Var("setcol.c"))
+	if c.IsNone() || !c.IsWhole() || c.Rank() != 1 {
+		t.Fatalf("rsd(c) = %+v, want c(*)", c)
+	}
+	// The call binds c to column j of A: the summary for A must be the
+	// single column A(*, j), NOT the whole array.
+	a := prog.Var("A")
+	got, ok := res.Global[prog.Main.ID][a.ID]
+	if !ok {
+		t.Fatal("no section recorded for A at main")
+	}
+	want := NewRSD(StarAtom, SymAtom(prog.Var("j")))
+	if !got.Equal(want) {
+		t.Errorf("section of A = %s, want A(*, j)", got.Format("A", prog.Vars))
+	}
+	// AtCall agrees.
+	atcall := res.AtCall(prog.Sites[0])
+	if !atcall[a.ID].Equal(want) {
+		t.Errorf("AtCall = %s", atcall[a.ID].Format("A", prog.Vars))
+	}
+}
+
+func TestRowVsWholeArray(t *testing.T) {
+	prog := fromSource(t, `
+program rows;
+global A[8, 8], k;
+proc setrow(ref r[*], val m) begin r[m] := 1 end;
+proc smash(ref M[*, *])
+  var i;
+begin
+  i := 2;
+  M[i, i] := 0
+end;
+begin
+  call setrow(A[k, *], 3);
+  call smash(A)
+end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	// setrow touches r(m) — symbolic element; mapped through A[k, *]
+	// it is the element A(k, 3→m? m := actual 3 constant-shaped... m
+	// is a val formal whose actual is the literal 3; literal actuals
+	// are not recorded as variables, so translation widens to ⋆:
+	// A(k, *), still only row k.
+	aID := prog.Var("A").ID
+	siteRow := prog.Sites[0]
+	rowSec := res.AtCall(siteRow)[aID]
+	if rowSec.Dims[0] != SymAtom(prog.Var("k")) {
+		t.Errorf("row call section = %s, want row k", rowSec.Format("A", prog.Vars))
+	}
+	// smash writes M[i,i] with i locally modified → whole array.
+	siteSmash := prog.Sites[1]
+	smashSec := res.AtCall(siteSmash)[aID]
+	if !smashSec.IsWhole() {
+		t.Errorf("smash section = %s, want A(*, *)", smashSec.Format("A", prog.Vars))
+	}
+	// GMOD-level classical analysis would say "A modified" for both —
+	// the section result strictly refines the first call.
+}
+
+func TestDivideConquerCycle(t *testing.T) {
+	prog := workload.DivideConquer()
+	_, res := solve(t, prog, core.Mod)
+	// rowop modifies row(j).
+	rowRSD := res.FormalOf(prog.Var("rowop.row"))
+	want := NewRSD(SymAtom(prog.Var("rowop.j")))
+	if !rowRSD.Equal(want) {
+		t.Errorf("rsd(row) = %+v, want row(j)", rowRSD)
+	}
+	// split's M: element (lo, lo) through the row binding; the
+	// recursive self-binding is the identity (g_p(x) ⊓ x = x), so the
+	// summary must stay the single element, not widen.
+	lo := prog.Var("split.lo")
+	mRSD := res.FormalOf(prog.Var("split.M"))
+	wantM := NewRSD(SymAtom(lo), SymAtom(lo))
+	if !mRSD.Equal(wantM) {
+		t.Errorf("rsd(M) = %+v, want M(lo, lo)", mRSD)
+	}
+	// At main: A(k, k).
+	k := prog.Var("k")
+	aSec := res.Global[prog.Main.ID][prog.Var("A").ID]
+	if !aSec.Equal(NewRSD(SymAtom(k), SymAtom(k))) {
+		t.Errorf("A section at main = %s, want A(k, k)", aSec.Format("A", prog.Vars))
+	}
+}
+
+func TestUseSections(t *testing.T) {
+	prog := fromSource(t, `
+program uses;
+global A[10], j, s;
+proc sum(ref v[*], val i) begin s := s + v[i] end;
+begin
+  call sum(A, j)
+end.
+`)
+	_, res := solve(t, prog, core.Use)
+	// USE side: sum reads v(i); mapped through the whole-array binding
+	// with actual j for i → A(j).
+	got := res.Global[prog.Main.ID][prog.Var("A").ID]
+	want := NewRSD(SymAtom(prog.Var("j")))
+	if !got.Equal(want) {
+		t.Errorf("use section = %s, want A(j)", got.Format("A", prog.Vars))
+	}
+	// MOD side: v is never written.
+	_, modSide := solve(t, prog, core.Mod)
+	if !modSide.FormalOf(prog.Var("sum.v")).IsNone() {
+		t.Error("MOD section of read-only formal should be ⊤")
+	}
+}
+
+func TestSubscriptModifiedByCalleeWidens(t *testing.T) {
+	// j is passed by reference to a procedure that modifies it, so j
+	// is in GMOD(main) and cannot serve as a symbolic coordinate of
+	// main's access.
+	prog := fromSource(t, `
+program widen;
+global A[10], j;
+proc bump(ref x) begin x := x + 1 end;
+proc touch(ref v[*], val i) begin v[i] := 0 end;
+begin
+  call bump(j);
+  call touch(A, j)
+end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	got := res.Global[prog.Main.ID][prog.Var("A").ID]
+	if !got.IsWhole() {
+		t.Errorf("section = %s, want A(*) (j is not invariant)", got.Format("A", prog.Vars))
+	}
+}
+
+func TestCalleeLocalSymbolWidens(t *testing.T) {
+	prog := fromSource(t, `
+program loc;
+global A[10];
+proc touch(ref v[*])
+  var i;
+begin
+  i := 3;
+  v[i] := 0
+end;
+begin call touch(A) end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	got := res.Global[prog.Main.ID][prog.Var("A").ID]
+	if !got.IsWhole() {
+		t.Errorf("section = %s, want A(*)", got.Format("A", prog.Vars))
+	}
+}
+
+func TestConstantSections(t *testing.T) {
+	prog := fromSource(t, `
+program consts;
+global A[10, 10];
+proc first(ref M[*, *]) begin M[1, 1] := 0 end;
+proc second(ref M[*, *]) begin M[2, 2] := 0 end;
+begin
+  call first(A);
+  call second(A)
+end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	s1 := res.AtCall(prog.Sites[0])[prog.Var("A").ID]
+	s2 := res.AtCall(prog.Sites[1])[prog.Var("A").ID]
+	if !s1.Equal(NewRSD(ConstAtom(1), ConstAtom(1))) {
+		t.Errorf("s1 = %s", s1.Format("A", prog.Vars))
+	}
+	if MayIntersect(s1, s2) {
+		t.Error("A(1,1) and A(2,2) must be disjoint")
+	}
+	// The merged per-procedure summary at main is the meet: A(*, *).
+	merged := res.Global[prog.Main.ID][prog.Var("A").ID]
+	if !merged.IsWhole() {
+		t.Errorf("merged = %s", merged.Format("A", prog.Vars))
+	}
+}
+
+func TestParallelizableLoopPattern(t *testing.T) {
+	// The motivating pattern of Section 6: a loop calling a procedure
+	// that updates only column i — iterations touch disjoint columns.
+	prog := fromSource(t, `
+program par;
+global A[100, 100], n, i;
+proc colop(ref c[*], val m)
+  var r;
+begin
+  for r := 1 to m do c[r] := c[r] + 1 end
+end;
+begin
+  for i := 1 to n do
+    call colop(A[*, i], n)
+  end
+end.
+`)
+	_, res := solve(t, prog, core.Mod)
+	cs := prog.Sites[0]
+	sec := res.AtCall(cs)[prog.Var("A").ID]
+	// i is modified by main (the loop), so as a *summary for all of
+	// main* the column subscript widens; but at the call site, the
+	// iteration-local view keeps i: this is exactly the refinement the
+	// parallelizer needs, computed against the callee-side summary.
+	// AtCall uses main's invariance, so expect A(*, *) here...
+	if sec.Rank() != 2 {
+		t.Fatalf("rank = %d", sec.Rank())
+	}
+	// ...and the iteration-local section (treating the loop index as
+	// fixed within one iteration) keeps the column: reconstruct it via
+	// FormalOf + manual inspection.
+	c := res.FormalOf(prog.Var("colop.c"))
+	if !c.IsWhole() || c.Rank() != 1 {
+		t.Fatalf("rsd(c) = %+v", c)
+	}
+	// With rsd(c) = c(*) and the actual A[*, i], one iteration touches
+	// column i only; across iterations the sections are disjoint.
+	it1 := NewRSD(StarAtom, SymAtom(prog.Var("i")))
+	if !DisjointAcrossIterations(it1, it1, prog.Var("i")) {
+		t.Error("column-i updates across iterations must be disjoint")
+	}
+}
+
+func TestStatsCounted(t *testing.T) {
+	prog := workload.DivideConquer()
+	_, res := solve(t, prog, core.Mod)
+	if res.Stats.Meets == 0 || res.Stats.MapApps == 0 {
+		t.Errorf("stats not counted: %+v", res.Stats)
+	}
+}
+
+func TestAnalyzeRequiresModResult(t *testing.T) {
+	prog := workload.DivideConquer()
+	useRes := core.Analyze(prog, core.Use, core.Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Analyze accepted a Use-kind core result")
+		}
+	}()
+	Analyze(useRes, core.Mod)
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"sideeffect/internal/ir"
+)
+
+// Emit renders a program model back to MiniPL source text. The
+// emission is semantics-faithful for everything the analyses consume:
+// re-analyzing the emitted source yields the same procedures, local
+// facts (IMOD/IUSE), array accesses, and call sites (matched by name;
+// internal IDs may be numbered differently).
+//
+// To keep references from nested scopes unambiguous, formals and
+// locals are renamed to globally unique names (f_<proc>_<ordinal>,
+// t_<proc>_<n>); globals keep their names.
+func Emit(prog *ir.Program) string {
+	e := &emitter{prog: prog, names: make([]string, prog.NumVars())}
+	for _, v := range prog.Vars {
+		switch {
+		case v.Kind == ir.Global:
+			e.names[v.ID] = v.Name
+		case v.IsFormal():
+			e.names[v.ID] = fmt.Sprintf("f_%s_%d", v.Owner.Name, v.Ordinal)
+		default:
+			e.names[v.ID] = fmt.Sprintf("t_%s_%s", v.Owner.Name, v.Name)
+		}
+	}
+	e.printf("program %s;\n", sanitize(prog.Name))
+	for _, v := range prog.Vars {
+		if v.Kind != ir.Global {
+			continue
+		}
+		if v.Rank() == 0 {
+			e.printf("global %s;\n", v.Name)
+		} else {
+			dims := make([]string, v.Rank())
+			for i, d := range v.Dims {
+				if d <= 0 {
+					d = 100
+				}
+				dims[i] = fmt.Sprint(d)
+			}
+			e.printf("global %s[%s];\n", v.Name, strings.Join(dims, ", "))
+		}
+	}
+	e.printf("\n")
+	for _, p := range prog.Procs {
+		if p.IsMain || p.Parent != nil {
+			continue
+		}
+		e.proc(p, 0)
+	}
+	e.printf("begin\n")
+	e.body(prog.Main, 1)
+	e.printf("end.\n")
+	return e.b.String()
+}
+
+type emitter struct {
+	prog  *ir.Program
+	b     strings.Builder
+	names []string
+}
+
+func (e *emitter) printf(format string, args ...any) {
+	fmt.Fprintf(&e.b, format, args...)
+}
+
+func (e *emitter) indent(n int) {
+	for i := 0; i < n; i++ {
+		e.b.WriteString("  ")
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "prog"
+	}
+	return b.String()
+}
+
+func (e *emitter) proc(p *ir.Procedure, depth int) {
+	e.indent(depth)
+	params := make([]string, len(p.Formals))
+	for i, f := range p.Formals {
+		mode := "ref"
+		if f.Kind == ir.FormalVal {
+			mode = "val"
+		}
+		stars := ""
+		if f.Rank() > 0 {
+			ss := make([]string, f.Rank())
+			for j := range ss {
+				ss[j] = "*"
+			}
+			stars = "[" + strings.Join(ss, ", ") + "]"
+		}
+		params[i] = fmt.Sprintf("%s %s%s", mode, e.names[f.ID], stars)
+	}
+	e.printf("proc %s(%s)\n", p.Name, strings.Join(params, ", "))
+	for _, l := range p.Locals {
+		e.indent(depth + 1)
+		if l.Rank() == 0 {
+			e.printf("var %s;\n", e.names[l.ID])
+		} else {
+			dims := make([]string, l.Rank())
+			for i, d := range l.Dims {
+				if d <= 0 {
+					d = 100
+				}
+				dims[i] = fmt.Sprint(d)
+			}
+			e.printf("var %s[%s];\n", e.names[l.ID], strings.Join(dims, ", "))
+		}
+	}
+	for _, n := range p.Nested {
+		e.proc(n, depth+1)
+	}
+	e.indent(depth)
+	e.printf("begin\n")
+	e.body(p, depth+1)
+	e.indent(depth)
+	e.printf("end;\n\n")
+}
+
+// body emits statements realizing the procedure's recorded facts:
+// scalar modifications as assignments, scalar uses as writes, array
+// accesses literally, and calls with their argument shapes.
+func (e *emitter) body(p *ir.Procedure, depth int) {
+	stmt := func(format string, args ...any) {
+		e.indent(depth)
+		e.printf(format+";\n", args...)
+	}
+	// Scalar direct modifications (arrays are covered by Accesses).
+	p.IMOD.ForEach(func(id int) {
+		v := e.prog.Vars[id]
+		if v.Rank() == 0 {
+			stmt("%s := 0", e.names[id])
+		}
+	})
+	// Scalar direct uses.
+	p.IUSE.ForEach(func(id int) {
+		v := e.prog.Vars[id]
+		if v.Rank() == 0 {
+			stmt("write %s", e.names[id])
+		}
+	})
+	for _, acc := range p.Accesses {
+		ref := fmt.Sprintf("%s[%s]", e.names[acc.Var.ID], e.subs(acc.Subs))
+		if acc.Mod {
+			stmt("%s := 0", ref)
+		} else {
+			stmt("write %s", ref)
+		}
+	}
+	for _, cs := range p.Calls {
+		args := make([]string, len(cs.Args))
+		for i, a := range cs.Args {
+			switch {
+			case a.Var == nil:
+				args[i] = "0"
+			case a.Subs == nil:
+				args[i] = e.names[a.Var.ID]
+			default:
+				args[i] = fmt.Sprintf("%s[%s]", e.names[a.Var.ID], e.subs(a.Subs))
+			}
+		}
+		stmt("call %s(%s)", cs.Callee.Name, strings.Join(args, ", "))
+	}
+	if p.IMOD.Empty() && p.IUSE.Empty() && len(p.Accesses) == 0 && len(p.Calls) == 0 {
+		// MiniPL blocks may be empty; emit nothing.
+		_ = p
+	}
+}
+
+func (e *emitter) subs(subs []ir.Sub) string {
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		switch s.Kind {
+		case ir.SubStar:
+			out[i] = "*"
+		case ir.SubConst:
+			out[i] = fmt.Sprint(s.Const)
+		case ir.SubSym:
+			out[i] = e.names[s.Sym.ID]
+		default:
+			out[i] = "(1 - 1)" // an opaque expression re-parses as SubOther
+		}
+	}
+	return strings.Join(out, ", ")
+}

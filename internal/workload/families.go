@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/token"
+)
+
+var noPos = token.Pos{}
+
+// Chain builds the deep binding-chain family: main calls p0(g), and
+// each p_i passes its formal to p_{i+1}; only the last procedure
+// modifies its formal. The RMOD solution must propagate true along the
+// whole chain, which is the worst case for iterative solvers (O(n)
+// passes in the wrong order) and an easy case for Figure 1.
+func Chain(n int) *ir.Program {
+	b := ir.NewBuilder(fmt.Sprintf("chain%d", n))
+	g := b.Global("g")
+	procs := make([]*ir.Procedure, n)
+	formals := make([]*ir.Variable, n)
+	for i := 0; i < n; i++ {
+		procs[i] = b.Proc(fmt.Sprintf("p%d", i), nil)
+		formals[i] = b.Formal(procs[i], "x", ir.FormalRef, 0)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Call(procs[i], procs[i+1], []ir.Actual{{Mode: ir.FormalRef, Var: formals[i]}}, noPos)
+	}
+	b.Mod(procs[n-1], formals[n-1])
+	b.Call(b.Main(), procs[0], []ir.Actual{{Mode: ir.FormalRef, Var: g}}, noPos)
+	return b.MustFinish()
+}
+
+// Cycle builds one large strongly-connected call cycle whose formals
+// are threaded around the cycle; a single procedure seeds the
+// modification. Exercises the SCC collapse of Figure 1 and the root
+// fix-up of Figure 2.
+func Cycle(n int) *ir.Program {
+	b := ir.NewBuilder(fmt.Sprintf("cycle%d", n))
+	g := b.Global("g")
+	h := b.Global("h")
+	procs := make([]*ir.Procedure, n)
+	formals := make([]*ir.Variable, n)
+	for i := 0; i < n; i++ {
+		procs[i] = b.Proc(fmt.Sprintf("p%d", i), nil)
+		formals[i] = b.Formal(procs[i], "x", ir.FormalRef, 0)
+	}
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		b.Call(procs[i], procs[next], []ir.Actual{{Mode: ir.FormalRef, Var: formals[i]}}, noPos)
+	}
+	b.Mod(procs[n/2], formals[n/2])
+	b.Mod(procs[n/2], h)
+	b.Call(b.Main(), procs[0], []ir.Actual{{Mode: ir.FormalRef, Var: g}}, noPos)
+	return b.MustFinish()
+}
+
+// Fanout builds a wide, flat program: main calls n leaf procedures,
+// each modifying its own global and one shared global. The call graph
+// is a star — the easy case for every algorithm, useful as a bench
+// floor.
+func Fanout(n int) *ir.Program {
+	b := ir.NewBuilder(fmt.Sprintf("fanout%d", n))
+	shared := b.Global("shared")
+	for i := 0; i < n; i++ {
+		gi := b.Global(fmt.Sprintf("g%d", i))
+		p := b.Proc(fmt.Sprintf("p%d", i), nil)
+		b.Mod(p, gi)
+		b.Use(p, shared)
+		if i%3 == 0 {
+			b.Mod(p, shared)
+		}
+		b.Call(b.Main(), p, nil, noPos)
+	}
+	return b.MustFinish()
+}
+
+// NestedTower builds a tower of procedures nested d deep, where each
+// level declares a local that the next deeper level modifies, and the
+// deepest level also modifies a global and recursively calls an
+// intermediate level. Exercises the multi-level analysis of Section 4:
+// each local must appear in GMOD exactly down to the level where a
+// re-invocation would create a fresh activation.
+func NestedTower(d int) *ir.Program {
+	b := ir.NewBuilder(fmt.Sprintf("tower%d", d))
+	g := b.Global("g")
+	procs := make([]*ir.Procedure, d+1)
+	locals := make([]*ir.Variable, d+1)
+	var parent *ir.Procedure
+	for i := 0; i <= d; i++ {
+		procs[i] = b.Proc(fmt.Sprintf("n%d", i), parent)
+		locals[i] = b.Local(procs[i], "v")
+		parent = procs[i]
+	}
+	// Each level calls the next deeper one.
+	for i := 0; i < d; i++ {
+		b.Call(procs[i], procs[i+1], nil, noPos)
+	}
+	deepest := procs[d]
+	b.Mod(deepest, g)
+	for i := 0; i < d; i++ {
+		// The deepest procedure modifies every enclosing local.
+		b.Mod(deepest, locals[i])
+	}
+	// Recursive back edge to the middle of the tower: call chains
+	// passing through it re-create activations of the deeper locals.
+	if d >= 2 {
+		b.Call(deepest, procs[d/2], nil, noPos)
+	}
+	b.Call(b.Main(), procs[0], nil, noPos)
+	return b.MustFinish()
+}
+
+// DivideConquer builds the recursive array-splitting family of
+// Section 6: a recursive procedure passes its whole array parameter
+// around a recursive cycle (the g_p(x) ⊓ x = x case) and updates one
+// row per level through a row helper bound to a section.
+func DivideConquer() *ir.Program {
+	b := ir.NewBuilder("divideconquer")
+	a := b.Global("A", 64, 64)
+	k := b.Global("k")
+	rowop := b.Proc("rowop", nil)
+	row := b.Formal(rowop, "row", ir.FormalRef, 1)
+	j := b.Formal(rowop, "j", ir.FormalVal, 0)
+	b.Access(rowop, row, []ir.Sub{{Kind: ir.SubSym, Sym: j}}, true, noPos)
+
+	split := b.Proc("split", nil)
+	m := b.Formal(split, "M", ir.FormalRef, 2)
+	lo := b.Formal(split, "lo", ir.FormalVal, 0)
+	// split updates row lo of M through rowop(M[lo, *], lo) and
+	// recurses on the whole array: split(M, lo/2).
+	b.Call(split, rowop, []ir.Actual{
+		{Mode: ir.FormalRef, Var: m, Subs: []ir.Sub{{Kind: ir.SubSym, Sym: lo}, {Kind: ir.SubStar}}, Uses: []*ir.Variable{lo}},
+		{Mode: ir.FormalVal, Var: lo, Uses: []*ir.Variable{lo}},
+	}, noPos)
+	b.Call(split, split, []ir.Actual{
+		{Mode: ir.FormalRef, Var: m},
+		{Mode: ir.FormalVal, Var: lo, Uses: []*ir.Variable{lo}},
+	}, noPos)
+	b.Call(b.Main(), split, []ir.Actual{
+		{Mode: ir.FormalRef, Var: a},
+		{Mode: ir.FormalVal, Var: k, Uses: []*ir.Variable{k}},
+	}, noPos)
+	return b.MustFinish()
+}
+
+// PaperExample builds (a structural analog of) the running situation
+// the paper's sections walk through: two-level scoping, a reference-
+// parameter chain with a cycle, and a global modified deep in the call
+// graph. Used by example-driven unit tests with hand-computed expected
+// sets.
+//
+//	global g, h
+//	proc top(ref a)    { call mid(a); h := 1 }
+//	proc mid(ref b)    { call bot(b); call top(b) }   — cycle top↔mid
+//	proc bot(ref c)    { c := g }                     — seeds RMOD
+//	main               { call top(g) }
+func PaperExample() *ir.Program {
+	b := ir.NewBuilder("paperexample")
+	g := b.Global("g")
+	h := b.Global("h")
+	top := b.Proc("top", nil)
+	a := b.Formal(top, "a", ir.FormalRef, 0)
+	mid := b.Proc("mid", nil)
+	bb := b.Formal(mid, "b", ir.FormalRef, 0)
+	bot := b.Proc("bot", nil)
+	c := b.Formal(bot, "c", ir.FormalRef, 0)
+
+	b.Call(top, mid, []ir.Actual{{Mode: ir.FormalRef, Var: a}}, noPos)
+	b.Mod(top, h)
+	b.Call(mid, bot, []ir.Actual{{Mode: ir.FormalRef, Var: bb}}, noPos)
+	b.Call(mid, top, []ir.Actual{{Mode: ir.FormalRef, Var: bb}}, noPos)
+	b.Mod(bot, c)
+	b.Use(bot, g)
+	b.Call(b.Main(), top, []ir.Actual{{Mode: ir.FormalRef, Var: g}}, noPos)
+	return b.MustFinish()
+}

@@ -1,0 +1,292 @@
+// Package workload generates synthetic MiniPL programs, both as
+// ir.Program values and as source text. The paper's evaluation is
+// analytic — complexity bounds in terms of N_C, E_C, µ_a, µ_f, d_P and
+// the number of globals — so the generators are parameterized on
+// exactly those quantities, letting the benchmark harness sweep the
+// axes each bound is stated in. All generation is deterministic given
+// the seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/token"
+)
+
+// Config parameterizes Random.
+type Config struct {
+	// Seed drives all randomness; equal Configs generate equal
+	// programs.
+	Seed int64
+	// Procs is the number of procedures besides main (N_C - 1).
+	Procs int
+	// Globals is the number of global scalar variables. The paper
+	// argues this grows linearly with program size.
+	Globals int
+	// GlobalArrays is the number of rank-1 global array variables
+	// (participating in regular-section workloads).
+	GlobalArrays int
+	// AvgFormals is µ_f, the mean formal-parameter count per
+	// procedure.
+	AvgFormals float64
+	// ValFraction is the fraction of formals passed by value.
+	ValFraction float64
+	// ArrayFormalFraction is the fraction of ref formals that are
+	// rank-1 arrays (requires GlobalArrays > 0 to be bindable).
+	ArrayFormalFraction float64
+	// AvgCalls is the mean number of *extra* call sites per procedure,
+	// beyond the spanning calls that keep every procedure reachable.
+	AvgCalls float64
+	// CycleFraction is the probability that an extra call targets a
+	// procedure whose spanning-tree index is ≤ the caller's, creating
+	// cycles (recursion) in the call graph.
+	CycleFraction float64
+	// MaxDepth is d_P, the maximum lexical nesting level; 0 generates
+	// a flat (C/Fortran-like) program.
+	MaxDepth int
+	// NestFraction is the probability that a procedure is declared
+	// nested inside an eligible earlier procedure.
+	NestFraction float64
+	// FormalModProb is the probability that a procedure directly
+	// modifies each of its ref formals (the RMOD seeds).
+	FormalModProb float64
+	// GlobalModProb / GlobalUseProb are per-procedure probabilities of
+	// directly modifying/using a randomly chosen global.
+	GlobalModProb, GlobalUseProb float64
+}
+
+// DefaultConfig returns a mid-sized configuration with the shape
+// parameters the paper considers typical (small constant µ values,
+// some recursion, a few globals per procedure).
+func DefaultConfig(procs int, seed int64) Config {
+	return Config{
+		Seed:                seed,
+		Procs:               procs,
+		Globals:             procs, // globals grow linearly with N
+		GlobalArrays:        2,
+		AvgFormals:          3,
+		ValFraction:         0.25,
+		ArrayFormalFraction: 0.15,
+		AvgCalls:            2,
+		CycleFraction:       0.3,
+		MaxDepth:            0,
+		NestFraction:        0,
+		FormalModProb:       0.4,
+		GlobalModProb:       0.5,
+		GlobalUseProb:       0.6,
+	}
+}
+
+// Random generates a program from the configuration. Every procedure
+// is reachable from main: main calls each top-level procedure once and
+// each parent calls each of its nested procedures once (the "spanning"
+// calls); extra calls are layered on top per AvgCalls/CycleFraction.
+func Random(cfg Config) *ir.Program {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	b := ir.NewBuilder(fmt.Sprintf("random%d", cfg.Seed))
+
+	globals := make([]*ir.Variable, 0, cfg.Globals)
+	for i := 0; i < cfg.Globals; i++ {
+		globals = append(globals, b.Global(fmt.Sprintf("g%d", i)))
+	}
+	arrays := make([]*ir.Variable, 0, cfg.GlobalArrays)
+	for i := 0; i < cfg.GlobalArrays; i++ {
+		arrays = append(arrays, b.Global(fmt.Sprintf("ga%d", i), 100))
+	}
+
+	// Procedure skeletons with nesting.
+	procs := make([]*ir.Procedure, 0, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		var parent *ir.Procedure
+		if cfg.MaxDepth > 0 && len(procs) > 0 && r.Float64() < cfg.NestFraction {
+			// Pick an eligible parent (level < MaxDepth).
+			cands := make([]*ir.Procedure, 0, len(procs))
+			for _, p := range procs {
+				if p.Level < cfg.MaxDepth {
+					cands = append(cands, p)
+				}
+			}
+			if len(cands) > 0 {
+				parent = cands[r.Intn(len(cands))]
+			}
+		}
+		p := b.Proc(fmt.Sprintf("p%d", i), parent)
+		nf := poissonish(r, cfg.AvgFormals)
+		for j := 0; j < nf; j++ {
+			kind := ir.FormalRef
+			rank := 0
+			if r.Float64() < cfg.ValFraction {
+				kind = ir.FormalVal
+			} else if r.Float64() < cfg.ArrayFormalFraction && len(arrays) > 0 {
+				rank = 1
+			}
+			b.Formal(p, fmt.Sprintf("f%d", j), kind, rank)
+		}
+		if r.Intn(2) == 0 {
+			b.Local(p, "t0")
+		}
+		procs = append(procs, p)
+	}
+
+	// Direct effects.
+	for _, p := range procs {
+		for _, f := range p.Formals {
+			if f.Kind == ir.FormalRef && f.Rank() == 0 && r.Float64() < cfg.FormalModProb {
+				b.Mod(p, f)
+			}
+			if r.Float64() < 0.3 {
+				if f.Rank() == 0 {
+					b.Use(p, f)
+				}
+			}
+			if f.Rank() == 1 && r.Float64() < cfg.FormalModProb {
+				b.Access(p, f, []ir.Sub{{Kind: ir.SubConst, Const: 1 + r.Intn(9)}}, true, token.Pos{})
+			}
+		}
+		if len(globals) > 0 && r.Float64() < cfg.GlobalModProb {
+			b.Mod(p, globals[r.Intn(len(globals))])
+		}
+		if len(globals) > 0 && r.Float64() < cfg.GlobalUseProb {
+			b.Use(p, globals[r.Intn(len(globals))])
+		}
+		for _, l := range p.Locals {
+			if r.Intn(2) == 0 {
+				b.Mod(p, l)
+			}
+		}
+	}
+
+	// visibleScalars(p): candidate ref actuals.
+	visibleScalars := func(p *ir.Procedure) []*ir.Variable {
+		out := make([]*ir.Variable, 0, 8)
+		for q := p; q != nil; q = q.Parent {
+			for _, f := range q.Formals {
+				if f.Kind == ir.FormalRef && f.Rank() == 0 {
+					out = append(out, f)
+				}
+			}
+			for _, l := range q.Locals {
+				if l.Rank() == 0 {
+					out = append(out, l)
+				}
+			}
+		}
+		return out
+	}
+	visibleArrays := func(p *ir.Procedure) []*ir.Variable {
+		out := append([]*ir.Variable(nil), arrays...)
+		for q := p; q != nil; q = q.Parent {
+			for _, f := range q.Formals {
+				if f.Kind == ir.FormalRef && f.Rank() == 1 {
+					out = append(out, f)
+				}
+			}
+		}
+		return out
+	}
+
+	makeArgs := func(caller, callee *ir.Procedure) []ir.Actual {
+		args := make([]ir.Actual, 0, len(callee.Formals))
+		scalars := visibleScalars(caller)
+		for _, f := range callee.Formals {
+			switch {
+			case f.Kind == ir.FormalVal:
+				// Literal or a used variable.
+				if len(globals) > 0 && r.Intn(2) == 0 {
+					g := globals[r.Intn(len(globals))]
+					args = append(args, ir.Actual{Mode: ir.FormalVal, Var: g, Uses: []*ir.Variable{g}})
+				} else {
+					args = append(args, ir.Actual{Mode: ir.FormalVal})
+				}
+			case f.Rank() == 1:
+				as := visibleArrays(caller)
+				a := as[r.Intn(len(as))]
+				args = append(args, ir.Actual{Mode: ir.FormalRef, Var: a})
+			default:
+				// Prefer binding the caller's own formals (β edges),
+				// otherwise a global.
+				if len(scalars) > 0 && r.Float64() < 0.6 {
+					args = append(args, ir.Actual{Mode: ir.FormalRef, Var: scalars[r.Intn(len(scalars))]})
+				} else if len(globals) > 0 {
+					args = append(args, ir.Actual{Mode: ir.FormalRef, Var: globals[r.Intn(len(globals))]})
+				} else if len(scalars) > 0 {
+					args = append(args, ir.Actual{Mode: ir.FormalRef, Var: scalars[r.Intn(len(scalars))]})
+				} else {
+					// Guaranteed fallback: a fresh global.
+					g := b.Global(fmt.Sprintf("gx%d", len(globals)))
+					globals = append(globals, g)
+					args = append(args, ir.Actual{Mode: ir.FormalRef, Var: g})
+				}
+			}
+		}
+		return args
+	}
+
+	// Spanning calls: main → each top-level proc; parent → each child.
+	for _, p := range procs {
+		caller := b.Main()
+		if p.Parent != nil {
+			caller = p.Parent
+		}
+		b.Call(caller, p, makeArgs(caller, p), token.Pos{})
+	}
+
+	// callable(q from p): MiniPL visibility — top-level procedures,
+	// children of p, and children of p's ancestors (which includes the
+	// ancestors themselves and their siblings).
+	callable := func(p *ir.Procedure) []*ir.Procedure {
+		var out []*ir.Procedure
+		for _, q := range procs {
+			if q.Parent == nil {
+				out = append(out, q)
+				continue
+			}
+			for a := p; a != nil; a = a.Parent {
+				if q.Parent == a {
+					out = append(out, q)
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	// Extra calls.
+	allCallers := append([]*ir.Procedure{b.Main()}, procs...)
+	for _, p := range allCallers {
+		k := poissonish(r, cfg.AvgCalls)
+		cands := callable(p)
+		if len(cands) == 0 {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			q := cands[r.Intn(len(cands))]
+			if r.Float64() >= cfg.CycleFraction && q.ID <= p.ID && len(cands) > 1 {
+				// Bias away from back edges unless cycles are wanted.
+				q = cands[r.Intn(len(cands))]
+			}
+			b.Call(p, q, makeArgs(p, q), token.Pos{})
+		}
+	}
+
+	return b.MustFinish()
+}
+
+// poissonish samples a small non-negative integer with the given mean
+// (geometric-ish; exact distribution is irrelevant, determinism and a
+// controllable mean are what matter).
+func poissonish(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	for r.Float64() < mean/(mean+1) {
+		n++
+		if float64(n) > 4*mean+8 {
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"sideeffect/internal/bitset"
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/sem"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(DefaultConfig(30, 7))
+	b := Random(DefaultConfig(30, 7))
+	if Emit(a) != Emit(b) {
+		t.Error("same seed produced different programs")
+	}
+	c := Random(DefaultConfig(30, 8))
+	if Emit(a) == Emit(c) {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestRandomShape(t *testing.T) {
+	cfg := DefaultConfig(50, 3)
+	prog := Random(cfg)
+	if prog.NumProcs() != 51 { // 50 + main
+		t.Errorf("procs = %d", prog.NumProcs())
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Spanning calls keep everything reachable.
+	reach := prog.ReachableProcs()
+	for i, r := range reach {
+		if !r {
+			t.Errorf("procedure %s unreachable", prog.Procs[i].Name)
+		}
+	}
+	// E ≥ N (spanning calls) and some extras.
+	if prog.NumSites() < 50 {
+		t.Errorf("sites = %d", prog.NumSites())
+	}
+}
+
+func TestRandomNestedShape(t *testing.T) {
+	cfg := DefaultConfig(60, 11)
+	cfg.MaxDepth = 3
+	cfg.NestFraction = 0.7
+	prog := Random(cfg)
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if prog.MaxLevel() == 0 {
+		t.Error("no nesting generated despite MaxDepth=3")
+	}
+	if prog.MaxLevel() > 3 {
+		t.Errorf("MaxLevel = %d > 3", prog.MaxLevel())
+	}
+	for _, r := range prog.ReachableProcs() {
+		if !r {
+			t.Fatal("unreachable procedure in nested program")
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	for name, prog := range map[string]*ir.Program{
+		"chain":  Chain(10),
+		"cycle":  Cycle(8),
+		"fanout": Fanout(6),
+		"tower":  NestedTower(4),
+		"divide": DivideConquer(),
+		"paper":  PaperExample(),
+	} {
+		if err := prog.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		for i, r := range prog.ReachableProcs() {
+			if !r {
+				t.Errorf("%s: %s unreachable", name, prog.Procs[i].Name)
+			}
+		}
+	}
+	if got := Chain(5).NumSites(); got != 5 {
+		t.Errorf("chain(5) sites = %d", got)
+	}
+	if got := Cycle(5).NumSites(); got != 6 {
+		t.Errorf("cycle(5) sites = %d", got)
+	}
+	if NestedTower(4).MaxLevel() != 4 {
+		t.Error("tower depth wrong")
+	}
+}
+
+// signature renders analysis-relevant structure by name for round-trip
+// comparison (IDs may differ between generated and re-parsed models).
+func signature(p *ir.Program) string {
+	var lines []string
+	varName := func(v *ir.Variable) string {
+		if v == nil {
+			return "<expr>"
+		}
+		if v.Kind == ir.Global {
+			return v.Name
+		}
+		if v.IsFormal() {
+			return fmt.Sprintf("%s#f%d", v.Owner.Name, v.Ordinal)
+		}
+		return v.Owner.Name + "#local" // locals: one per proc in generators
+	}
+	setNames := func(s *bitset.Set) string {
+		var ns []string
+		s.ForEach(func(id int) { ns = append(ns, varName(p.Vars[id])) })
+		sort.Strings(ns)
+		return strings.Join(ns, ",")
+	}
+	for _, q := range p.Procs {
+		parent := "-"
+		if q.Parent != nil {
+			parent = q.Parent.Name
+		}
+		var fs []string
+		for _, f := range q.Formals {
+			fs = append(fs, fmt.Sprintf("%v/%d", f.Kind, f.Rank()))
+		}
+		lines = append(lines, fmt.Sprintf("proc %s parent=%s level=%d formals=%s imod={%s} iuse={%s} accesses=%d",
+			q.Name, parent, q.Level, strings.Join(fs, ";"), setNames(q.IMOD), setNames(q.IUSE), len(q.Accesses)))
+	}
+	sort.Strings(lines) // procedure IDs are traversal-order dependent
+	var calls []string
+	for _, cs := range p.Sites {
+		var args []string
+		for _, a := range cs.Args {
+			shape := varName(a.Var)
+			if a.Subs != nil {
+				var ss []string
+				for _, s := range a.Subs {
+					if s.Kind == ir.SubSym {
+						ss = append(ss, "sym:"+varName(s.Sym))
+					} else {
+						ss = append(ss, s.String())
+					}
+				}
+				shape += "[" + strings.Join(ss, ",") + "]"
+			}
+			args = append(args, shape)
+		}
+		calls = append(calls, fmt.Sprintf("call %s->%s(%s)", cs.Caller.Name, cs.Callee.Name, strings.Join(args, "; ")))
+	}
+	sort.Strings(calls)
+	lines = append(lines, calls...)
+	return strings.Join(lines, "\n")
+}
+
+func roundTrip(t *testing.T, prog *ir.Program, tag string) {
+	t.Helper()
+	src := Emit(prog)
+	re, err := sem.AnalyzeSource(src)
+	if err != nil {
+		t.Fatalf("%s: re-analyze failed: %v\nsource:\n%s", tag, err, src)
+	}
+	want, got := signature(prog), signature(re)
+	if want != got {
+		t.Errorf("%s: round trip mismatch:\n--- generated\n%s\n--- reparsed\n%s", tag, want, got)
+	}
+}
+
+func TestEmitRoundTripFamilies(t *testing.T) {
+	roundTrip(t, Chain(6), "chain")
+	roundTrip(t, Cycle(5), "cycle")
+	roundTrip(t, Fanout(4), "fanout")
+	roundTrip(t, NestedTower(3), "tower")
+	roundTrip(t, DivideConquer(), "divide")
+	roundTrip(t, PaperExample(), "paper")
+}
+
+func TestEmitRoundTripRandomFlat(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		roundTrip(t, Random(DefaultConfig(25, seed)), fmt.Sprintf("flat seed %d", seed))
+	}
+}
+
+func TestEmitRoundTripRandomNested(t *testing.T) {
+	for seed := int64(50); seed < 60; seed++ {
+		cfg := DefaultConfig(25, seed)
+		cfg.MaxDepth = 3
+		cfg.NestFraction = 0.5
+		roundTrip(t, Random(cfg), fmt.Sprintf("nested seed %d", seed))
+	}
+}
+
+func TestPoissonishMean(t *testing.T) {
+	prog := Random(DefaultConfig(200, 42))
+	// µ_f should land near the configured 3 (loose bounds; the point
+	// is that the knob works).
+	tf := 0
+	for _, p := range prog.Procs {
+		tf += len(p.Formals)
+	}
+	mu := float64(tf) / float64(prog.NumProcs())
+	if mu < 1.5 || mu > 4.5 {
+		t.Errorf("µ_f = %v, configured 3", mu)
+	}
+}
+
+func TestEmitParses(t *testing.T) {
+	src := Emit(Random(DefaultConfig(15, 1)))
+	if !strings.Contains(src, "program") || !strings.Contains(src, "end.") {
+		t.Errorf("emitted source malformed:\n%s", src)
+	}
+}

@@ -1,0 +1,135 @@
+package sideeffect
+
+import (
+	"fmt"
+	"sort"
+
+	"sideeffect/internal/section"
+)
+
+// LoopVerdict is the scheduling decision for one loop whose body
+// contains calls, together with the evidence.
+type LoopVerdict struct {
+	// Parallel reports that distinct iterations are independent:
+	// no write/write or read/write conflict on any variable between
+	// iterations is possible.
+	Parallel bool
+	// Conflicts lists the reasons serialization is required, e.g.
+	// "write/write on hist(*)" — empty when Parallel.
+	Conflicts []string
+	// Sections lists the per-array evidence, formatted, e.g.
+	// "A: writes A(*, i), reads A(*, i)".
+	Sections []string
+}
+
+// LoopParallelizable decides whether a loop over index loopVar (a
+// variable name visible where the loop runs) whose body consists of
+// the given call sites can run its iterations in parallel, using the
+// regular-section MOD and USE summaries (Section 6 of the paper — the
+// data-decomposition test that whole-array summaries cannot pass).
+//
+// The test is conservative in both directions it must be:
+//
+//   - scalar conflicts: any scalar (or whole variable) written by an
+//     iteration and also written or read by another serializes the
+//     loop, except the loop index itself;
+//   - array conflicts: per array, the iteration-local written section
+//     must be disjoint across iterations from both the written and the
+//     read sections (a dimension pinned to the loop index separates
+//     iterations; provably disjoint constant spans do too).
+//
+// Call sites are identified by their index in CallSites() /
+// Prog.Sites.
+func (a *Analysis) LoopParallelizable(loopVar string, siteIDs ...int) (LoopVerdict, error) {
+	v := a.Prog.Var(loopVar)
+	if v == nil {
+		return LoopVerdict{}, fmt.Errorf("sideeffect: no variable %q", loopVar)
+	}
+	verdict := LoopVerdict{Parallel: true}
+
+	// Aggregate per-iteration effects over all body calls.
+	writes := map[int]section.RSD{} // array var ID → written section
+	reads := map[int]section.RSD{}
+	scalarW := map[int]bool{}
+	scalarR := map[int]bool{}
+	for _, id := range siteIDs {
+		if id < 0 || id >= a.Prog.NumSites() {
+			return LoopVerdict{}, fmt.Errorf("sideeffect: no call site %d", id)
+		}
+		cs := a.Prog.Sites[id]
+		for vid, rsd := range a.SecMod.AtCallWithin(cs, v) {
+			merge(writes, vid, rsd)
+		}
+		for vid, rsd := range a.SecUse.AtCallWithin(cs, v) {
+			merge(reads, vid, rsd)
+		}
+		a.ModSets[cs.ID].ForEach(func(vid int) {
+			if a.Prog.Vars[vid].Rank() == 0 {
+				scalarW[vid] = true
+			}
+		})
+		a.UseSets[cs.ID].ForEach(func(vid int) {
+			if a.Prog.Vars[vid].Rank() == 0 {
+				scalarR[vid] = true
+			}
+		})
+	}
+
+	// Scalar conflicts: written-and-shared scalars serialize (the
+	// loop index itself is private to the iteration scheme).
+	var scalarIDs []int
+	for vid := range scalarW {
+		scalarIDs = append(scalarIDs, vid)
+	}
+	sort.Ints(scalarIDs)
+	for _, vid := range scalarIDs {
+		if vid == v.ID {
+			continue
+		}
+		kind := "write/write"
+		if !scalarR[vid] {
+			// A variable only ever overwritten by iterations still
+			// races on the final value; flow-insensitive analysis
+			// cannot prove idempotence, so stay conservative.
+			kind = "write"
+		}
+		verdict.Parallel = false
+		verdict.Conflicts = append(verdict.Conflicts,
+			fmt.Sprintf("%s on scalar %s", kind, a.Prog.Vars[vid]))
+	}
+
+	// Array conflicts.
+	var arrIDs []int
+	for vid := range writes {
+		arrIDs = append(arrIDs, vid)
+	}
+	sort.Ints(arrIDs)
+	for _, vid := range arrIDs {
+		w := writes[vid]
+		name := a.Prog.Vars[vid].Name
+		ev := fmt.Sprintf("%s: writes %s", name, w.Format(name, a.Prog.Vars))
+		if r, ok := reads[vid]; ok {
+			ev += fmt.Sprintf(", reads %s", r.Format(name, a.Prog.Vars))
+		}
+		verdict.Sections = append(verdict.Sections, ev)
+		if !section.DisjointAcrossIterations(w, w, v) {
+			verdict.Parallel = false
+			verdict.Conflicts = append(verdict.Conflicts,
+				fmt.Sprintf("write/write on %s", w.Format(name, a.Prog.Vars)))
+		}
+		if r, ok := reads[vid]; ok && !section.DisjointAcrossIterations(w, r, v) {
+			verdict.Parallel = false
+			verdict.Conflicts = append(verdict.Conflicts,
+				fmt.Sprintf("read/write on %s", r.Format(name, a.Prog.Vars)))
+		}
+	}
+	return verdict, nil
+}
+
+func merge(m map[int]section.RSD, vid int, r section.RSD) {
+	if cur, ok := m[vid]; ok {
+		m[vid] = section.Meet(cur, r)
+	} else {
+		m[vid] = r
+	}
+}

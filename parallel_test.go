@@ -1,0 +1,174 @@
+package sideeffect
+
+import (
+	"strings"
+	"testing"
+)
+
+const loopSrc = `
+program loops;
+global A[64, 64], B[64, 64], hist[64], acc, n, i;
+
+proc colop(ref c[*], val m)
+  var r;
+begin
+  for r := 1 to m do c[r] := c[r] + 1 end
+end;
+
+proc rowop(ref w[*], val m)
+  var r;
+begin
+  for r := 1 to m do w[r] := w[r] / 2 end
+end;
+
+proc scatter(ref h[*], val v)
+begin
+  h[1] := h[1] + v
+end;
+
+proc tally(val v)
+begin
+  acc := acc + v
+end;
+
+begin
+  for i := 1 to n do
+    call colop(A[*, i], 64);    { site 0: parallel (column i)   }
+    call rowop(B[i, *], 64);    { site 1: parallel (row i)      }
+    call scatter(hist, i);      { site 2: serial (shared elem)  }
+    call tally(i)               { site 3: serial (shared scalar)}
+  end
+end.
+`
+
+func analyzeLoops(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := Analyze(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestLoopParallelColumn(t *testing.T) {
+	a := analyzeLoops(t)
+	v, err := a.LoopParallelizable("i", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Parallel {
+		t.Errorf("column loop not parallel: %v", v.Conflicts)
+	}
+	joined := strings.Join(v.Sections, "; ")
+	if !strings.Contains(joined, "A(*, i)") {
+		t.Errorf("evidence missing column section: %v", v.Sections)
+	}
+}
+
+func TestLoopParallelRow(t *testing.T) {
+	a := analyzeLoops(t)
+	v, err := a.LoopParallelizable("i", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Parallel {
+		t.Errorf("row loop not parallel: %v", v.Conflicts)
+	}
+}
+
+func TestLoopSerialScatter(t *testing.T) {
+	a := analyzeLoops(t)
+	v, err := a.LoopParallelizable("i", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallel {
+		t.Error("scatter loop wrongly parallelized")
+	}
+	if len(v.Conflicts) == 0 || !strings.Contains(strings.Join(v.Conflicts, " "), "hist") {
+		t.Errorf("conflicts = %v", v.Conflicts)
+	}
+}
+
+func TestLoopSerialScalar(t *testing.T) {
+	a := analyzeLoops(t)
+	v, err := a.LoopParallelizable("i", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallel {
+		t.Error("scalar-accumulating loop wrongly parallelized")
+	}
+	if !strings.Contains(strings.Join(v.Conflicts, " "), "acc") {
+		t.Errorf("conflicts = %v", v.Conflicts)
+	}
+}
+
+func TestLoopCombinedBody(t *testing.T) {
+	a := analyzeLoops(t)
+	// Two parallel calls together: still parallel (different arrays).
+	v, err := a.LoopParallelizable("i", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Parallel {
+		t.Errorf("combined parallel body serialized: %v", v.Conflicts)
+	}
+	// Adding the scatter call poisons it.
+	v, err = a.LoopParallelizable("i", 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallel {
+		t.Error("poisoned body wrongly parallel")
+	}
+}
+
+func TestLoopReadWriteConflict(t *testing.T) {
+	// One call writes column i while another reads the WHOLE array:
+	// read/write conflict across iterations.
+	a, err := Analyze(`
+program rw;
+global A[8, 8], s, n, i;
+proc colset(ref c[*], val m)
+  var r;
+begin
+  for r := 1 to m do c[r] := 0 end
+end;
+proc sumall(ref M[*, *], val m)
+  var r;
+begin
+  for r := 1 to m do s := s + M[r, r] end
+end;
+begin
+  for i := 1 to n do
+    call colset(A[*, i], 8);
+    call sumall(A, 8)
+  end
+end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.LoopParallelizable("i", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Parallel {
+		t.Error("read/write overlap wrongly parallel")
+	}
+	// (s also conflicts; make sure at least the array conflict shows.)
+	if !strings.Contains(strings.Join(v.Conflicts, " "), "A(") {
+		t.Errorf("conflicts = %v", v.Conflicts)
+	}
+}
+
+func TestLoopErrors(t *testing.T) {
+	a := analyzeLoops(t)
+	if _, err := a.LoopParallelizable("nosuch", 0); err == nil {
+		t.Error("unknown loop variable accepted")
+	}
+	if _, err := a.LoopParallelizable("i", 99); err == nil {
+		t.Error("unknown site accepted")
+	}
+}

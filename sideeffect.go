@@ -1,0 +1,172 @@
+// Package sideeffect is a Go implementation of Cooper & Kennedy's
+// linear-time interprocedural side-effect analysis (PLDI 1988),
+// together with the full pipeline the paper builds on: a small
+// imperative source language (MiniPL) with by-reference parameters,
+// globals, and nested procedures; the binding multi-graph RMOD
+// algorithm (Figure 1 of the paper); the Tarjan-based findgmod
+// algorithm for global effects (Figure 2) with the multi-level nesting
+// extension (Section 4); alias factoring (Section 5); and regular
+// section analysis for array subregions (Section 6).
+//
+// The one-call entry point analyzes MiniPL source text:
+//
+//	a, err := sideeffect.Analyze(src)
+//	a.MOD("p")              // GMOD(p): names modified by invoking p
+//	a.CallSites()           // per-call-site MOD/USE sets
+//	fmt.Print(a.Report())   // complete formatted report
+//
+// In-module tools (cmd/, examples/) may reach the richer intermediate
+// results through the exported fields, which expose the internal
+// packages directly.
+package sideeffect
+
+import (
+	"fmt"
+	"sort"
+
+	"sideeffect/internal/alias"
+	"sideeffect/internal/bitset"
+	"sideeffect/internal/core"
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/sem"
+	"sideeffect/internal/report"
+	"sideeffect/internal/section"
+)
+
+// Analysis bundles the complete side-effect solution for one program.
+type Analysis struct {
+	// Prog is the analyzed program model.
+	Prog *ir.Program
+	// Mod and Use are the two flow-insensitive problems' full results
+	// (RMOD/IMOD+/GMOD/DMOD and the USE-side analogs).
+	Mod, Use *core.Result
+	// Aliases is the Section 5 alias-pair analysis.
+	Aliases *alias.Analysis
+	// SecMod and SecUse are the Section 6 regular-section results.
+	SecMod, SecUse *section.Result
+	// ModSets and UseSets are the final per-call-site answers,
+	// DMOD/DUSE extended with aliases (equation (2) + Section 5).
+	ModSets, UseSets []*bitset.Set
+}
+
+// Analyze parses, checks, and analyzes MiniPL source text, running
+// both the MOD and USE problems, alias factoring, and regular section
+// analysis. Procedures unreachable from the main program are pruned
+// first, as the paper assumes.
+func Analyze(src string) (*Analysis, error) {
+	prog, err := sem.AnalyzeSource(src)
+	if err != nil {
+		return nil, fmt.Errorf("sideeffect: %w", err)
+	}
+	return AnalyzeProgram(prog.Prune()), nil
+}
+
+// AnalyzeProgram analyzes an already-built program model without
+// pruning.
+func AnalyzeProgram(prog *ir.Program) *Analysis {
+	a := &Analysis{Prog: prog}
+	a.Mod = core.Analyze(prog, core.Mod, core.Options{})
+	a.Use = core.Analyze(prog, core.Use, core.Options{})
+	a.Aliases = alias.Compute(prog)
+	a.SecMod = section.Analyze(a.Mod, core.Mod)
+	a.SecUse = section.Analyze(a.Mod, core.Use)
+	a.ModSets = a.Aliases.Factor(a.Mod.DMOD)
+	a.UseSets = a.Aliases.Factor(a.Use.DMOD)
+	return a
+}
+
+// Procedures returns the procedure names in declaration order (main
+// first, as "$main").
+func (a *Analysis) Procedures() []string {
+	out := make([]string, 0, a.Prog.NumProcs())
+	for _, p := range a.Prog.Procs {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func (a *Analysis) proc(name string) (*ir.Procedure, error) {
+	p := a.Prog.Proc(name)
+	if p == nil {
+		return nil, fmt.Errorf("sideeffect: no procedure %q", name)
+	}
+	return p, nil
+}
+
+// MOD returns GMOD(proc): the qualified names of variables whose
+// values an invocation of proc may modify.
+func (a *Analysis) MOD(proc string) ([]string, error) {
+	p, err := a.proc(proc)
+	if err != nil {
+		return nil, err
+	}
+	return report.VarNames(a.Prog, a.Mod.GMOD[p.ID]), nil
+}
+
+// USE returns GUSE(proc): the qualified names of variables whose
+// values an invocation of proc may use.
+func (a *Analysis) USE(proc string) ([]string, error) {
+	p, err := a.proc(proc)
+	if err != nil {
+		return nil, err
+	}
+	return report.VarNames(a.Prog, a.Use.GMOD[p.ID]), nil
+}
+
+// RMOD returns the names of proc's by-reference formal parameters that
+// an invocation may modify.
+func (a *Analysis) RMOD(proc string) ([]string, error) {
+	p, err := a.proc(proc)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, f := range p.Formals {
+		if a.Mod.RMOD.Of(f) {
+			out = append(out, f.Name)
+		}
+	}
+	return out, nil
+}
+
+// CallSite describes one call site's final analysis results.
+type CallSite struct {
+	// Caller and Callee are procedure names; Pos is the source
+	// position ("line:col") when the program came from source.
+	Caller, Callee, Pos string
+	// MOD and USE are the per-call-site sets after alias factoring.
+	MOD, USE []string
+	// Sections lists the array-subregion refinements for MOD, e.g.
+	// "A(*, j)".
+	Sections []string
+}
+
+// CallSites returns the final per-call-site results in program order.
+func (a *Analysis) CallSites() []CallSite {
+	out := make([]CallSite, 0, a.Prog.NumSites())
+	for _, cs := range a.Prog.Sites {
+		c := CallSite{
+			Caller: cs.Caller.Name,
+			Callee: cs.Callee.Name,
+			Pos:    cs.Pos.String(),
+			MOD:    report.VarNames(a.Prog, a.ModSets[cs.ID]),
+			USE:    report.VarNames(a.Prog, a.UseSets[cs.ID]),
+		}
+		at := a.SecMod.AtCall(cs)
+		ids := make([]int, 0, len(at))
+		for id := range at {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			c.Sections = append(c.Sections, at[id].Format(a.Prog.Vars[id].Name, a.Prog.Vars))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Report renders the complete human-readable analysis report.
+func (a *Analysis) Report() string {
+	return report.Full(a.Mod, a.Use, a.Aliases, a.SecMod)
+}

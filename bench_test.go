@@ -9,7 +9,10 @@ package sideeffect
 // benchmark methodology.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"sideeffect/internal/alias"
@@ -248,6 +251,109 @@ func BenchmarkMultiLevelSparse(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.SolveGMODMultiLevelSparse(cg, facts, imodPlus)
 			}
+		})
+	}
+}
+
+// benchBatchRecord mirrors the row shape cmd/experiments/exp_batch.go
+// writes, so both producers feed the same BENCH_batch.json.
+type benchBatchRecord struct {
+	Name       string  `json:"name"`
+	Cores      int     `json:"cores"`
+	Workers    int     `json:"workers"`
+	Programs   int     `json:"programs"`
+	ProcsEach  int     `json:"procs_each"`
+	SeqNsPerOp int64   `json:"seq_ns_per_op"`
+	ParNsPerOp int64   `json:"par_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchSchedule runs f as a named sub-benchmark and returns the
+// measured ns/op, so a top-level benchmark can compare two schedules.
+func benchSchedule(b *testing.B, name string, f func()) int64 {
+	var ns int64
+	b.Run(name, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+		if b.N > 0 {
+			ns = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+	})
+	return ns
+}
+
+// mergeBenchBatch folds one record into BENCH_batch.json next to the
+// rows written by `experiments -run E13`, replacing any previous row
+// with the same name. Benchmarks only run under -bench, so plain
+// `go test` never touches the file.
+func mergeBenchBatch(b *testing.B, rec benchBatchRecord) {
+	b.Helper()
+	var doc struct {
+		Cores   int                `json:"cores"`
+		Records []benchBatchRecord `json:"records"`
+	}
+	if data, err := os.ReadFile("BENCH_batch.json"); err == nil {
+		_ = json.Unmarshal(data, &doc)
+	}
+	doc.Cores = runtime.GOMAXPROCS(0)
+	kept := doc.Records[:0]
+	for _, r := range doc.Records {
+		if r.Name != rec.Name {
+			kept = append(kept, r)
+		}
+	}
+	doc.Records = append(kept, rec)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal BENCH_batch.json: %v", err)
+	}
+	if err := os.WriteFile("BENCH_batch.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_batch.json: %v", err)
+	}
+}
+
+// E13 — batch throughput: a corpus of programs through AnalyzeAll on
+// the worker pool vs the fully sequential schedule. The speedup row is
+// recorded in BENCH_batch.json together with the core count, since on
+// a single core the two schedules are expected to tie.
+func BenchmarkAnalyzeAll(b *testing.B) {
+	const nProgs, procsEach = 12, 64
+	srcs := make([]string, nProgs)
+	for i := range srcs {
+		srcs[i] = workload.Emit(workload.Random(workload.DefaultConfig(procsEach, int64(500+i))))
+	}
+	check := func(rs []BatchResult) {
+		for _, r := range rs {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	seq := benchSchedule(b, "seq", func() { check(AnalyzeAll(srcs, Options{Sequential: true})) })
+	par := benchSchedule(b, "par", func() { check(AnalyzeAll(srcs, Options{})) })
+	if seq > 0 && par > 0 {
+		mergeBenchBatch(b, benchBatchRecord{
+			Name: fmt.Sprintf("BenchmarkAnalyzeAll/N=%d", procsEach), Cores: runtime.GOMAXPROCS(0),
+			Workers: runtime.GOMAXPROCS(0), Programs: nProgs, ProcsEach: procsEach,
+			SeqNsPerOp: seq, ParNsPerOp: par, Speedup: float64(seq) / float64(par),
+		})
+	}
+}
+
+// E13 — stage-level parallelism inside a single Analyze: the
+// {Mod, Use, Aliases} and {SecMod, SecUse, ModSets, UseSets} stage
+// groups run concurrently vs strictly in order on one large program.
+func BenchmarkAnalyzeParallelStages(b *testing.B) {
+	const procs = 1024
+	prog := workload.Random(workload.DefaultConfig(procs, 7)).Prune()
+	seq := benchSchedule(b, "seq", func() { AnalyzeProgramWith(prog, Options{Sequential: true}) })
+	par := benchSchedule(b, "par", func() { AnalyzeProgramWith(prog, Options{}) })
+	if seq > 0 && par > 0 {
+		mergeBenchBatch(b, benchBatchRecord{
+			Name: fmt.Sprintf("BenchmarkAnalyzeParallelStages/N=%d", procs), Cores: runtime.GOMAXPROCS(0),
+			Workers: runtime.GOMAXPROCS(0), Programs: 1, ProcsEach: procs,
+			SeqNsPerOp: seq, ParNsPerOp: par, Speedup: float64(seq) / float64(par),
 		})
 	}
 }

@@ -10,6 +10,7 @@
 //	experiments            # run everything
 //	experiments -run E4    # run one experiment
 //	experiments -quick     # smaller sweeps (CI-friendly)
+//	experiments -j 4       # worker-pool size for the batch experiment
 package main
 
 import (
@@ -28,11 +29,16 @@ type experiment struct {
 
 var experiments []experiment
 
+// jobs is the -j worker-pool size used by experiments that exercise
+// the batch/parallel engine (0 = GOMAXPROCS).
+var jobs int
+
 func main() {
 	var (
 		runID = flag.String("run", "", "run only the experiment with this id (e.g. E4)")
 		quick = flag.Bool("quick", false, "smaller parameter sweeps")
 	)
+	flag.IntVar(&jobs, "j", 0, "worker-pool size for batch experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 	ran := false
 	for _, e := range experiments {

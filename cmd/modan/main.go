@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	modan [flags] file.mpl        # or - for stdin
+//	modan [flags] file.mpl...     # or - for stdin
 //
 // Flags select report parts; with no selection the full report is
 // printed. -dot emits Graphviz renderings of the call multi-graph or
-// the binding multi-graph instead of a report.
+// the binding multi-graph instead of a report. Several files are
+// analyzed as a batch on a worker pool (-j bounds the workers); each
+// file's output is preceded by a "==> name <==" header, in argument
+// order.
 package main
 
 import (
@@ -40,17 +43,68 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		dot      = fs.String("dot", "", "emit Graphviz instead of a report: cg (call graph) or beta (binding graph)")
 		format   = fs.Bool("fmt", false, "reformat the program to canonical style instead of analyzing")
 		asJSON   = fs.Bool("json", false, "emit the complete analysis as JSON")
+		jobs     = fs.Int("j", 0, "worker-pool size for multi-file batches and in-analysis stage parallelism (0 = GOMAXPROCS, 1 = fully sequential)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: modan [flags] <file.mpl | ->\n")
+		fmt.Fprintf(stderr, "usage: modan [flags] <file.mpl... | ->\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 1 {
+	if fs.NArg() == 0 {
 		fs.Usage()
 		return 2
+	}
+	opts := sideeffect.Options{Workers: *jobs, Sequential: *jobs == 1}
+
+	// render honors the part-selection flags; with none set it prints
+	// the full report. Shared by the single-file and batch paths.
+	render := func(w io.Writer, a *sideeffect.Analysis) {
+		any := false
+		show := func(cond bool, body func() string) {
+			if cond {
+				fmt.Fprint(w, body())
+				any = true
+			}
+		}
+		show(*gmod, func() string { return report.Summaries(a.Mod, a.Use) })
+		show(*rmod, func() string { return report.RMODTable(a.Mod) })
+		show(*aliases, func() string { return report.Aliases(a.Aliases) })
+		show(*sites, func() string { return report.CallSites(a.Mod, a.Use, a.Aliases) })
+		show(*sections, func() string { return report.Sections(a.SecMod) })
+		if !any {
+			fmt.Fprint(w, a.Report())
+		}
+	}
+
+	// Multi-file mode: analyze every file as a batch and print each
+	// report under a header, in argument order.
+	if fs.NArg() > 1 {
+		if *dot != "" || *format || *asJSON {
+			fmt.Fprintf(stderr, "modan: -dot, -fmt, and -json take a single input\n")
+			return 2
+		}
+		srcs := make([]string, fs.NArg())
+		for i, name := range fs.Args() {
+			b, err := os.ReadFile(name)
+			if err != nil {
+				fmt.Fprintf(stderr, "modan: %v\n", err)
+				return 1
+			}
+			srcs[i] = string(b)
+		}
+		code := 0
+		for i, r := range sideeffect.AnalyzeAll(srcs, opts) {
+			fmt.Fprintf(stdout, "==> %s <==\n", fs.Arg(i))
+			if r.Err != nil {
+				fmt.Fprintf(stderr, "modan: %s: %v\n", fs.Arg(i), r.Err)
+				code = 1
+				continue
+			}
+			render(stdout, r.Analysis)
+		}
+		return code
 	}
 
 	var src []byte
@@ -75,7 +129,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	a, err := sideeffect.Analyze(string(src))
+	a, err := sideeffect.AnalyzeWith(string(src), opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "modan: %v\n", err)
 		return 1
@@ -104,20 +158,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	any := false
-	show := func(cond bool, body func() string) {
-		if cond {
-			fmt.Fprint(stdout, body())
-			any = true
-		}
-	}
-	show(*gmod, func() string { return report.Summaries(a.Mod, a.Use) })
-	show(*rmod, func() string { return report.RMODTable(a.Mod) })
-	show(*aliases, func() string { return report.Aliases(a.Aliases) })
-	show(*sites, func() string { return report.CallSites(a.Mod, a.Use, a.Aliases) })
-	show(*sections, func() string { return report.Sections(a.SecMod) })
-	if !any {
-		fmt.Fprint(stdout, a.Report())
-	}
+	render(stdout, a)
 	return 0
 }

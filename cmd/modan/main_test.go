@@ -121,3 +121,92 @@ func TestJSONMode(t *testing.T) {
 		t.Errorf("-json output:\n%s", out)
 	}
 }
+
+const sample2 = `
+program u;
+global h;
+proc r(ref y) begin y := h end;
+begin call r(h) end.
+`
+
+func TestMultiFileBatch(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.mpl")
+	p2 := filepath.Join(dir, "b.mpl")
+	if err := os.WriteFile(p1, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, []byte(sample2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCmd(t, []string{"-j", "2", p1, p2}, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	i1 := strings.Index(out, "==> "+p1+" <==")
+	i2 := strings.Index(out, "==> "+p2+" <==")
+	if i1 < 0 || i2 < 0 || i2 < i1 {
+		t.Fatalf("headers missing or out of order:\n%s", out)
+	}
+	if !strings.Contains(out[i1:i2], "GMOD") || !strings.Contains(out[i2:], "GUSE") {
+		t.Errorf("per-file reports missing:\n%s", out)
+	}
+}
+
+func TestMultiFileBatchErrorIsolated(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.mpl")
+	bad := filepath.Join(dir, "bad.mpl")
+	if err := os.WriteFile(good, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("program x; begin y := 1 end."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCmd(t, []string{bad, good}, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "bad.mpl") {
+		t.Errorf("stderr missing failing file:\n%s", errb)
+	}
+	if !strings.Contains(out, "GMOD") {
+		t.Errorf("good file's report missing:\n%s", out)
+	}
+}
+
+func TestMultiFileBatchHonorsSelectionFlags(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.mpl")
+	p2 := filepath.Join(dir, "b.mpl")
+	if err := os.WriteFile(p1, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, []byte(sample2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCmd(t, []string{"-gmod", p1, p2}, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "GMOD") || strings.Contains(out, "Call sites") {
+		t.Errorf("-gmod not honored in batch mode:\n%s", out)
+	}
+	// Single-input-only modes must be rejected, not silently ignored.
+	for _, flag := range []string{"-json", "-fmt"} {
+		if code, _, errOut := runCmd(t, []string{flag, p1, p2}, ""); code != 2 {
+			t.Errorf("%s with two files: exit %d, stderr %q", flag, code, errOut)
+		}
+	}
+	if code, _, _ := runCmd(t, []string{"-dot", "cg", p1, p2}, ""); code != 2 {
+		t.Errorf("-dot with two files: exit %d", code)
+	}
+}
+
+func TestSequentialFlagMatchesDefault(t *testing.T) {
+	_, seq, _ := runCmd(t, []string{"-j", "1", "-"}, sample)
+	_, par, _ := runCmd(t, []string{"-"}, sample)
+	if seq != par {
+		t.Errorf("-j 1 output differs from default:\n--- j1\n%s\n--- default\n%s", seq, par)
+	}
+}

@@ -1,0 +1,70 @@
+// Package batch provides the bounded worker pool behind the public
+// AnalyzeAll API and the parallel-stage analysis engine. It is a small
+// generic utility with no knowledge of the analysis itself, so both
+// the root package and the command-line tools can share one
+// scheduling policy.
+package batch
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count request: n if positive, otherwise
+// GOMAXPROCS — the number of OS threads Go will actually run
+// concurrently, which is the right default for the CPU-bound
+// bit-vector work this pool carries.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every task, at most Workers(workers) at a time, and
+// returns when all have finished. With one worker the tasks run
+// sequentially on the calling goroutine in order — no goroutines, no
+// nondeterministic interleaving — which keeps Sequential mode truly
+// sequential for debugging and differential testing.
+func Run(workers int, tasks []func()) {
+	w := Workers(workers)
+	if w == 1 || len(tasks) == 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	next := make(chan func())
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map applies f to every item, at most Workers(workers) at a time, and
+// returns the results in input order. The index passed to f is the
+// item's position in items.
+func Map[T, R any](workers int, items []T, f func(int, T) R) []R {
+	out := make([]R, len(items))
+	tasks := make([]func(), len(items))
+	for i := range items {
+		i := i
+		tasks[i] = func() { out[i] = f(i, items[i]) }
+	}
+	Run(workers, tasks)
+	return out
+}

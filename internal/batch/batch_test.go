@@ -1,0 +1,91 @@
+package batch
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		var n atomic.Int64
+		tasks := make([]func(), 100)
+		for i := range tasks {
+			tasks[i] = func() { n.Add(1) }
+		}
+		Run(w, tasks)
+		if n.Load() != 100 {
+			t.Errorf("workers=%d: ran %d of 100 tasks", w, n.Load())
+		}
+	}
+	Run(4, nil) // empty task list must not hang
+}
+
+func TestRunSequentialOrder(t *testing.T) {
+	// One worker runs in order on the calling goroutine.
+	var order []int
+	tasks := make([]func(), 20)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { order = append(order, i) }
+	}
+	Run(1, tasks)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential Run out of order: %v", order)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const w = 3
+	var cur, peak atomic.Int64
+	tasks := make([]func(), 50)
+	for i := range tasks {
+		tasks[i] = func() {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			runtime.Gosched()
+			cur.Add(-1)
+		}
+	}
+	Run(w, tasks)
+	if peak.Load() > w {
+		t.Errorf("observed %d concurrent tasks, want ≤ %d", peak.Load(), w)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 64)
+	for i := range in {
+		in[i] = i
+	}
+	for _, w := range []int{1, 5, 0} {
+		out := Map(w, in, func(i, v int) int { return v * v })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+	if got := Map(3, []string(nil), func(i int, s string) int { return 0 }); len(got) != 0 {
+		t.Errorf("Map over nil = %v", got)
+	}
+}

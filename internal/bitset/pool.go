@@ -1,0 +1,54 @@
+package bitset
+
+import "sync"
+
+// The scratch pool recycles Sets used as short-lived temporaries by
+// the analysis inner loops (per-level seeds and per-node accumulators
+// in findgmod, batch-engine scratch). The paper's algorithms allocate
+// O(N) bit vectors per solve; under the batch engine the same solve
+// runs thousands of times across many programs, and steady-state
+// allocation — not arithmetic — dominates the profile. A single
+// process-wide sync.Pool lets concurrent analyses share warmed-up
+// vectors: capacity is retained on recycle, so after the first few
+// programs most Get calls return a vector that already spans the
+// universe and only needs a memclr.
+var scratch = sync.Pool{New: func() any { return &Set{} }}
+
+// GetScratch returns a cleared set with capacity for elements in
+// [0, n), drawn from the process-wide scratch pool. Release it with
+// PutScratch when done; a set that escapes instead is simply collected
+// by the GC, so forgetting a Put is a throughput leak, never a
+// correctness bug.
+func GetScratch(n int) *Set {
+	s := scratch.Get().(*Set)
+	s.grow(max(n-1, 0))
+	return s
+}
+
+// PutScratch clears s and returns it to the scratch pool. s must not
+// be used after the call. Put(nil) is a no-op.
+func PutScratch(s *Set) {
+	if s == nil {
+		return
+	}
+	s.Clear()
+	scratch.Put(s)
+}
+
+// CopyFrom makes s an exact copy of t (including capacity at least
+// t's), reusing s's backing storage when it is large enough. It
+// returns s. CopyFrom(nil) clears s.
+func (s *Set) CopyFrom(t *Set) *Set {
+	if t == nil {
+		s.Clear()
+		return s
+	}
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	n := copy(s.words, t.words)
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+	return s
+}

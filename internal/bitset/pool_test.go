@@ -1,0 +1,75 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetScratchIsCleared(t *testing.T) {
+	s := GetScratch(200)
+	s.Add(3)
+	s.Add(150)
+	PutScratch(s)
+	u := GetScratch(10)
+	if !u.Empty() {
+		t.Errorf("recycled scratch not empty: %s", u)
+	}
+	// Capacity is retained across recycles.
+	if u.Words() < (200+63)/64 {
+		t.Errorf("recycled scratch lost capacity: %d words", u.Words())
+	}
+	PutScratch(u)
+	PutScratch(nil) // must not panic
+}
+
+func TestCopyFrom(t *testing.T) {
+	t.Run("grows", func(t *testing.T) {
+		s := New(0)
+		tt := FromSlice([]int{1, 70, 500})
+		s.CopyFrom(tt)
+		if !s.Equal(tt) {
+			t.Errorf("CopyFrom = %s, want %s", s, tt)
+		}
+	})
+	t.Run("clears-tail", func(t *testing.T) {
+		s := FromSlice([]int{600})
+		s.CopyFrom(FromSlice([]int{2}))
+		if !s.Equal(FromSlice([]int{2})) {
+			t.Errorf("stale tail survives CopyFrom: %s", s)
+		}
+	})
+	t.Run("nil-clears", func(t *testing.T) {
+		s := FromSlice([]int{5})
+		s.CopyFrom(nil)
+		if !s.Empty() {
+			t.Errorf("CopyFrom(nil) = %s", s)
+		}
+	})
+}
+
+// TestScratchConcurrent hammers the pool from many goroutines under
+// -race: scratch sets must never be visible to two users at once.
+func TestScratchConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := GetScratch(128)
+				if !s.Empty() {
+					t.Errorf("goroutine %d: dirty scratch", g)
+					return
+				}
+				s.Add(g)
+				s.Add(64 + i%64)
+				if s.Len() != 2 {
+					t.Errorf("goroutine %d: len = %d", g, s.Len())
+					return
+				}
+				PutScratch(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

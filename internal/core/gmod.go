@@ -52,6 +52,27 @@ func (s GMODStats) BitVectorSteps() int { return s.EdgeUnions + s.NodeUnions + s
 // hundreds of thousands of procedures cannot overflow the goroutine
 // stack; the structure otherwise mirrors Figure 2 line by line.
 func FindGMOD(g *graph.Graph, imodPlus []*bitset.Set, local []*bitset.Set, roots ...int) ([]*bitset.Set, GMODStats) {
+	return findGMOD(g, local, func(v int) *bitset.Set {
+		return imodPlus[v].Clone()
+	}, roots)
+}
+
+// FindGMODScratch is FindGMOD with every per-node set drawn from the
+// bitset scratch pool instead of freshly allocated. The returned sets
+// are pool-owned scratch: the caller must consume them (typically
+// union them into longer-lived result sets) and release every one with
+// bitset.PutScratch. Used by the multi-level driver, which runs one
+// findgmod pass per nesting level and discards each pass's sets after
+// folding them into the result.
+func FindGMODScratch(g *graph.Graph, imodPlus []*bitset.Set, local []*bitset.Set, roots ...int) ([]*bitset.Set, GMODStats) {
+	return findGMOD(g, local, func(v int) *bitset.Set {
+		return bitset.GetScratch(0).CopyFrom(imodPlus[v])
+	}, roots)
+}
+
+// findGMOD is the shared Figure-2 search; alloc produces node v's
+// initial set (a copy of IMOD+(v) under some allocation policy).
+func findGMOD(g *graph.Graph, local []*bitset.Set, alloc func(int) *bitset.Set, roots []int) ([]*bitset.Set, GMODStats) {
 	n := g.NumNodes()
 	gmod := make([]*bitset.Set, n)
 	var stats GMODStats
@@ -72,7 +93,7 @@ func FindGMOD(g *graph.Graph, imodPlus []*bitset.Set, local []*bitset.Set, roots
 		dfn[v] = nextdfn
 		nextdfn++
 		lowlink[v] = dfn[v]
-		gmod[v] = imodPlus[v].Clone() // line 8
+		gmod[v] = alloc(v) // line 8: initialize to IMOD+
 		stack = append(stack, v)
 		onStack[v] = true
 		stats.Visits++

@@ -40,9 +40,10 @@ func SolveGMODMultiLevel(cg *callgraph.CallGraph, facts *Facts, imodPlus []*bits
 		result[i] = imodPlus[i].Clone()
 	}
 	if dP == 0 {
-		gmod, stats := FindGMOD(cg.G, imodPlus, facts.Local, prog.Main.ID)
+		gmod, stats := FindGMODScratch(cg.G, imodPlus, facts.Local, prog.Main.ID)
 		for i := range result {
 			result[i].UnionWith(gmod[i])
+			bitset.PutScratch(gmod[i])
 		}
 		return result, []GMODStats{stats}
 	}
@@ -50,7 +51,7 @@ func SolveGMODMultiLevel(cg *callgraph.CallGraph, facts *Facts, imodPlus []*bits
 	// classVars[i] is the set of variables of scope class i.
 	classVars := make([]*bitset.Set, dP+1)
 	for i := range classVars {
-		classVars[i] = bitset.New(prog.NumVars())
+		classVars[i] = bitset.GetScratch(prog.NumVars())
 	}
 	for _, v := range prog.Vars {
 		if lvl := v.ScopeLevel(); lvl <= dP {
@@ -73,15 +74,20 @@ func SolveGMODMultiLevel(cg *callgraph.CallGraph, facts *Facts, imodPlus []*bits
 		}
 		seeds := make([]*bitset.Set, prog.NumProcs())
 		for _, p := range prog.Procs {
-			s := imodPlus[p.ID].Clone()
+			s := bitset.GetScratch(0).CopyFrom(imodPlus[p.ID])
 			s.IntersectWith(classVars[lvl])
 			seeds[p.ID] = s
 		}
-		gmod, stats := FindGMOD(gi, seeds, facts.Local, prog.Main.ID)
+		gmod, stats := FindGMODScratch(gi, seeds, facts.Local, prog.Main.ID)
 		allStats = append(allStats, stats)
 		for i := range result {
 			result[i].UnionWith(gmod[i])
+			bitset.PutScratch(gmod[i])
+			bitset.PutScratch(seeds[i])
 		}
+	}
+	for _, s := range classVars {
+		bitset.PutScratch(s)
 	}
 	return result, allStats
 }

@@ -34,9 +34,11 @@ func SolveGMODMultiLevelSparse(cg *callgraph.CallGraph, facts *Facts, imodPlus [
 	// Level 0 is the full graph.
 	{
 		seeds := restrictSeeds(prog, imodPlus, 0)
-		gmod, stats := FindGMOD(cg.G, seeds, facts.Local, prog.Main.ID)
+		gmod, stats := FindGMODScratch(cg.G, seeds, facts.Local, prog.Main.ID)
 		for i := range result {
 			result[i].UnionWith(gmod[i])
+			bitset.PutScratch(gmod[i])
+			bitset.PutScratch(seeds[i])
 		}
 		if dP == 0 {
 			return result, []GMODStats{stats}
@@ -75,16 +77,19 @@ func SolveGMODMultiLevelSparse(cg *callgraph.CallGraph, facts *Facts, imodPlus [
 			class := classSet(prog, lvl)
 			for ci := 0; ci < nNodes; ci++ {
 				p := procs[ci]
-				s := imodPlus[p.ID].Clone()
+				s := bitset.GetScratch(0).CopyFrom(imodPlus[p.ID])
 				s.IntersectWith(class)
 				seeds[ci] = s
 				locals[ci] = facts.Local[p.ID]
 			}
-			gmod, stats := FindGMOD(gi, seeds, locals)
+			gmod, stats := FindGMODScratch(gi, seeds, locals)
 			allStats = append(allStats, stats)
 			for ci := 0; ci < nNodes; ci++ {
 				result[procs[ci].ID].UnionWith(gmod[ci])
+				bitset.PutScratch(gmod[ci])
+				bitset.PutScratch(seeds[ci])
 			}
+			bitset.PutScratch(class)
 		}
 		return result, allStats
 	}
@@ -96,16 +101,18 @@ func restrictSeeds(prog *ir.Program, imodPlus []*bitset.Set, lvl int) []*bitset.
 	class := classSet(prog, lvl)
 	out := make([]*bitset.Set, prog.NumProcs())
 	for _, p := range prog.Procs {
-		s := imodPlus[p.ID].Clone()
+		s := bitset.GetScratch(0).CopyFrom(imodPlus[p.ID])
 		s.IntersectWith(class)
 		out[p.ID] = s
 	}
+	bitset.PutScratch(class)
 	return out
 }
 
-// classSet returns the variables of scope class lvl.
+// classSet returns the variables of scope class lvl as a pool-owned
+// scratch set; callers release it with bitset.PutScratch.
 func classSet(prog *ir.Program, lvl int) *bitset.Set {
-	s := bitset.New(prog.NumVars())
+	s := bitset.GetScratch(prog.NumVars())
 	for _, v := range prog.Vars {
 		if v.ScopeLevel() == lvl {
 			s.Add(v.ID)

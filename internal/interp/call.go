@@ -70,6 +70,20 @@ func (in *interp) call(c *ast.Call, sc *scope) error {
 		in.res.Calls[c.Pos] = obs
 	}
 	vis := map[any][]string{}
+	var tr *CallTrace
+	var av map[*array][]arrView
+	var elemRefs map[*array]int
+	if in.opts.TraceElems {
+		tr = &CallTrace{
+			Pos:     c.Pos,
+			Scalars: map[string]int{},
+			Extents: map[string][]int{},
+			Writes:  map[string][][]int{},
+			Aliased: map[string]bool{},
+		}
+		av = map[*array][]arrView{}
+		elemRefs = map[*array]int{}
+	}
 	for s := sc; s != nil; s = s.static {
 		for name, b := range s.names {
 			if sc.lookup(name) != b {
@@ -82,15 +96,45 @@ func (in *interp) call(c *ast.Call, sc *scope) error {
 				key = b.arr.arr
 			}
 			vis[key] = append(vis[key], b.qualified)
+			if tr == nil {
+				continue
+			}
+			if b.c != nil {
+				tr.Scalars[b.qualified] = b.c.v
+				if b.backing != nil {
+					elemRefs[b.backing]++
+				}
+			} else {
+				tr.Extents[b.qualified] = b.arr.dims
+				av[b.arr.arr] = append(av[b.arr.arr], arrView{name: b.qualified, v: *b.arr})
+			}
+		}
+	}
+	if tr != nil {
+		for arr, views := range av {
+			if len(views)+elemRefs[arr] > 1 {
+				for _, x := range views {
+					tr.Aliased[x.name] = true
+				}
+			}
 		}
 	}
 	in.recorders = append(in.recorders, obs)
 	in.visible = append(in.visible, vis)
+	if tr != nil {
+		in.res.Traces = append(in.res.Traces, tr)
+		in.traces = append(in.traces, tr)
+		in.elemVis = append(in.elemVis, av)
+	}
 	in.depth++
 	err := in.block(pd.Body, frame)
 	in.depth--
 	in.recorders = in.recorders[:len(in.recorders)-1]
 	in.visible = in.visible[:len(in.visible)-1]
+	if tr != nil {
+		in.traces = in.traces[:len(in.traces)-1]
+		in.elemVis = in.elemVis[:len(in.elemVis)-1]
+	}
 	return err
 }
 
@@ -138,7 +182,7 @@ func (in *interp) bindRef(arg *ast.Arg, prm *ast.Param, sc *scope) (*binding, er
 	if len(nv.dims) == 0 {
 		// Element reference: a scalar binding to the cell, remembering
 		// the array it lives in for observation purposes.
-		return &binding{c: &base.arr.data[nv.offset], backing: base.arr}, nil
+		return &binding{c: &base.arr.data[nv.offset], backing: base.arr, backOff: nv.offset}, nil
 	}
 	return &binding{arr: &nv}, nil
 }

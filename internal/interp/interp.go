@@ -38,6 +38,11 @@ type Options struct {
 	// Input supplies values for `read`; when exhausted, reads yield
 	// successive integers 1, 2, 3, …
 	Input []int
+	// TraceElems records, per call-site activation, the exact array
+	// elements written during the call's dynamic extent together with a
+	// snapshot of the caller-visible scalars at call entry (see
+	// CallTrace). Used to validate regular-section summaries.
+	TraceElems bool
 }
 
 // Obs is the observation record for one call site: the caller-visible
@@ -60,6 +65,41 @@ type Result struct {
 	// Calls maps each executed call statement (by source position) to
 	// its aggregated observations across all executions of the site.
 	Calls map[token.Pos]*Obs
+	// Traces holds one CallTrace per call-site activation, in execution
+	// order, when Options.TraceElems is set.
+	Traces []*CallTrace
+}
+
+// CallTrace is the element-level record of one activation of a call
+// site, collected under Options.TraceElems. Coordinates are 0-based
+// and live in the index space of the named caller-visible array (for
+// a formal bound to a strided section, the section's own space), so a
+// trace entry is directly comparable with the regular-section summary
+// the analysis reports for that name at the site.
+type CallTrace struct {
+	// Pos is the call statement's source position.
+	Pos token.Pos
+	// Scalars snapshots the caller-visible scalar values at call entry,
+	// by qualified name. A symbolic subscript the analysis judged
+	// invariant over the call keeps this value for the whole extent.
+	Scalars map[string]int
+	// Extents gives each caller-visible array's per-dimension extents
+	// (the runtime shape, which for assumed-size formals is unknown
+	// statically).
+	Extents map[string][]int
+	// Writes lists the coordinates written during the call's dynamic
+	// extent, per caller-visible array name.
+	Writes map[string][][]int
+	// Aliased marks array names whose storage was reachable through
+	// more than one visible binding at call entry (a formal bound to a
+	// visible global, overlapping sections, or an element reference
+	// into the array). Writes through one path are observed under every
+	// name, but the static section summaries are per access path —
+	// alias factoring (Section 5) closes only the bit-level MOD sets —
+	// so element-level comparison is meaningful only for unaliased
+	// names (the regular-section setting assumes unaliased reference
+	// parameters).
+	Aliased map[string]bool
 }
 
 // Run executes a parsed program.
@@ -139,12 +179,45 @@ func clampIndex(i, extent int) int {
 	return i
 }
 
-func (v view) cellAt(subs []int) *cell {
+// offsetAt maps 1-based subscripts to the absolute offset in the
+// backing array's data.
+func (v view) offsetAt(subs []int) int {
 	off := v.offset
 	for k, s := range subs {
 		off += clampIndex(s, v.dims[k]) * v.strides[k]
 	}
-	return &v.arr.data[off]
+	return off
+}
+
+func (v view) cellAt(subs []int) *cell {
+	return &v.arr.data[v.offsetAt(subs)]
+}
+
+// coordsOf inverts offsetAt: it decomposes an absolute data offset
+// into this view's 0-based coordinates, reporting false when the
+// offset lies outside the view (e.g. a write to a column the view
+// excludes). Greedy division is exact because a view's strides are a
+// subsequence of the backing array's row-major strides, so the
+// residual contribution of later dimensions is always smaller than
+// the current stride.
+func (v view) coordsOf(off int) ([]int, bool) {
+	r := off - v.offset
+	if r < 0 {
+		return nil, false
+	}
+	coords := make([]int, len(v.dims))
+	for k := range v.dims {
+		c := r / v.strides[k]
+		if c >= v.dims[k] {
+			return nil, false
+		}
+		coords[k] = c
+		r -= c * v.strides[k]
+	}
+	if r != 0 {
+		return nil, false
+	}
+	return coords, true
 }
 
 // binding is the storage bound to a name: exactly one of c or a view.
@@ -153,8 +226,10 @@ type binding struct {
 	arr *view
 	// backing, when non-nil, is the array object the scalar cell c
 	// lives inside (an element passed by reference): writes through
-	// the binding are also writes to that array.
+	// the binding are also writes to that array. backOff is the cell's
+	// absolute offset in backing's data.
 	backing *array
+	backOff int
 	// qualified is the diagnostic/observation name, e.g. "p.x" or "g".
 	qualified string
 }
@@ -203,6 +278,31 @@ type interp struct {
 	// qualified names at that call site (a location can be visible
 	// under several names when reference parameters alias).
 	visible []map[any][]string
+	// traces and elemVis parallel recorders when TraceElems is on:
+	// elemVis maps each backing array to the caller-visible views onto
+	// it, so element writes can be translated into each view's own
+	// coordinate space.
+	traces  []*CallTrace
+	elemVis []map[*array][]arrView
+}
+
+// arrView is one caller-visible name for (a view of) an array.
+type arrView struct {
+	name string
+	v    view
+}
+
+// recordElemWrite attributes a write of the element at absolute
+// offset off in arr to every visible view that contains it, in that
+// view's own coordinates.
+func (in *interp) recordElemWrite(arr *array, off int) {
+	for i, tr := range in.traces {
+		for _, av := range in.elemVis[i][arr] {
+			if coords, ok := av.v.coordsOf(off); ok {
+				tr.Writes[av.name] = append(tr.Writes[av.name], coords)
+			}
+		}
+	}
 }
 
 func (in *interp) tick() error {
@@ -389,6 +489,7 @@ func (in *interp) assign(t *ast.VarRef, v int, sc *scope) error {
 		b.c.v = v
 		if b.backing != nil {
 			in.recordWrite(b.c, b.backing)
+			in.recordElemWrite(b.backing, b.backOff)
 		} else {
 			in.recordWrite(b.c)
 		}
@@ -405,9 +506,10 @@ func (in *interp) assign(t *ast.VarRef, v int, sc *scope) error {
 		}
 		subs[i] = x
 	}
-	c := b.arr.cellAt(subs)
-	c.v = v
+	off := b.arr.offsetAt(subs)
+	b.arr.arr.data[off].v = v
 	in.recordWrite(b.arr.arr)
+	in.recordElemWrite(b.arr.arr, off)
 	return nil
 }
 

@@ -1,0 +1,170 @@
+package interp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sideeffect/internal/interp"
+	"sideeffect/internal/lang/parser"
+)
+
+func runTraced(t *testing.T, src string) *interp.Result {
+	t.Helper()
+	tree, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := interp.Run(tree, interp.Options{TraceElems: true})
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return res
+}
+
+// tracesFor collects the traces of the call at the given qualified
+// array-name observation, keyed however the caller wants.
+func TestTraceElementWrites(t *testing.T) {
+	res := runTraced(t, `
+program tr;
+global A[4, 4];
+global j;
+proc setcell(val r, val c)
+begin
+  A[r, c] := 1
+end;
+begin
+  j := 3;
+  call setcell(2, j)
+end.
+`)
+	if len(res.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(res.Traces))
+	}
+	tr := res.Traces[0]
+	if got := tr.Writes["A"]; !reflect.DeepEqual(got, [][]int{{1, 2}}) {
+		t.Errorf("A writes = %v, want [[1 2]] (0-based)", got)
+	}
+	if tr.Scalars["j"] != 3 {
+		t.Errorf("entry snapshot j = %d, want 3", tr.Scalars["j"])
+	}
+	if !reflect.DeepEqual(tr.Extents["A"], []int{4, 4}) {
+		t.Errorf("extents of A = %v", tr.Extents["A"])
+	}
+	if len(tr.Aliased) != 0 {
+		t.Errorf("unexpected aliasing: %v", tr.Aliased)
+	}
+}
+
+// A column section A[*, 2] held by a caller's formal: writes through
+// a further call must appear in the view's own rank-1 coordinate
+// space for the formal's name, and in A's full space for the global
+// name.
+func TestTraceSectionCoordinates(t *testing.T) {
+	res := runTraced(t, `
+program sec;
+global A[4, 4];
+proc fill(ref c[*])
+  var i;
+begin
+  for i := 1 to 4 do c[i] := i end
+end;
+proc driver(ref d[*])
+begin
+  call fill(d)
+end;
+begin
+  call driver(A[*, 2])
+end.
+`)
+	var whole, sect *interp.CallTrace
+	for _, tr := range res.Traces {
+		if tr.Extents["driver.d"] != nil {
+			sect = tr // the call site inside driver
+		} else if len(tr.Writes["A"]) > 0 {
+			whole = tr // main's call, A visible whole
+		}
+	}
+	if whole == nil || sect == nil {
+		t.Fatalf("missing traces: %+v", res.Traces)
+	}
+	// Main sees A whole: column 2 (0-based 1), rows 0..3.
+	want := [][]int{{0, 1}, {1, 1}, {2, 1}, {3, 1}}
+	if !reflect.DeepEqual(whole.Writes["A"], want) {
+		t.Errorf("A writes = %v, want %v", whole.Writes["A"], want)
+	}
+	if whole.Aliased["A"] {
+		t.Errorf("A aliased at main's call: %v", whole.Aliased)
+	}
+	// Inside driver the formal is a rank-1 view: coordinates 0..3.
+	want1 := [][]int{{0}, {1}, {2}, {3}}
+	if !reflect.DeepEqual(sect.Writes["driver.d"], want1) {
+		t.Errorf("driver.d writes = %v, want %v", sect.Writes["driver.d"], want1)
+	}
+	if !reflect.DeepEqual(sect.Extents["driver.d"], []int{4}) {
+		t.Errorf("driver.d extents = %v", sect.Extents["driver.d"])
+	}
+	// Both driver.d and the global A see the storage inside driver, so
+	// both are alias-marked there.
+	if !sect.Aliased["driver.d"] || !sect.Aliased["A"] {
+		t.Errorf("aliased = %v, want driver.d and A", sect.Aliased)
+	}
+}
+
+// A formal bound to a visible global array makes both names aliases;
+// the trace must mark them so element-level comparisons skip them.
+func TestTraceAliasedNames(t *testing.T) {
+	res := runTraced(t, `
+program al;
+global A[4];
+proc inner(val k)
+begin
+  A[k] := k
+end;
+proc outer(ref f[*])
+begin
+  call inner(2)
+end;
+begin
+  call outer(A)
+end.
+`)
+	var inOuter *interp.CallTrace
+	for _, tr := range res.Traces {
+		if tr.Extents["outer.f"] != nil {
+			inOuter = tr
+		}
+	}
+	if inOuter == nil {
+		t.Fatal("no trace inside outer")
+	}
+	if !inOuter.Aliased["A"] || !inOuter.Aliased["outer.f"] {
+		t.Errorf("aliased = %v, want both A and outer.f marked", inOuter.Aliased)
+	}
+	// Both names still observe the write.
+	if len(inOuter.Writes["A"]) != 1 || len(inOuter.Writes["outer.f"]) != 1 {
+		t.Errorf("writes = %v", inOuter.Writes)
+	}
+}
+
+// An element reference A[2] passed by ref: scalar writes through the
+// formal are element writes of A at the fixed offset.
+func TestTraceElementRefWrites(t *testing.T) {
+	res := runTraced(t, `
+program el;
+global A[5];
+proc setit(ref x)
+begin
+  x := 9
+end;
+begin
+  call setit(A[2])
+end.
+`)
+	if len(res.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(res.Traces))
+	}
+	tr := res.Traces[0]
+	if got := tr.Writes["A"]; !reflect.DeepEqual(got, [][]int{{1}}) {
+		t.Errorf("A writes = %v, want [[1]]", got)
+	}
+}

@@ -31,8 +31,25 @@ type Result struct {
 
 	// inv[pid] is the set of variables that may be modified during an
 	// invocation of pid (the Mod problem's GMOD): a scalar is a usable
-	// symbolic coordinate in pid only when it is NOT in this set.
+	// symbolic coordinate in pid only when it is NOT in this set. The
+	// slice is shared (read-only) with the core Mod result, so queries
+	// must never write through it; see invView.
 	inv []*bitset.Set
+}
+
+// invView is the variance oracle the solver and the call-site queries
+// consult: "may vid's value change during an invocation of pid?". The
+// fixed field carries AtCallWithin's one-variable exception (a loop
+// index held constant within an iteration) without mutating the shared
+// inv sets, which keeps concurrent queries on results that share GMOD
+// storage race-free.
+type invView struct {
+	sets  []*bitset.Set
+	fixed int // variable ID treated as invariant regardless, or -1
+}
+
+func (iv invView) varies(pid, vid int) bool {
+	return vid != iv.fixed && iv.sets[pid].Has(vid)
 }
 
 // Stats counts the meet and mapping operations performed — the cost
@@ -50,7 +67,7 @@ type Stats struct {
 // a scalar variable that is invariant in p (not locally modified —
 // the "arbitrary symbolic input parameters" of Figure 3); anything
 // else widens to ⋆.
-func lrsdOf(p *ir.Procedure, inv []*bitset.Set, kind core.Kind, lat Lattice, out map[int]RSD, st *Stats) {
+func lrsdOf(p *ir.Procedure, inv invView, kind core.Kind, lat Lattice, out map[int]RSD, st *Stats) {
 	wantMod := kind == core.Mod
 	for _, acc := range p.Accesses {
 		if acc.Mod != wantMod {
@@ -62,7 +79,7 @@ func lrsdOf(p *ir.Procedure, inv []*bitset.Set, kind core.Kind, lat Lattice, out
 			case ir.SubConst:
 				dims[i] = ConstAtom(s.Const)
 			case ir.SubSym:
-				if inv[p.ID].Has(s.Sym.ID) {
+				if inv.varies(p.ID, s.Sym.ID) {
 					dims[i] = StarAtom // may be modified during p: not invariant
 				} else {
 					dims[i] = SymAtom(s.Sym)
@@ -86,7 +103,7 @@ func lrsdOf(p *ir.Procedure, inv []*bitset.Set, kind core.Kind, lat Lattice, out
 // if it is a literal-shaped subscript, ⋆ otherwise); globals and
 // enclosing-scope variables keep their names; anything local to the
 // callee widens to ⋆.
-func translateAtom(a Atom, cs *ir.CallSite, prog *ir.Program, inv []*bitset.Set) Atom {
+func translateAtom(a Atom, cs *ir.CallSite, prog *ir.Program, inv invView) Atom {
 	if a.Kind != Sym {
 		return a
 	}
@@ -97,7 +114,7 @@ func translateAtom(a Atom, cs *ir.CallSite, prog *ir.Program, inv []*bitset.Set)
 		}
 		act := cs.Args[v.Ordinal]
 		if act.Var != nil && act.Var.Rank() == 0 {
-			if inv[cs.Caller.ID].Has(act.Var.ID) {
+			if inv.varies(cs.Caller.ID, act.Var.ID) {
 				return StarAtom // actual may vary in the caller
 			}
 			return SymAtom(act.Var)
@@ -106,7 +123,7 @@ func translateAtom(a Atom, cs *ir.CallSite, prog *ir.Program, inv []*bitset.Set)
 	}
 	// Global or enclosing-scope variable: visible at the call site iff
 	// the caller can see it; invariance in the caller still required.
-	if !cs.Caller.Visible(v) || inv[cs.Caller.ID].Has(v.ID) {
+	if !cs.Caller.Visible(v) || inv.varies(cs.Caller.ID, v.ID) {
 		return StarAtom
 	}
 	return a
@@ -119,7 +136,7 @@ func translateAtom(a Atom, cs *ir.CallSite, prog *ir.Program, inv []*bitset.Set)
 // A[k, *]) become coordinates of the result; each ⋆ position consumes
 // the next dimension of the inner section, translated into the
 // caller's name space.
-func mapThroughCall(cs *ir.CallSite, arg int, inner RSD, prog *ir.Program, inv []*bitset.Set, st *Stats) RSD {
+func mapThroughCall(cs *ir.CallSite, arg int, inner RSD, prog *ir.Program, inv invView, st *Stats) RSD {
 	st.MapApps++
 	if inner.None {
 		return Unaccessed()
@@ -146,7 +163,7 @@ func mapThroughCall(cs *ir.CallSite, arg int, inner RSD, prog *ir.Program, inv [
 		case ir.SubConst:
 			dims[i] = ConstAtom(s.Const)
 		case ir.SubSym:
-			if inv[cs.Caller.ID].Has(s.Sym.ID) {
+			if inv.varies(cs.Caller.ID, s.Sym.ID) {
 				dims[i] = StarAtom
 			} else {
 				dims[i] = SymAtom(s.Sym)
@@ -198,7 +215,7 @@ func AnalyzeIn(modRes *core.Result, kind core.Kind, lat Lattice) *Result {
 		Global:  make([]map[int]RSD, prog.NumProcs()),
 		inv:     modRes.GMOD,
 	}
-	inv := res.inv
+	inv := invView{sets: res.inv, fixed: -1}
 	// Local sections per procedure.
 	local := make([]map[int]RSD, prog.NumProcs())
 	for _, p := range prog.Procs {
@@ -355,6 +372,21 @@ func (r *Result) FormalOf(v *ir.Variable) RSD {
 // executing call site cs: the lattice analog of DMOD(s) restricted to
 // arrays. Keys are variable IDs.
 func (r *Result) AtCall(cs *ir.CallSite) map[int]RSD {
+	return r.atCall(cs, invView{sets: r.inv, fixed: -1})
+}
+
+// AtCallWithin is AtCall as seen from inside one iteration of a loop
+// over index: the loop variable is treated as fixed (invariant) when
+// judging symbolic coordinates at this call site, even though the
+// enclosing procedure modifies it between iterations. This is the view
+// a parallelizer needs: within a single iteration the index has one
+// value, and sections pinned to it from different iterations can be
+// tested with DisjointAcrossIterations.
+func (r *Result) AtCallWithin(cs *ir.CallSite, index *ir.Variable) map[int]RSD {
+	return r.atCall(cs, invView{sets: r.inv, fixed: index.ID})
+}
+
+func (r *Result) atCall(cs *ir.CallSite, iv invView) map[int]RSD {
 	out := map[int]RSD{}
 	var st Stats
 	// Global arrays affected anywhere below the callee.
@@ -371,23 +403,7 @@ func (r *Result) AtCall(cs *ir.CallSite) map[int]RSD {
 		if n < 0 || r.Formal[n].None {
 			continue
 		}
-		meetInto(r.Lattice, out, a.Var.ID, mapThroughCall(cs, i, r.Formal[n], r.Prog, r.inv, &st), &st)
+		meetInto(r.Lattice, out, a.Var.ID, mapThroughCall(cs, i, r.Formal[n], r.Prog, iv, &st), &st)
 	}
 	return out
-}
-
-// AtCallWithin is AtCall as seen from inside one iteration of a loop
-// over index: the loop variable is treated as fixed (invariant) when
-// judging symbolic coordinates at this call site, even though the
-// enclosing procedure modifies it between iterations. This is the view
-// a parallelizer needs: within a single iteration the index has one
-// value, and sections pinned to it from different iterations can be
-// tested with DisjointAcrossIterations.
-func (r *Result) AtCallWithin(cs *ir.CallSite, index *ir.Variable) map[int]RSD {
-	saved := r.inv[cs.Caller.ID]
-	fixed := saved.Clone()
-	fixed.Remove(index.ID)
-	r.inv[cs.Caller.ID] = fixed
-	defer func() { r.inv[cs.Caller.ID] = saved }()
-	return r.AtCall(cs)
 }

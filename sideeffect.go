@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"sideeffect/internal/alias"
+	"sideeffect/internal/batch"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/core"
 	"sideeffect/internal/ir"
@@ -32,6 +33,27 @@ import (
 	"sideeffect/internal/report"
 	"sideeffect/internal/section"
 )
+
+// Options controls how the analysis pipeline is scheduled. The zero
+// value runs independent stages concurrently with GOMAXPROCS workers,
+// which is the default used by Analyze and AnalyzeProgram.
+type Options struct {
+	// Workers bounds the number of concurrently executing stages (in
+	// AnalyzeProgramWith) or programs (in AnalyzeAll). Zero or negative
+	// means GOMAXPROCS.
+	Workers int
+	// Sequential forces the classic single-goroutine pipeline: every
+	// stage runs in order on the calling goroutine. The result is
+	// identical either way — only the schedule changes.
+	Sequential bool
+}
+
+func (o Options) workers() int {
+	if o.Sequential {
+		return 1
+	}
+	return batch.Workers(o.Workers)
+}
 
 // Analysis bundles the complete side-effect solution for one program.
 type Analysis struct {
@@ -54,25 +76,71 @@ type Analysis struct {
 // analysis. Procedures unreachable from the main program are pruned
 // first, as the paper assumes.
 func Analyze(src string) (*Analysis, error) {
+	return AnalyzeWith(src, Options{})
+}
+
+// AnalyzeWith is Analyze with explicit scheduling options.
+func AnalyzeWith(src string, opts Options) (*Analysis, error) {
 	prog, err := sem.AnalyzeSource(src)
 	if err != nil {
 		return nil, fmt.Errorf("sideeffect: %w", err)
 	}
-	return AnalyzeProgram(prog.Prune()), nil
+	return AnalyzeProgramWith(prog.Prune(), opts), nil
 }
 
 // AnalyzeProgram analyzes an already-built program model without
 // pruning.
 func AnalyzeProgram(prog *ir.Program) *Analysis {
+	return AnalyzeProgramWith(prog, Options{})
+}
+
+// AnalyzeProgramWith analyzes an already-built program model without
+// pruning, scheduling independent stages according to opts.
+//
+// The stage dependency graph has two layers. Mod, Use, and alias
+// factoring read only the immutable program model, so they run
+// concurrently first. The four derived stages each depend on one or
+// two of those results and on nothing else: SecMod and SecUse consume
+// the Mod result (both section problems are driven by Mod's GMOD sets,
+// which fix symbol invariance), and the final per-call-site sets
+// factor each core result through the alias analysis. All reads of
+// the shared inputs are read-only, so the layer runs with no locking.
+func AnalyzeProgramWith(prog *ir.Program, opts Options) *Analysis {
 	a := &Analysis{Prog: prog}
-	a.Mod = core.Analyze(prog, core.Mod, core.Options{})
-	a.Use = core.Analyze(prog, core.Use, core.Options{})
-	a.Aliases = alias.Compute(prog)
-	a.SecMod = section.Analyze(a.Mod, core.Mod)
-	a.SecUse = section.Analyze(a.Mod, core.Use)
-	a.ModSets = a.Aliases.Factor(a.Mod.DMOD)
-	a.UseSets = a.Aliases.Factor(a.Use.DMOD)
+	w := opts.workers()
+	batch.Run(w, []func(){
+		func() { a.Mod = core.Analyze(prog, core.Mod, core.Options{}) },
+		func() { a.Use = core.Analyze(prog, core.Use, core.Options{}) },
+		func() { a.Aliases = alias.Compute(prog) },
+	})
+	batch.Run(w, []func(){
+		func() { a.SecMod = section.Analyze(a.Mod, core.Mod) },
+		func() { a.SecUse = section.Analyze(a.Mod, core.Use) },
+		func() { a.ModSets = a.Aliases.Factor(a.Mod.DMOD) },
+		func() { a.UseSets = a.Aliases.Factor(a.Use.DMOD) },
+	})
 	return a
+}
+
+// BatchResult is one program's outcome from AnalyzeAll: either a
+// completed Analysis or the parse/semantic error that stopped it.
+type BatchResult struct {
+	Analysis *Analysis
+	Err      error
+}
+
+// AnalyzeAll analyzes many source texts concurrently on a bounded
+// worker pool and returns one result per input, in input order. Each
+// program's own stage pipeline runs sequentially — with many programs
+// in flight, program-level parallelism already saturates the workers,
+// and nesting stage-level goroutines underneath would only oversubscribe
+// the pool. A failed parse disables only that entry; the others are
+// unaffected.
+func AnalyzeAll(srcs []string, opts Options) []BatchResult {
+	return batch.Map(opts.workers(), srcs, func(_ int, src string) BatchResult {
+		a, err := AnalyzeWith(src, Options{Sequential: true})
+		return BatchResult{Analysis: a, Err: err}
+	})
 }
 
 // Procedures returns the procedure names in declaration order (main

@@ -79,6 +79,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := map[string]bool{
 		"E1": true, "E2": true, "E3": true, "E4": true, "E5": true,
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
+		"E13": true, "E14": true,
 	}
 	for _, e := range experiments {
 		delete(want, e.id)

@@ -1,0 +1,127 @@
+// Command modand runs the long-lived analysis server: an HTTP/JSON
+// daemon over the sideeffect pipeline with a content-addressed result
+// cache and incremental edit sessions.
+//
+// Usage:
+//
+//	modand [flags]
+//
+// Endpoints (see internal/server):
+//
+//	POST   /analyze            analyze one source (cached, singleflight)
+//	POST   /batch              analyze many sources on the worker pool
+//	POST   /session            open an incremental session
+//	GET    /session/{id}       session state and report
+//	POST   /session/{id}/edit  apply an edit (incremental or full)
+//	DELETE /session/{id}       close a session
+//	GET    /metrics            Prometheus text exposition
+//	GET    /healthz            liveness probe
+//	GET    /debug/pprof/       profiling; /debug/vars for expvar
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting connections, drains in-flight requests for up to
+// -drain, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sideeffect/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run is the testable entry point. If ready is non-nil it receives the
+// bound listen address once the server is accepting connections; if
+// shutdown is non-nil, a value on it triggers the same graceful drain
+// as SIGINT/SIGTERM.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown <-chan struct{}) int {
+	fs := flag.NewFlagSet("modand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7820", "listen address")
+		jobs     = fs.Int("j", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+		cacheN   = fs.Int("cache", 256, "max cached analysis results")
+		maxBytes = fs.Int64("max-request-bytes", 1<<20, "request body size limit")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request analysis budget")
+		sessions = fs.Int("sessions", 64, "max concurrently open sessions")
+		batchN   = fs.Int("batch", 256, "max sources per /batch request")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: modand [flags]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Workers:         *jobs,
+		CacheEntries:    *cacheN,
+		MaxRequestBytes: *maxBytes,
+		Timeout:         *timeout,
+		MaxSessions:     *sessions,
+		MaxBatchSources: *batchN,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "modand: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "modand: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "modand: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "modand: %v, draining for up to %v\n", s, *drain)
+	case <-shutdown:
+		fmt.Fprintf(stdout, "modand: shutdown requested, draining for up to %v\n", *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "modand: drain incomplete: %v\n", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "modand: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "modand: bye")
+	return 0
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const daemonSrc = `
+program d;
+global g;
+
+proc p(ref x)
+begin
+  x := 1
+end;
+
+begin
+  call p(g)
+end.
+`
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL, a shutdown trigger, and the exit-code channel.
+func startDaemon(t *testing.T, extra ...string) (string, chan struct{}, chan int, *bytes.Buffer) {
+	t.Helper()
+	ready := make(chan string, 1)
+	shutdown := make(chan struct{})
+	exit := make(chan int, 1)
+	var out bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { exit <- run(args, &out, &out, ready, shutdown) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, shutdown, exit, &out
+	case code := <-exit:
+		t.Fatalf("daemon exited early with %d: %s", code, out.String())
+		return "", nil, nil, nil
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not come up")
+		return "", nil, nil, nil
+	}
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, shutdown, exit, out := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	body, err := json.Marshal(map[string]string{"source": daemonSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analyzed struct {
+		Hash   string          `json:"hash"`
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&analyzed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if analyzed.Hash == "" || len(analyzed.Report) == 0 {
+		t.Fatalf("incomplete analyze response: %+v", analyzed)
+	}
+
+	close(shutdown)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d: %s", code, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "bye") {
+		t.Errorf("missing shutdown log: %s", out.String())
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-nosuch"}, &out, &out, nil, nil); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"stray-arg"}, &out, &out, nil, nil); code != 2 {
+		t.Errorf("stray arg: exit %d, want 2", code)
+	}
+	out.Reset()
+	// A busy port fails fast.
+	base, shutdown, exit, _ := startDaemon(t)
+	addr := strings.TrimPrefix(base, "http://")
+	if code := run([]string{"-addr", addr}, &out, &out, nil, nil); code != 1 {
+		t.Errorf("busy port: exit %d, want 1", code)
+	}
+	close(shutdown)
+	<-exit
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"sideeffect/internal/binding"
 	"sideeffect/internal/bitset"
+	"sideeffect/internal/callgraph"
 	"sideeffect/internal/ir"
 )
 
@@ -217,4 +219,31 @@ func (inc *Incremental) AddLocalEffect(p *ir.Procedure, v *ir.Variable) ([]*ir.P
 // edits such as deleting statements or call sites).
 func (inc *Incremental) Invalidate() {
 	*inc.res = *Analyze(inc.res.Prog, inc.res.Kind, Options{})
+}
+
+// Rebase re-points the maintained result at prog, a program model that
+// is structurally identical to the current one — same IDs for every
+// variable, procedure, and call site, as certified by ir.AdditiveDelta
+// — but may carry different source positions and additional local
+// facts. The solved fixpoints (RMOD, IMOD+, GMOD, DMOD) are kept
+// as-is: they are pure ID-indexed sets and remain valid under the
+// isomorphism. The linear auxiliary structures that hold pointers into
+// the program model (binding multi-graph, call graph, caller index)
+// are rebuilt from prog, which preserves β-node numbering because
+// nodes are enumerated in procedure/formal declaration order.
+//
+// Rebase does not apply the new facts; call AddLocalEffect for each
+// delta afterwards. Passing a program that is not ID-isomorphic to the
+// current one corrupts the result.
+func (inc *Incremental) Rebase(prog *ir.Program) {
+	res := inc.res
+	res.Prog = prog
+	res.Facts.Prog = prog
+	res.Beta = binding.Build(prog)
+	res.RMOD.Beta = res.Beta
+	res.CG = callgraph.Build(prog)
+	inc.callersOf = make([][]*ir.CallSite, prog.NumProcs())
+	for _, cs := range prog.Sites {
+		inc.callersOf[cs.Callee.ID] = append(inc.callersOf[cs.Callee.ID], cs)
+	}
 }

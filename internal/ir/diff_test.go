@@ -1,0 +1,98 @@
+package ir
+
+import (
+	"testing"
+
+	"sideeffect/internal/lang/token"
+)
+
+// buildDiffBase constructs a small two-procedure program; calling it
+// twice yields structurally identical models with aligned IDs.
+func buildDiffBase(mutate func(b *Builder, p *Procedure, g, h, x *Variable)) *Program {
+	b := NewBuilder("d")
+	g := b.Global("g")
+	h := b.Global("h")
+	p := b.Proc("p", nil)
+	x := b.Formal(p, "x", FormalRef, 0)
+	b.Mod(p, x)
+	b.Call(b.Main(), p, []Actual{{Mode: FormalRef, Var: g}}, token.Pos{})
+	if mutate != nil {
+		mutate(b, p, g, h, x)
+	}
+	return b.MustFinish()
+}
+
+func TestAdditiveDeltaIdentical(t *testing.T) {
+	old, new := buildDiffBase(nil), buildDiffBase(nil)
+	mod, use, ok := AdditiveDelta(old, new)
+	if !ok || len(mod) != 0 || len(use) != 0 {
+		t.Fatalf("identical programs: ok=%v mod=%v use=%v", ok, mod, use)
+	}
+}
+
+func TestAdditiveDeltaNewFacts(t *testing.T) {
+	old := buildDiffBase(nil)
+	new := buildDiffBase(func(b *Builder, p *Procedure, g, h, x *Variable) {
+		b.Mod(p, h)
+		b.Use(b.Main(), g)
+	})
+	mod, use, ok := AdditiveDelta(old, new)
+	if !ok {
+		t.Fatal("additive extension not recognized")
+	}
+	if len(mod) != 1 || mod[0] != (FactDelta{Proc: new.Proc("p").ID, Var: new.Var("h").ID}) {
+		t.Errorf("mod deltas: %v", mod)
+	}
+	if len(use) != 1 || use[0] != (FactDelta{Proc: new.Main.ID, Var: new.Var("g").ID}) {
+		t.Errorf("use deltas: %v", use)
+	}
+}
+
+func TestAdditiveDeltaRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		old  func(b *Builder, p *Procedure, g, h, x *Variable)
+		new  func(b *Builder, p *Procedure, g, h, x *Variable)
+	}{
+		{"removed fact", func(b *Builder, p *Procedure, g, h, x *Variable) {
+			b.Mod(p, h)
+		}, nil},
+		{"new variable", nil, func(b *Builder, p *Procedure, g, h, x *Variable) {
+			b.Local(p, "t")
+		}},
+		{"new procedure", nil, func(b *Builder, p *Procedure, g, h, x *Variable) {
+			q := b.Proc("q", nil)
+			b.Call(b.Main(), q, nil, token.Pos{})
+		}},
+		{"new call site", nil, func(b *Builder, p *Procedure, g, h, x *Variable) {
+			b.Call(b.Main(), p, []Actual{{Mode: FormalRef, Var: g}}, token.Pos{})
+		}},
+		{"changed actual", func(b *Builder, p *Procedure, g, h, x *Variable) {
+			b.Call(p, p, []Actual{{Mode: FormalRef, Var: x}}, token.Pos{})
+		}, func(b *Builder, p *Procedure, g, h, x *Variable) {
+			b.Call(p, p, []Actual{{Mode: FormalRef, Var: g}}, token.Pos{})
+		}},
+		{"new array access", nil, func(b *Builder, p *Procedure, g, h, x *Variable) {
+			a := b.Local(p, "a", 10)
+			b.Access(p, a, []Sub{{Kind: SubConst, Const: 1}}, true, token.Pos{})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old, new := buildDiffBase(tc.old), buildDiffBase(tc.new)
+			if _, _, ok := AdditiveDelta(old, new); ok {
+				t.Errorf("%s accepted as additive", tc.name)
+			}
+		})
+	}
+}
+
+func TestAdditiveDeltaPositionsMayDiffer(t *testing.T) {
+	old := buildDiffBase(nil)
+	new := buildDiffBase(nil)
+	new.Sites[0].Pos = token.Pos{Line: 99, Col: 7}
+	new.Procs[1].Pos = token.Pos{Line: 98, Col: 1}
+	if _, _, ok := AdditiveDelta(old, new); !ok {
+		t.Error("position-only difference rejected")
+	}
+}

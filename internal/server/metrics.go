@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sideeffect/internal/cache"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds,
+// log-spaced from 100µs to 10s — analyses of toy programs land in the
+// first buckets, heavy batch work in the last.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. Guarded by the owning
+// metrics mutex.
+type histogram struct {
+	counts []int64 // one per bound, plus +Inf at the end
+	sum    float64
+	count  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// quantile returns an approximate quantile (0 < q < 1) assuming a
+// uniform distribution inside each bucket; used by the experiment
+// harness for p50/p99 summaries.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var seen float64
+	for i, c := range h.counts {
+		if seen+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBounds[i-1]
+			}
+			hi := lo * 2
+			if i < len(latencyBounds) {
+				hi = latencyBounds[i]
+			}
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-seen)/float64(c)
+		}
+		seen += float64(c)
+	}
+	return latencyBounds[len(latencyBounds)-1]
+}
+
+// metrics is the server's observability state: request counts by
+// endpoint and status, session edit modes, and an analysis latency
+// histogram. Cache counters live in the cache itself and are merged in
+// at render time. All methods are safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // key: endpoint + "\x00" + status
+	edits    map[string]int64 // key: "incremental" or "full"
+	latency  *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]int64),
+		edits:    make(map[string]int64),
+		latency:  newHistogram(),
+	}
+}
+
+func (m *metrics) request(endpoint string, status int) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s\x00%d", endpoint, status)]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) edit(mode string) {
+	m.mu.Lock()
+	m.edits[mode]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeAnalysis(seconds float64) {
+	m.mu.Lock()
+	m.latency.observe(seconds)
+	m.mu.Unlock()
+}
+
+func (m *metrics) analysisQuantile(q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latency.quantile(q)
+}
+
+// render produces the Prometheus text exposition of every counter,
+// deterministically ordered. cs is the cache's counter snapshot and
+// sessionsOpen the current session gauge.
+func (m *metrics) render(cs cache.Stats, sessionsOpen int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	b.WriteString("# HELP modand_requests_total HTTP requests by endpoint and status code.\n")
+	b.WriteString("# TYPE modand_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "\x00", 2)
+		fmt.Fprintf(&b, "modand_requests_total{endpoint=%q,code=%q} %d\n", parts[0], parts[1], m.requests[k])
+	}
+
+	b.WriteString("# HELP modand_cache_hits_total Analyses served from the content-addressed cache.\n")
+	b.WriteString("# TYPE modand_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "modand_cache_hits_total %d\n", cs.Hits)
+	b.WriteString("# TYPE modand_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "modand_cache_misses_total %d\n", cs.Misses)
+	b.WriteString("# HELP modand_cache_dedups_total Requests collapsed into another in-flight analysis.\n")
+	b.WriteString("# TYPE modand_cache_dedups_total counter\n")
+	fmt.Fprintf(&b, "modand_cache_dedups_total %d\n", cs.Dedups)
+	b.WriteString("# TYPE modand_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "modand_cache_evictions_total %d\n", cs.Evictions)
+	b.WriteString("# TYPE modand_cache_entries gauge\n")
+	fmt.Fprintf(&b, "modand_cache_entries %d\n", cs.Entries)
+
+	b.WriteString("# TYPE modand_sessions_open gauge\n")
+	fmt.Fprintf(&b, "modand_sessions_open %d\n", sessionsOpen)
+	b.WriteString("# HELP modand_session_edits_total Session edits by how they were absorbed.\n")
+	b.WriteString("# TYPE modand_session_edits_total counter\n")
+	for _, mode := range []string{"full", "incremental"} {
+		fmt.Fprintf(&b, "modand_session_edits_total{mode=%q} %d\n", mode, m.edits[mode])
+	}
+
+	b.WriteString("# HELP modand_analysis_seconds Wall time of analysis computations (cache misses, session work).\n")
+	b.WriteString("# TYPE modand_analysis_seconds histogram\n")
+	var cum int64
+	for i, bound := range latencyBounds {
+		cum += m.latency.counts[i]
+		fmt.Fprintf(&b, "modand_analysis_seconds_bucket{le=%q} %d\n", trimFloat(bound), cum)
+	}
+	cum += m.latency.counts[len(latencyBounds)]
+	fmt.Fprintf(&b, "modand_analysis_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "modand_analysis_seconds_sum %g\n", m.latency.sum)
+	fmt.Fprintf(&b, "modand_analysis_seconds_count %d\n", m.latency.count)
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.5f", f), "0"), ".")
+}

@@ -1,0 +1,428 @@
+// Package server is the serving subsystem behind cmd/modand: an
+// HTTP/JSON API over the sideeffect analysis pipeline, built for the
+// programming-environment scenario the paper targets — a long-lived
+// process that re-answers MOD/USE queries as programs are edited,
+// serving memoized summaries instead of recomputing from scratch.
+//
+// Three request families are exposed:
+//
+//   - POST /analyze — one-shot analysis of a source text, served from a
+//     content-addressed LRU (internal/cache) with singleflight
+//     deduplication; responses carry the full JSON report or the answer
+//     to one query (gmod/guse/rmod/callsites/report).
+//   - POST /batch — many sources fanned out over the bounded worker
+//     pool (sideeffect.AnalyzeAll), each entry consulting the cache.
+//   - /session — stateful handles that hold a program open and absorb
+//     edits through sideeffect.Session: additive edits ride the
+//     incremental engine, anything else falls back to full reanalysis.
+//
+// Production plumbing: request-size limits, per-request timeouts with
+// structured JSON errors, Prometheus-style counters and latency
+// histograms at /metrics, expvar at /debug/vars, and pprof at
+// /debug/pprof/. Graceful shutdown is the daemon's job (cmd/modand).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"sideeffect"
+	"sideeffect/internal/cache"
+	"sideeffect/internal/report"
+)
+
+// Config tunes the server. The zero value gets sensible production
+// defaults from withDefaults.
+type Config struct {
+	// Workers bounds the analysis pools (0 = GOMAXPROCS; negative
+	// values are normalized by the library).
+	Workers int
+	// CacheEntries bounds the content-addressed result cache
+	// (default 256 entries).
+	CacheEntries int
+	// MaxRequestBytes bounds request bodies (default 1 MiB). Larger
+	// requests receive 413 with a structured error.
+	MaxRequestBytes int64
+	// Timeout bounds each request's analysis work (default 30s).
+	// Requests that exceed it receive 503; the underlying computation
+	// is left to finish and populate the cache.
+	Timeout time.Duration
+	// MaxSessions bounds concurrently open sessions (default 64).
+	MaxSessions int
+	// MaxBatchSources bounds the number of sources per /batch request
+	// (default 256).
+	MaxBatchSources int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxBatchSources == 0 {
+		c.MaxBatchSources = 256
+	}
+	return c
+}
+
+// cached is one memoized analysis with lazily rendered report forms.
+// The Analysis inside is shared by every request for the same source
+// hash and must be treated as immutable (sessions, which mutate their
+// analyses, never go through the cache).
+type cached struct {
+	a        *sideeffect.Analysis
+	jsonOnce sync.Once
+	json     *report.JSONReport
+	textOnce sync.Once
+	text     string
+}
+
+func (e *cached) jsonReport() *report.JSONReport {
+	e.jsonOnce.Do(func() {
+		e.json = report.BuildJSON(e.a.Mod, e.a.Use, e.a.Aliases, e.a.SecMod)
+	})
+	return e.json
+}
+
+func (e *cached) textReport() string {
+	e.textOnce.Do(func() { e.text = e.a.Report() })
+	return e.text
+}
+
+// Server is the analysis service. Create with New, expose with
+// Handler.
+type Server struct {
+	cfg      Config
+	opts     sideeffect.Options
+	cache    *cache.Cache[*cached]
+	sessions *sessionStore
+	met      *metrics
+	mux      *http.ServeMux
+}
+
+// New builds a server with its routes registered.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		opts:     sideeffect.Options{Workers: cfg.Workers},
+		cache:    cache.New[*cached](cfg.CacheEntries),
+		sessions: newSessionStore(cfg.MaxSessions),
+		met:      newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /analyze", "/analyze", s.handleAnalyze)
+	s.route("POST /batch", "/batch", s.handleBatch)
+	s.route("POST /session", "/session", s.handleSessionCreate)
+	s.route("GET /session/{id}", "/session/{id}", s.handleSessionGet)
+	s.route("POST /session/{id}/edit", "/session/{id}/edit", s.handleSessionEdit)
+	s.route("DELETE /session/{id}", "/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is the structured error payload every failure returns,
+// wrapped as {"error": {...}}.
+type apiError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: fmt.Sprintf(format, args...)}
+}
+
+func errAnalysis(err error) *apiError {
+	return &apiError{Status: http.StatusUnprocessableEntity, Code: "analysis_failed", Message: err.Error()}
+}
+
+func errTimeout() *apiError {
+	return &apiError{Status: http.StatusServiceUnavailable, Code: "timeout", Message: "analysis did not finish within the request budget"}
+}
+
+func errTooLarge(limit int64) *apiError {
+	return &apiError{Status: http.StatusRequestEntityTooLarge, Code: "too_large",
+		Message: fmt.Sprintf("request body exceeds the %d-byte limit", limit)}
+}
+
+func errNotFound(id string) *apiError {
+	return &apiError{Status: http.StatusNotFound, Code: "not_found", Message: fmt.Sprintf("no session %q", id)}
+}
+
+func errSessionLimit(max int) *apiError {
+	return &apiError{Status: http.StatusTooManyRequests, Code: "session_limit",
+		Message: fmt.Sprintf("session table is full (%d open); DELETE one first", max)}
+}
+
+// handlerFunc is a route body: it returns the status and response
+// value, or an apiError.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (int, any, *apiError)
+
+// route registers fn under pattern with the shared plumbing: a request
+// body size limit, a per-request timeout context, request counting by
+// endpoint label, and structured error rendering.
+func (s *Server) route(pattern, label string, fn handlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		status, body, apiErr := fn(w, r.WithContext(ctx))
+		if apiErr != nil {
+			status = apiErr.Status
+			writeJSON(w, status, map[string]*apiError{"error": apiErr})
+		} else {
+			writeJSON(w, status, body)
+		}
+		s.met.request(label, status)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// decodeJSON reads the request body into v, translating the
+// MaxBytesReader overflow into the structured 413.
+func (s *Server) decodeJSON(r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errTooLarge(tooLarge.Limit)
+		}
+		return errBadRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// analyzeCached resolves src through the cache under the request
+// context: a hit returns immediately; a miss computes on the worker
+// options; concurrent identical requests share one computation. On
+// context expiry the request fails with the timeout error while the
+// computation (if this request was its leader) finishes in the
+// background and still populates the cache.
+func (s *Server) analyzeCached(ctx context.Context, src string) (*cached, string, cache.Outcome, *apiError) {
+	key := cache.Key(src)
+	type result struct {
+		entry   *cached
+		outcome cache.Outcome
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		entry, outcome, err := s.cache.Do(key, func() (*cached, error) {
+			start := time.Now()
+			a, err := sideeffect.AnalyzeWith(src, s.opts)
+			if err != nil {
+				return nil, err
+			}
+			s.met.observeAnalysis(time.Since(start).Seconds())
+			return &cached{a: a}, nil
+		})
+		ch <- result{entry, outcome, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, key, 0, errTimeout()
+	case res := <-ch:
+		if res.err != nil {
+			return nil, key, res.outcome, errAnalysis(res.err)
+		}
+		return res.entry, key, res.outcome, nil
+	}
+}
+
+// analyzeRequest is the /analyze body. Query is optional; without it
+// the response carries the full JSON report.
+type analyzeRequest struct {
+	Source string        `json:"source"`
+	Query  *analyzeQuery `json:"query,omitempty"`
+}
+
+// analyzeQuery selects one answer instead of the full report. Kind is
+// one of "gmod", "guse", "rmod" (these need Proc), "callsites", or
+// "report" (the human-readable text).
+type analyzeQuery struct {
+	Kind string `json:"kind"`
+	Proc string `json:"proc,omitempty"`
+}
+
+// analyzeResponse is the /analyze answer. Exactly one of Report, Text,
+// Names, or CallSites is populated, depending on the query.
+type analyzeResponse struct {
+	Hash      string                `json:"hash"`
+	Cached    bool                  `json:"cached"`
+	Report    *report.JSONReport    `json:"report,omitempty"`
+	Text      string                `json:"text,omitempty"`
+	Names     []string              `json:"names,omitempty"`
+	CallSites []sideeffect.CallSite `json:"callSites,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	var req analyzeRequest
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		return 0, nil, apiErr
+	}
+	if req.Source == "" {
+		return 0, nil, errBadRequest("missing \"source\"")
+	}
+	entry, key, outcome, apiErr := s.analyzeCached(r.Context(), req.Source)
+	if apiErr != nil {
+		return 0, nil, apiErr
+	}
+	resp := analyzeResponse{Hash: key, Cached: outcome == cache.Hit}
+	if req.Query == nil || req.Query.Kind == "" {
+		resp.Report = entry.jsonReport()
+		return http.StatusOK, resp, nil
+	}
+	q := req.Query
+	var err error
+	switch q.Kind {
+	case "report":
+		resp.Text = entry.textReport()
+	case "gmod":
+		resp.Names, err = entry.a.MOD(q.Proc)
+	case "guse":
+		resp.Names, err = entry.a.USE(q.Proc)
+	case "rmod":
+		resp.Names, err = entry.a.RMOD(q.Proc)
+	case "callsites":
+		resp.CallSites = entry.a.CallSites()
+	default:
+		return 0, nil, errBadRequest("unknown query kind %q (want gmod, guse, rmod, callsites, or report)", q.Kind)
+	}
+	if err != nil {
+		return 0, nil, errBadRequest("%v", err)
+	}
+	if resp.Names == nil {
+		resp.Names = []string{}
+	}
+	return http.StatusOK, resp, nil
+}
+
+// batchRequest is the /batch body.
+type batchRequest struct {
+	Sources []string `json:"sources"`
+}
+
+// batchEntry is one source's outcome, in input order.
+type batchEntry struct {
+	Hash   string             `json:"hash"`
+	Cached bool               `json:"cached"`
+	Report *report.JSONReport `json:"report,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	var req batchRequest
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		return 0, nil, apiErr
+	}
+	if len(req.Sources) == 0 {
+		return 0, nil, errBadRequest("missing \"sources\"")
+	}
+	if len(req.Sources) > s.cfg.MaxBatchSources {
+		return 0, nil, errBadRequest("%d sources exceed the per-batch limit of %d", len(req.Sources), s.cfg.MaxBatchSources)
+	}
+	done := make(chan []batchEntry, 1)
+	go func() { done <- s.runBatch(req.Sources) }()
+	select {
+	case <-r.Context().Done():
+		return 0, nil, errTimeout()
+	case entries := <-done:
+		return http.StatusOK, map[string][]batchEntry{"results": entries}, nil
+	}
+}
+
+// runBatch resolves every source, serving repeats and warm entries
+// from the cache and fanning the rest out over AnalyzeAll's bounded
+// pool.
+func (s *Server) runBatch(sources []string) []batchEntry {
+	entries := make([]batchEntry, len(sources))
+	var missSrcs []string
+	missAt := make(map[string]int) // key → index into missSrcs
+	for i, src := range sources {
+		key := cache.Key(src)
+		entries[i].Hash = key
+		if e, ok := s.cache.Get(key); ok {
+			entries[i].Cached = true
+			entries[i].Report = e.jsonReport()
+			continue
+		}
+		if _, dup := missAt[key]; !dup {
+			missAt[key] = len(missSrcs)
+			missSrcs = append(missSrcs, src)
+		}
+	}
+	if len(missSrcs) == 0 {
+		return entries
+	}
+	start := time.Now()
+	results := sideeffect.AnalyzeAll(missSrcs, s.opts)
+	s.met.observeAnalysis(time.Since(start).Seconds())
+	fresh := make(map[string]*cached, len(results))
+	for j, res := range results {
+		key := cache.Key(missSrcs[j])
+		if res.Err == nil {
+			e := &cached{a: res.Analysis}
+			fresh[key] = e
+			s.cache.Put(key, e)
+		}
+	}
+	for i, src := range sources {
+		if entries[i].Report != nil || entries[i].Error != "" {
+			continue
+		}
+		key := entries[i].Hash
+		if e, ok := fresh[key]; ok {
+			entries[i].Report = e.jsonReport()
+		} else if j, ok := missAt[key]; ok {
+			entries[i].Error = results[j].Err.Error()
+		} else {
+			// Unreachable: every non-cached source was queued.
+			entries[i].Error = fmt.Sprintf("internal: source %d not analyzed", i)
+		}
+		_ = src
+	}
+	return entries
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.met.render(s.cache.Stats(), s.sessions.open()))
+}

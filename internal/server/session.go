@@ -1,0 +1,188 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sideeffect"
+	"sideeffect/internal/cache"
+	"sideeffect/internal/report"
+)
+
+// session is one open program handle. Each session owns a
+// sideeffect.Session (which mutates its analysis in place on edits),
+// so requests against one session serialize on its mutex while
+// different sessions proceed independently.
+type session struct {
+	mu          sync.Mutex
+	id          string
+	sess        *sideeffect.Session
+	edits       int
+	incremental int
+	full        int
+}
+
+// sessionStore is the bounded table of open sessions.
+type sessionStore struct {
+	mu       sync.Mutex
+	max      int
+	next     int
+	sessions map[string]*session
+}
+
+func newSessionStore(max int) *sessionStore {
+	return &sessionStore{max: max, sessions: make(map[string]*session)}
+}
+
+func (st *sessionStore) add(sess *sideeffect.Session) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.sessions) >= st.max {
+		return nil, false
+	}
+	st.next++
+	s := &session{id: fmt.Sprintf("s-%d", st.next), sess: sess}
+	st.sessions[s.id] = s
+	return s, true
+}
+
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
+	return s, ok
+}
+
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sessions[id]; !ok {
+		return false
+	}
+	delete(st.sessions, id)
+	return true
+}
+
+func (st *sessionStore) open() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// sessionState is the session view returned by the creation, status,
+// and edit endpoints. The report field is the same shape /analyze
+// returns, so clients can diff the two directly.
+type sessionState struct {
+	ID               string             `json:"id"`
+	Hash             string             `json:"hash"`
+	Procedures       []string           `json:"procedures"`
+	Edits            int                `json:"edits"`
+	IncrementalEdits int                `json:"incrementalEdits"`
+	FullEdits        int                `json:"fullEdits"`
+	Mode             string             `json:"mode,omitempty"`
+	Report           *report.JSONReport `json:"report,omitempty"`
+}
+
+// state snapshots the session under its lock. mode is "" for reads.
+func (s *session) state(mode string, includeReport bool) sessionState {
+	a := s.sess.Analysis()
+	st := sessionState{
+		ID:               s.id,
+		Hash:             cache.Key(s.sess.Source()),
+		Procedures:       a.Procedures(),
+		Edits:            s.edits,
+		IncrementalEdits: s.incremental,
+		FullEdits:        s.full,
+		Mode:             mode,
+	}
+	if includeReport {
+		st.Report = report.BuildJSON(a.Mod, a.Use, a.Aliases, a.SecMod)
+	}
+	return st
+}
+
+// sessionCreateRequest opens a session over a source text.
+type sessionCreateRequest struct {
+	Source string `json:"source"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	var req sessionCreateRequest
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		return 0, nil, apiErr
+	}
+	if req.Source == "" {
+		return 0, nil, errBadRequest("missing \"source\"")
+	}
+	if r.Context().Err() != nil {
+		return 0, nil, errTimeout()
+	}
+	sess, err := sideeffect.NewSession(req.Source, s.opts)
+	if err != nil {
+		return 0, nil, errAnalysis(err)
+	}
+	open, ok := s.sessions.add(sess)
+	if !ok {
+		return 0, nil, errSessionLimit(s.cfg.MaxSessions)
+	}
+	open.mu.Lock()
+	defer open.mu.Unlock()
+	return http.StatusCreated, open.state("", true), nil
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	open, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		return 0, nil, errNotFound(r.PathValue("id"))
+	}
+	open.mu.Lock()
+	defer open.mu.Unlock()
+	return http.StatusOK, open.state("", true), nil
+}
+
+// sessionEditRequest replaces the session's source text. The server
+// decides whether the edit is additive (incremental propagation) or
+// structural (full reanalysis) and reports which path it took.
+type sessionEditRequest struct {
+	Source string `json:"source"`
+}
+
+func (s *Server) handleSessionEdit(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	var req sessionEditRequest
+	if apiErr := s.decodeJSON(r, &req); apiErr != nil {
+		return 0, nil, apiErr
+	}
+	if req.Source == "" {
+		return 0, nil, errBadRequest("missing \"source\"")
+	}
+	open, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		return 0, nil, errNotFound(r.PathValue("id"))
+	}
+	open.mu.Lock()
+	defer open.mu.Unlock()
+	if r.Context().Err() != nil {
+		return 0, nil, errTimeout()
+	}
+	mode, err := open.sess.Edit(req.Source)
+	if err != nil {
+		return 0, nil, errAnalysis(err)
+	}
+	open.edits++
+	if mode == sideeffect.EditIncremental {
+		open.incremental++
+	} else {
+		open.full++
+	}
+	s.met.edit(mode.String())
+	return http.StatusOK, open.state(mode.String(), true), nil
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		return 0, nil, errNotFound(id)
+	}
+	return http.StatusOK, map[string]string{"deleted": id}, nil
+}

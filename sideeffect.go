@@ -48,11 +48,20 @@ type Options struct {
 	Sequential bool
 }
 
+// workers resolves the options to a concrete positive worker count.
+// This is the single normalization point for the whole public API:
+// Sequential forces 1, a positive Workers is taken as-is, and zero or
+// negative Workers fall back to GOMAXPROCS — a negative value is
+// treated as "unset" here and never reaches the pools.
 func (o Options) workers() int {
-	if o.Sequential {
+	switch {
+	case o.Sequential:
 		return 1
+	case o.Workers > 0:
+		return o.Workers
+	default:
+		return batch.Workers(0)
 	}
-	return batch.Workers(o.Workers)
 }
 
 // Analysis bundles the complete side-effect solution for one program.
@@ -113,13 +122,21 @@ func AnalyzeProgramWith(prog *ir.Program, opts Options) *Analysis {
 		func() { a.Use = core.Analyze(prog, core.Use, core.Options{}) },
 		func() { a.Aliases = alias.Compute(prog) },
 	})
-	batch.Run(w, []func(){
+	a.refreshDerived(opts)
+	return a
+}
+
+// refreshDerived recomputes the second stage layer — both section
+// problems and the alias-factored per-call-site sets — from the
+// current Mod/Use results and alias analysis. Used by the pipeline and
+// by the incremental updater after the core results change.
+func (a *Analysis) refreshDerived(opts Options) {
+	batch.Run(opts.workers(), []func(){
 		func() { a.SecMod = section.Analyze(a.Mod, core.Mod) },
 		func() { a.SecUse = section.Analyze(a.Mod, core.Use) },
 		func() { a.ModSets = a.Aliases.Factor(a.Mod.DMOD) },
 		func() { a.UseSets = a.Aliases.Factor(a.Use.DMOD) },
 	})
-	return a
 }
 
 // BatchResult is one program's outcome from AnalyzeAll: either a

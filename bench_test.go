@@ -21,6 +21,7 @@ import (
 	"sideeffect/internal/callgraph"
 	"sideeffect/internal/core"
 	"sideeffect/internal/ir"
+	"sideeffect/internal/lint"
 	"sideeffect/internal/section"
 	"sideeffect/internal/workload"
 )
@@ -354,6 +355,27 @@ func BenchmarkAnalyzeParallelStages(b *testing.B) {
 			Name: fmt.Sprintf("BenchmarkAnalyzeParallelStages/N=%d", procs), Cores: runtime.GOMAXPROCS(0),
 			Workers: runtime.GOMAXPROCS(0), Programs: 1, ProcsEach: procs,
 			SeqNsPerOp: seq, ParNsPerOp: par, Speedup: float64(seq) / float64(par),
+		})
+	}
+}
+
+// E15 — the diagnostics engine over a finished analysis. The rules
+// only re-read summary bit sets and precomputed loop verdicts; cost
+// tracks the findings emitted, not the procedure count (the per-op
+// times here divided by the finding counts E15 reports stay flat).
+func BenchmarkLint(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		src := workload.Emit(workload.Random(workload.DefaultConfig(n, int64(300+n))))
+		a, err := AnalyzeWith(src, Options{Sequential: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Lint(lint.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

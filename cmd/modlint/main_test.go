@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixture paths are relative to this package directory.
+const (
+	cleanFile  = "../../testdata/lint/clean.mpl"
+	dirtyFile  = "../../testdata/lint/se004_deadglobal.mpl"
+	brokenFile = "../../testdata/lint/broken.mpl"
+	loopsFile  = "../../testdata/lint/se006_loops.mpl"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(""), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings,
+// 2 error — and that a broken file in a batch still exits 2 while the
+// healthy files are linted.
+func TestExitCodes(t *testing.T) {
+	if code, out, _ := runCLI(t, cleanFile); code != 0 || out != "" {
+		t.Errorf("clean: code %d, out %q", code, out)
+	}
+	if code, out, _ := runCLI(t, dirtyFile); code != 1 || !strings.Contains(out, "SE004") {
+		t.Errorf("findings: code %d, out %q", code, out)
+	}
+	if code, _, errOut := runCLI(t, brokenFile); code != 2 || errOut == "" {
+		t.Errorf("broken: code %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("no arguments should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-format", "xml", cleanFile); code != 2 {
+		t.Error("bad format should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-rules", "SE999", cleanFile); code != 2 {
+		t.Error("unknown rule should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-min-severity", "loud", cleanFile); code != 2 {
+		t.Error("bad severity should exit 2")
+	}
+	// Error beats findings when both occur in one batch.
+	code, out, errOut := runCLI(t, dirtyFile, brokenFile)
+	if code != 2 {
+		t.Errorf("mixed batch: code %d", code)
+	}
+	if !strings.Contains(out, "SE004") || !strings.Contains(errOut, "broken.mpl") {
+		t.Errorf("mixed batch: out %q, stderr %q", out, errOut)
+	}
+}
+
+// TestFormats checks each writer produces well-formed output through
+// the CLI, including the SARIF schema header fields.
+func TestFormats(t *testing.T) {
+	_, out, _ := runCLI(t, "-format", "json", dirtyFile)
+	var doc struct {
+		Tool     string `json:"tool"`
+		Findings int    `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("json output invalid: %v", err)
+	}
+	if doc.Tool != "modlint" || doc.Findings != 1 {
+		t.Errorf("json: %+v", doc)
+	}
+
+	_, out, _ = runCLI(t, "-format", "sarif", dirtyFile)
+	var sarif struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &sarif); err != nil {
+		t.Fatalf("sarif output invalid: %v", err)
+	}
+	if sarif.Version != "2.1.0" || len(sarif.Runs) != 1 || len(sarif.Runs[0].Results) != 1 {
+		t.Errorf("sarif: version %q, %d runs", sarif.Version, len(sarif.Runs))
+	}
+}
+
+// TestBatchDeterministic runs a multi-file batch sequentially and on a
+// four-worker pool: byte-identical output, argument order preserved.
+func TestBatchDeterministic(t *testing.T) {
+	files := []string{loopsFile, dirtyFile, cleanFile, "../../testdata/lint/se001_refval.mpl"}
+	base := append([]string{"-format", "sarif", "-j", "1"}, files...)
+	_, want, _ := runCLI(t, base...)
+	for rep := 0; rep < 3; rep++ {
+		par := append([]string{"-format", "sarif", "-j", "4"}, files...)
+		if _, got, _ := runCLI(t, par...); got != want {
+			t.Fatalf("parallel batch output differs from sequential (rep %d)", rep)
+		}
+	}
+	// Text mode keeps argument order.
+	_, out, _ := runCLI(t, append([]string{"-j", "4"}, files...)...)
+	first := strings.Index(out, "se006_loops")
+	second := strings.Index(out, "se004_deadglobal")
+	third := strings.Index(out, "se001_refval")
+	if first == -1 || second == -1 || third == -1 || !(first < second && second < third) {
+		t.Errorf("batch output out of argument order:\n%s", out)
+	}
+}
+
+// TestListAndSelection covers -list and rule selection flags.
+func TestListAndSelection(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: code %d", code)
+	}
+	for _, id := range []string{"SE001", "SE002", "SE003", "SE004", "SE005", "SE006", "SE007"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+	if code, out, _ := runCLI(t, "-disable", "SE004", dirtyFile); code != 0 || out != "" {
+		t.Errorf("-disable: code %d, out %q", code, out)
+	}
+	if code, out, _ := runCLI(t, "-rules", "dead-global", loopsFile); code != 0 || out != "" {
+		t.Errorf("-rules narrowing: code %d, out %q", code, out)
+	}
+	if code, _, _ := runCLI(t, "-min-severity", "warning", loopsFile); code != 0 {
+		t.Error("-min-severity warning should drop the info loop findings")
+	}
+}
+
+// TestStdin reads the program from standard input as "-".
+func TestStdin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	src := "program p; global dead; begin end.\n"
+	code := run([]string{"-"}, strings.NewReader(src), &stdout, &stderr)
+	if code != 1 || !strings.Contains(stdout.String(), "<stdin>") {
+		t.Errorf("stdin: code %d, out %q, err %q", code, stdout.String(), stderr.String())
+	}
+}

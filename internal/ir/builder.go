@@ -107,6 +107,18 @@ func (b *Builder) Access(p *Procedure, v *Variable, subs []Sub, mod bool, pos to
 	}
 }
 
+// Loop records a counted loop in p over index variable index whose
+// body contains the given call sites. Loops without calls are not
+// recorded (no interprocedural question arises).
+func (b *Builder) Loop(p *Procedure, index *Variable, sites []*CallSite, pos token.Pos) *Loop {
+	if index.Rank() != 0 {
+		panic(fmt.Sprintf("ir: Loop in %s: index %s is an array", p.Name, index))
+	}
+	l := &Loop{Proc: p, Index: index, Sites: sites, Pos: pos}
+	b.prog.Loops = append(b.prog.Loops, l)
+	return l
+}
+
 // Call records a call site in caller invoking callee with the given
 // actuals. Actual arity must match callee's formal arity.
 func (b *Builder) Call(caller, callee *Procedure, args []Actual, pos token.Pos) *CallSite {
@@ -228,6 +240,20 @@ func (p *Program) Validate() error {
 			}
 		}
 	}
+	for _, l := range p.Loops {
+		if l.Index.Rank() != 0 {
+			return fmt.Errorf("ir: loop at %s: index %s is an array", l.Pos, l.Index)
+		}
+		if !l.Proc.Visible(l.Index) {
+			return fmt.Errorf("ir: loop at %s: index %s not visible in %s", l.Pos, l.Index, l.Proc.Name)
+		}
+		for _, cs := range l.Sites {
+			if cs.Caller != l.Proc {
+				return fmt.Errorf("ir: loop at %s in %s contains site %s of another procedure",
+					l.Pos, l.Proc.Name, cs)
+			}
+		}
+	}
 	return nil
 }
 
@@ -338,6 +364,7 @@ func (p *Program) Prune() *Program {
 			n.Accesses = append(n.Accesses, na)
 		}
 	}
+	siteMap := make(map[*CallSite]*CallSite)
 	for _, cs := range p.Sites {
 		if !reach[cs.Caller.ID] || !reach[cs.Callee.ID] {
 			continue
@@ -348,6 +375,7 @@ func (p *Program) Prune() *Program {
 			Callee: procMap[cs.Callee],
 			Pos:    cs.Pos,
 		}
+		siteMap[cs] = ncs
 		for _, a := range cs.Args {
 			na := Actual{Mode: a.Mode}
 			if a.Var != nil {
@@ -367,6 +395,23 @@ func (p *Program) Prune() *Program {
 		}
 		np.Sites = append(np.Sites, ncs)
 		ncs.Caller.Calls = append(ncs.Caller.Calls, ncs)
+	}
+	// Loops survive when their owning procedure does; sites whose
+	// callee was pruned drop out of the loop body (the call could never
+	// execute, so it cannot carry a dependence).
+	for _, l := range p.Loops {
+		if !reach[l.Proc.ID] {
+			continue
+		}
+		nl := &Loop{Proc: procMap[l.Proc], Index: varMap[l.Index], Pos: l.Pos}
+		for _, cs := range l.Sites {
+			if ncs, ok := siteMap[cs]; ok {
+				nl.Sites = append(nl.Sites, ncs)
+			}
+		}
+		if len(nl.Sites) > 0 {
+			np.Loops = append(np.Loops, nl)
+		}
 	}
 	return np
 }

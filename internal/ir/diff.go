@@ -70,6 +70,25 @@ func AdditiveDelta(old, new *Program) (modAdds, useAdds []FactDelta, ok bool) {
 			}
 		}
 	}
+	// Loops are part of the structure: moving a call into or out of a
+	// loop body changes the Section-6 questions (and so the lint layer's
+	// loop verdicts) without touching any fact set, so it must force a
+	// full reanalysis.
+	if len(old.Loops) != len(new.Loops) {
+		return nil, nil, false
+	}
+	for i, ol := range old.Loops {
+		nl := new.Loops[i]
+		if procID(ol.Proc) != procID(nl.Proc) || varID(ol.Index) != varID(nl.Index) ||
+			len(ol.Sites) != len(nl.Sites) {
+			return nil, nil, false
+		}
+		for j, oc := range ol.Sites {
+			if oc.ID != nl.Sites[j].ID {
+				return nil, nil, false
+			}
+		}
+	}
 	// Structure is isomorphic; the remaining question is whether the
 	// facts only grew, and only by scalars (an array fact would come
 	// with an Accesses change, caught above — this guards the model).

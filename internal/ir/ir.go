@@ -244,6 +244,24 @@ func (c *CallSite) String() string {
 	return fmt.Sprintf("%s→%s#%d", c.Caller.Name, c.Callee.Name, c.ID)
 }
 
+// Loop records one counted (for) loop whose body contains call
+// statements, in the procedure that textually contains it. The model
+// stays flow-insensitive — a Loop carries no control-flow edges — but
+// the ⟨index variable, body call sites⟩ pair is exactly the question
+// Section 6's regular sections answer ("can the iterations of this
+// loop run in parallel?"), so the front end records it for the
+// diagnostics layer.
+type Loop struct {
+	// Proc is the procedure whose body contains the loop statement.
+	Proc *Procedure
+	// Index is the loop's (scalar) induction variable.
+	Index *Variable
+	// Sites are the call sites textually inside the loop body,
+	// including those of nested loops, in program order.
+	Sites []*CallSite
+	Pos   token.Pos
+}
+
 // Program is a whole-program model.
 type Program struct {
 	Name  string
@@ -251,6 +269,9 @@ type Program struct {
 	Procs []*Procedure // Procs[Main.ID] == Main
 	Main  *Procedure
 	Sites []*CallSite
+	// Loops are the counted loops with calls in their bodies, in
+	// program order (outer loops precede the loops they contain).
+	Loops []*Loop
 }
 
 // NumVars returns the size of the variable universe (bit-vector

@@ -110,6 +110,7 @@ func (a *analyzer) run(prog *ast.Program) {
 			continue
 		}
 		v := a.b.Global(g.Name, g.Dims...)
+		v.Pos = g.Pos
 		root.vars[g.Name] = v
 		a.globals[g.Name] = v
 	}
@@ -129,6 +130,10 @@ func (a *analyzer) run(prog *ast.Program) {
 	}
 	// Main body executes in the program scope.
 	main := a.b.Main()
+	main.Pos = prog.Pos
+	if prog.Body != nil {
+		main.Pos = prog.Body.Pos
+	}
 	mainScope := &scope{parent: root, proc: main,
 		vars:        map[string]*ir.Variable{},
 		procsByName: map[string]*ir.Procedure{},
@@ -235,6 +240,7 @@ func (a *analyzer) stmt(s ast.Stmt, p *ir.Procedure, sc *scope) {
 		if v != nil {
 			if v.Rank() != 0 {
 				a.errorf(s.Index.Pos, "for-loop index %q is an array", v.Name)
+				v = nil
 			} else {
 				a.b.Mod(p, v)
 				a.b.Use(p, v) // the loop reads the index to test the bound
@@ -242,7 +248,14 @@ func (a *analyzer) stmt(s ast.Stmt, p *ir.Procedure, sc *scope) {
 		}
 		a.expr(s.Lo, p, sc)
 		a.expr(s.Hi, p, sc)
+		// Every call site created while the body is resolved is
+		// textually inside the loop (procedure declarations cannot
+		// appear in statement position, so all new sites belong to p).
+		nSites := len(p.Calls)
 		a.block(s.Body, p, sc)
+		if v != nil && len(p.Calls) > nSites {
+			a.b.Loop(p, v, p.Calls[nSites:len(p.Calls):len(p.Calls)], s.Pos)
+		}
 	case *ast.Call:
 		a.call(s, p, sc)
 	default:

@@ -1,0 +1,81 @@
+package lint
+
+import "fmt"
+
+// Config selects and re-levels rules. The zero value runs every
+// registered rule at its default severity.
+type Config struct {
+	// Enable, when non-empty, runs exactly the named rules (by ID or
+	// name slug); everything else is off.
+	Enable []string
+	// Disable turns the named rules off (applied after Enable).
+	Disable []string
+	// MinSeverity drops findings below this level. Selected rules
+	// still appear in Report.Counts with a zero count.
+	MinSeverity Severity
+	// Severity overrides the default severity per rule (keyed by ID
+	// or name slug).
+	Severity map[string]Severity
+}
+
+// selection is the resolved per-rule configuration.
+type selection struct {
+	enabled map[string]bool // by rule ID; nil means "all"
+	levels  map[string]Severity
+}
+
+// resolve maps a user-supplied rule ID or name slug to the rule.
+func resolve(key string) (Rule, error) {
+	for _, rl := range registry {
+		if rl.ID == key || rl.Name == key {
+			return rl, nil
+		}
+	}
+	return Rule{}, fmt.Errorf("lint: unknown rule %q", key)
+}
+
+func (c Config) selection() (selection, error) {
+	sel := selection{levels: make(map[string]Severity)}
+	if len(c.Enable) > 0 {
+		sel.enabled = make(map[string]bool)
+		for _, key := range c.Enable {
+			rl, err := resolve(key)
+			if err != nil {
+				return sel, err
+			}
+			sel.enabled[rl.ID] = true
+		}
+	}
+	for _, key := range c.Disable {
+		rl, err := resolve(key)
+		if err != nil {
+			return sel, err
+		}
+		if sel.enabled == nil {
+			sel.enabled = make(map[string]bool)
+			for _, r := range registry {
+				sel.enabled[r.ID] = true
+			}
+		}
+		delete(sel.enabled, rl.ID)
+	}
+	for key, sev := range c.Severity {
+		rl, err := resolve(key)
+		if err != nil {
+			return sel, err
+		}
+		sel.levels[rl.ID] = sev
+	}
+	return sel, nil
+}
+
+// level reports the effective severity of rl and whether it runs.
+func (s selection) level(rl Rule) (Severity, bool) {
+	if s.enabled != nil && !s.enabled[rl.ID] {
+		return 0, false
+	}
+	if sev, ok := s.levels[rl.ID]; ok {
+		return sev, true
+	}
+	return rl.Default, true
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// toolName and toolVersion identify the engine in SARIF and JSON
+// output. The version follows the diagnostic schema, not the module:
+// bump it when rule IDs or output shapes change.
+const (
+	toolName    = "modlint"
+	toolVersion = "1.0.0"
+)
+
+// FileReport pairs one analyzed input (by display name / artifact URI)
+// with its findings, for the multi-file writers.
+type FileReport struct {
+	File   string
+	Report *Report
+}
+
+// line and col clamp a possibly-zero position (programs built without
+// source text) to the 1-based minimum the output formats require.
+func clampPos(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Text renders the classic compiler-style listing, one finding per
+// line: "file:line:col: severity: message [ID]". An empty report
+// renders as the empty string.
+func Text(files []FileReport) string {
+	var b strings.Builder
+	for _, f := range files {
+		for _, d := range f.Report.Diags {
+			fmt.Fprintf(&b, "%s:%d:%d: %s: %s [%s]\n",
+				f.File, clampPos(d.Pos.Line), clampPos(d.Pos.Col), d.Severity, d.Message, d.Rule)
+		}
+	}
+	return b.String()
+}
+
+// jsonDiagnostic is the stable JSON shape of one finding.
+type jsonDiagnostic struct {
+	Rule     string   `json:"rule"`
+	Name     string   `json:"name"`
+	Severity Severity `json:"severity"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Proc     string   `json:"proc,omitempty"`
+	Subject  string   `json:"subject,omitempty"`
+	Message  string   `json:"message"`
+}
+
+// jsonFile is one input's findings.
+type jsonFile struct {
+	File        string           `json:"file"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Counts      map[string]int   `json:"counts"`
+}
+
+// jsonOutput is the top-level JSON document.
+type jsonOutput struct {
+	Tool     string         `json:"tool"`
+	Version  string         `json:"version"`
+	Files    []jsonFile     `json:"files"`
+	Counts   map[string]int `json:"counts"`
+	Findings int            `json:"findings"`
+}
+
+// JSON renders the machine-readable report. Output is deterministic:
+// diagnostics keep the engine's total order and map keys marshal
+// sorted.
+func JSON(files []FileReport) (string, error) {
+	out := jsonOutput{Tool: toolName, Version: toolVersion, Counts: map[string]int{}}
+	for _, f := range files {
+		jf := jsonFile{File: f.File, Diagnostics: []jsonDiagnostic{}, Counts: f.Report.Counts}
+		for _, d := range f.Report.Diags {
+			jf.Diagnostics = append(jf.Diagnostics, jsonDiagnostic{
+				Rule: d.Rule, Name: d.Name, Severity: d.Severity,
+				Line: clampPos(d.Pos.Line), Col: clampPos(d.Pos.Col),
+				Proc: d.Proc, Subject: d.Subject, Message: d.Message,
+			})
+		}
+		for id, n := range f.Report.Counts {
+			out.Counts[id] += n
+		}
+		out.Findings += len(f.Report.Diags)
+		out.Files = append(out.Files, jf)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// SARIF 2.1.0 document structs — the minimal valid subset: one run,
+// full rule metadata on the driver, one result per finding with a
+// physical location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string          `json:"name"`
+	Version string          `json:"version"`
+	Rules   []sarifRuleMeta `json:"rules"`
+}
+
+type sarifRuleMeta struct {
+	ID                   string       `json:"id"`
+	Name                 string       `json:"name"`
+	ShortDescription     sarifMessage `json:"shortDescription"`
+	DefaultConfiguration sarifLevel   `json:"defaultConfiguration"`
+}
+
+type sarifLevel struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevelOf maps engine severities onto the three SARIF levels.
+func sarifLevelOf(s Severity) string {
+	switch s {
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return "note"
+}
+
+// SARIF renders a SARIF 2.1.0 log with one run covering every file.
+// The driver carries the full rule registry (stable ruleIndex values),
+// and results keep per-file engine order, files in input order.
+func SARIF(files []FileReport) (string, error) {
+	driver := sarifDriver{Name: toolName, Version: toolVersion}
+	index := make(map[string]int)
+	for i, rl := range Rules() {
+		index[rl.ID] = i
+		driver.Rules = append(driver.Rules, sarifRuleMeta{
+			ID: rl.ID, Name: rl.Name,
+			ShortDescription:     sarifMessage{Text: rl.Doc},
+			DefaultConfiguration: sarifLevel{Level: sarifLevelOf(rl.Default)},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, f := range files {
+		for _, d := range f.Report.Diags {
+			run.Results = append(run.Results, sarifResult{
+				RuleID: d.Rule, RuleIndex: index[d.Rule], Level: sarifLevelOf(d.Severity),
+				Message: sarifMessage{Text: d.Message},
+				Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region: sarifRegion{
+						StartLine:   clampPos(d.Pos.Line),
+						StartColumn: clampPos(d.Pos.Col),
+					},
+				}}},
+			})
+		}
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// SortedCounts flattens a Counts map deterministically, for metrics
+// and table rendering.
+func SortedCounts(counts map[string]int) []struct {
+	Rule string
+	N    int
+} {
+	ids := make([]string, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]struct {
+		Rule string
+		N    int
+	}, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, struct {
+			Rule string
+			N    int
+		}{id, counts[id]})
+	}
+	return out
+}

@@ -73,6 +73,8 @@ type metrics struct {
 	mu       sync.Mutex
 	requests map[string]int64 // key: endpoint + "\x00" + status
 	edits    map[string]int64 // key: "incremental" or "full"
+	lintRuns int64            // lint engine executions (any endpoint)
+	lintHits map[string]int64 // findings per rule ID
 	latency  *histogram
 }
 
@@ -80,6 +82,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[string]int64),
 		edits:    make(map[string]int64),
+		lintHits: make(map[string]int64),
 		latency:  newHistogram(),
 	}
 }
@@ -93,6 +96,18 @@ func (m *metrics) request(endpoint string, status int) {
 func (m *metrics) edit(mode string) {
 	m.mu.Lock()
 	m.edits[mode]++
+	m.mu.Unlock()
+}
+
+// lintFindings accumulates one engine run's per-rule finding counts.
+// Zero counts still register the rule so the exposition lists every
+// selected rule from the first run onward.
+func (m *metrics) lintFindings(counts map[string]int) {
+	m.mu.Lock()
+	m.lintRuns++
+	for rule, n := range counts {
+		m.lintHits[rule] += int64(n)
+	}
 	m.mu.Unlock()
 }
 
@@ -147,6 +162,20 @@ func (m *metrics) render(cs cache.Stats, sessionsOpen int) string {
 	b.WriteString("# TYPE modand_session_edits_total counter\n")
 	for _, mode := range []string{"full", "incremental"} {
 		fmt.Fprintf(&b, "modand_session_edits_total{mode=%q} %d\n", mode, m.edits[mode])
+	}
+
+	b.WriteString("# HELP modand_lint_runs_total Diagnostics engine executions across /lint and session lint.\n")
+	b.WriteString("# TYPE modand_lint_runs_total counter\n")
+	fmt.Fprintf(&b, "modand_lint_runs_total %d\n", m.lintRuns)
+	b.WriteString("# HELP modand_lint_findings_total Lint findings by rule ID.\n")
+	b.WriteString("# TYPE modand_lint_findings_total counter\n")
+	rules := make([]string, 0, len(m.lintHits))
+	for rule := range m.lintHits {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		fmt.Fprintf(&b, "modand_lint_findings_total{rule=%q} %d\n", rule, m.lintHits[rule])
 	}
 
 	b.WriteString("# HELP modand_analysis_seconds Wall time of analysis computations (cache misses, session work).\n")

@@ -128,6 +128,8 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.route("POST /analyze", "/analyze", s.handleAnalyze)
 	s.route("POST /batch", "/batch", s.handleBatch)
+	s.route("POST /lint", "/lint", s.handleLint)
+	s.route("POST /session/{id}/lint", "/session/{id}/lint", s.handleSessionLint)
 	s.route("POST /session", "/session", s.handleSessionCreate)
 	s.route("GET /session/{id}", "/session/{id}", s.handleSessionGet)
 	s.route("POST /session/{id}/edit", "/session/{id}/edit", s.handleSessionEdit)

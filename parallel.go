@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sideeffect/internal/ir"
 	"sideeffect/internal/section"
 )
 
@@ -45,6 +46,19 @@ func (a *Analysis) LoopParallelizable(loopVar string, siteIDs ...int) (LoopVerdi
 	if v == nil {
 		return LoopVerdict{}, fmt.Errorf("sideeffect: no variable %q", loopVar)
 	}
+	sites := make([]*ir.CallSite, 0, len(siteIDs))
+	for _, id := range siteIDs {
+		if id < 0 || id >= a.Prog.NumSites() {
+			return LoopVerdict{}, fmt.Errorf("sideeffect: no call site %d", id)
+		}
+		sites = append(sites, a.Prog.Sites[id])
+	}
+	return a.loopVerdict(v, sites), nil
+}
+
+// loopVerdict is the core of LoopParallelizable over resolved sites;
+// the lint layer calls it once per recorded ir.Loop.
+func (a *Analysis) loopVerdict(v *ir.Variable, sites []*ir.CallSite) LoopVerdict {
 	verdict := LoopVerdict{Parallel: true}
 
 	// Aggregate per-iteration effects over all body calls.
@@ -52,11 +66,7 @@ func (a *Analysis) LoopParallelizable(loopVar string, siteIDs ...int) (LoopVerdi
 	reads := map[int]section.RSD{}
 	scalarW := map[int]bool{}
 	scalarR := map[int]bool{}
-	for _, id := range siteIDs {
-		if id < 0 || id >= a.Prog.NumSites() {
-			return LoopVerdict{}, fmt.Errorf("sideeffect: no call site %d", id)
-		}
-		cs := a.Prog.Sites[id]
+	for _, cs := range sites {
 		for vid, rsd := range a.SecMod.AtCallWithin(cs, v) {
 			merge(writes, vid, rsd)
 		}
@@ -123,7 +133,7 @@ func (a *Analysis) LoopParallelizable(loopVar string, siteIDs ...int) (LoopVerdi
 				fmt.Sprintf("read/write on %s", r.Format(name, a.Prog.Vars)))
 		}
 	}
-	return verdict, nil
+	return verdict
 }
 
 func merge(m map[int]section.RSD, vid int, r section.RSD) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Smoke-test the modlint CLI end to end: build it, run it over the
+# testdata/lint fixtures, and assert the documented contract — exit
+# codes 0/1/2, golden-identical output in all three formats, valid
+# SARIF 2.1.0 structure, and byte-identical repeated and parallel
+# batch runs. CI runs this as the lint-smoke job; it needs only
+# python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail() { echo "lint_smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o /tmp/modlint ./cmd/modlint
+
+FIXTURES=(se001_refval se002_pure se003_alias se004_deadglobal se005_ignorable se006_loops)
+
+# Exit code 0 on a clean program, with no output.
+out="$(/tmp/modlint testdata/lint/clean.mpl)" && code=0 || code=$?
+[ "$code" = 0 ] || fail "clean.mpl exited $code, want 0"
+[ -z "$out" ] || fail "clean.mpl produced output: $out"
+
+# Exit code 1 with the expected rule on each dirty fixture, and all
+# three formats byte-identical to their goldens.
+for base in "${FIXTURES[@]}"; do
+  mpl="testdata/lint/$base.mpl"
+  /tmp/modlint "$mpl" >/dev/null && fail "$base exited 0, want 1" || code=$?
+  [ "$code" = 1 ] || fail "$base exited $code, want 1"
+  for fmt in txt json sarif; do
+    flag="$fmt"; [ "$fmt" = txt ] && flag=text
+    /tmp/modlint -format "$flag" "$mpl" >"/tmp/lint_smoke.$fmt" || true
+    cmp -s "/tmp/lint_smoke.$fmt" "testdata/lint/$base.golden.$fmt" \
+      || fail "$base $fmt output drifted from golden"
+  done
+done
+
+# Exit code 2 on a parse failure, with a diagnostic on stderr.
+/tmp/modlint testdata/lint/broken.mpl >/dev/null 2>/tmp/lint_smoke.err && fail "broken.mpl exited 0" || code=$?
+[ "$code" = 2 ] || fail "broken.mpl exited $code, want 2"
+[ -s /tmp/lint_smoke.err ] || fail "broken.mpl produced no stderr"
+
+# SARIF structural validity: schema fields, full rule metadata, and a
+# physical location on every result.
+/tmp/modlint -format sarif testdata/lint/se006_loops.mpl >/tmp/lint_smoke.sarif || true
+python3 - /tmp/lint_smoke.sarif <<'EOF' || fail "SARIF validation failed"
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == "2.1.0", d["version"]
+assert "sarif-2.1.0" in d["$schema"], d["$schema"]
+run = d["runs"][0]
+rules = run["tool"]["driver"]["rules"]
+assert [r["id"] for r in rules] == ["SE001", "SE002", "SE003", "SE004", "SE005", "SE006", "SE007"], rules
+for res in run["results"]:
+    assert res["ruleId"] == rules[res["ruleIndex"]]["id"]
+    region = res["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1 and region["startColumn"] >= 1
+assert {r["ruleId"] for r in run["results"]} == {"SE006", "SE007"}
+EOF
+
+# Determinism: a multi-file batch renders byte-identically whether run
+# sequentially or on a four-worker pool, repeatedly.
+ALL=(testdata/lint/se00*.mpl testdata/lint/clean.mpl)
+/tmp/modlint -format sarif -j 1 "${ALL[@]}" >/tmp/lint_smoke.batch1 || true
+for rep in 1 2 3; do
+  /tmp/modlint -format sarif -j 4 "${ALL[@]}" >/tmp/lint_smoke.batch2 || true
+  cmp -s /tmp/lint_smoke.batch1 /tmp/lint_smoke.batch2 \
+    || fail "parallel batch output differs from sequential (rep $rep)"
+done
+
+# -list names every rule.
+/tmp/modlint -list | grep -q SE007 || fail "-list missing SE007"
+
+echo "lint_smoke: OK"

@@ -69,6 +69,13 @@ curl -fsS -X POST -d "$EREQ" "$BASE/session/$SID/edit" | json "d['mode']" | grep
   || fail "additive edit did not take the incremental path"
 curl -fsS -X DELETE "$BASE/session/$SID" >/dev/null || fail "session delete failed"
 
+# /lint: the source writes g through the call chain but nothing ever
+# reads it, so SE005 fires; the per-rule counter shows on /metrics.
+curl -fsS -X POST -d "$REQ" "$BASE/lint" | json "d['counts']['SE005']" | grep -q 1 \
+  || fail "/lint did not report the dead call effect (SE005)"
+LINTED="$(curl -fsS "$BASE/metrics" | awk -F' ' '$1 == "modand_lint_findings_total{rule=\"SE005\"}" {print $2}')"
+[ "${LINTED:-0}" -ge 1 ] || fail "modand_lint_findings_total{rule=SE005} = ${LINTED:-missing}, want >= 1"
+
 # Structured errors carry machine-readable codes.
 curl -sS -o /dev/null -w '%{http_code}' -X POST -d '{"source": "program broken;"}' "$BASE/analyze" | grep -q 422 \
   || fail "syntax error did not return 422"

@@ -1,0 +1,5 @@
+{ Deliberately malformed: modlint must exit 2 on this input. }
+program broken;
+begin
+  g :=
+end.

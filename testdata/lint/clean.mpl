@@ -1,0 +1,14 @@
+{ No rule fires here: x is genuinely modified (in RMOD), inc has
+  visible effects, both globals are written and read, and the call's
+  effect feeds the assignment after it. }
+program clean;
+global g, h;
+proc inc(ref x)
+begin
+  x := x + 1
+end;
+begin
+  g := 1;
+  call inc(g);
+  h := g
+end.

@@ -1,0 +1,12 @@
+{ SE001: ref parameter a is read but never modified through any call
+  chain, so RMOD of peek is only b, and a can be declared val. }
+program refval;
+global g, h;
+proc peek(ref a, ref b)
+begin
+  b := a + 1
+end;
+begin
+  call peek(g, h);
+  g := h
+end.

@@ -1,0 +1,13 @@
+{ SE002: avg touches only its own frame (val copies and a local), so
+  GMOD(avg) has nothing caller-visible — the procedure is pure. }
+program purity;
+global g;
+proc avg(val a, val b)
+  var t;
+begin
+  t := a + b
+end;
+begin
+  g := 1;
+  call avg(g, 2)
+end.

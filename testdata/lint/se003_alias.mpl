@@ -1,0 +1,18 @@
+{ SE003: main passes global g as ref formal a, so <g, twice.a> holds on
+  entry to twice; the call to bump modifies g, and the write is visible
+  through both names (Section 5 of the paper). }
+program aliasdemo;
+global g;
+proc bump()
+begin
+  g := g + 1
+end;
+proc twice(ref a)
+begin
+  call bump();
+  a := a + g
+end;
+begin
+  g := 0;
+  call twice(g)
+end.

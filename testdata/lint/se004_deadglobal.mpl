@@ -1,0 +1,7 @@
+{ SE004: relic appears in no procedure's GMOD or GUSE — nothing
+  reachable ever writes or reads it. }
+program unused;
+global g, relic;
+begin
+  g := g + 1
+end.

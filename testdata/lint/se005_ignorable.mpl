@@ -1,0 +1,12 @@
+{ SE005: the call to setg modifies only g, and g is never used anywhere
+  afterwards — the call's effects are dead. }
+program deadeffect;
+global g, h;
+proc setg(ref x)
+begin
+  x := h
+end;
+begin
+  h := 1;
+  call setg(g)
+end.

@@ -1,0 +1,26 @@
+{ SE006/SE007: the first loop writes a distinct grid column per
+  iteration (regular sections prove independence); the second scatters
+  into a shared histogram and must stay serial. }
+program loops;
+global grid[8, 8];
+global hist[8];
+global n, i;
+proc relaxcol(ref col[*], val len)
+  var r;
+begin
+  for r := 1 to len do col[r] := col[r] + 1 end
+end;
+proc scatter(ref h[*], val v)
+  var slot;
+begin
+  slot := v - v / 2 * 2;
+  h[slot + 1] := h[slot + 1] + v
+end;
+begin
+  for i := 1 to n do
+    call relaxcol(grid[*, i], 8)
+  end;
+  for i := 1 to n do
+    call scatter(hist, i)
+  end
+end.

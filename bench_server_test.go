@@ -34,6 +34,7 @@ import (
 type benchServerRecord struct {
 	Name          string  `json:"name"`
 	Cores         int     `json:"cores"`
+	Workers       int     `json:"workers"`
 	Requests      int     `json:"requests"`
 	QPS           float64 `json:"qps"`
 	P50Ms         float64 `json:"p50_ms"`
@@ -48,12 +49,14 @@ func mergeBenchServer(tb testing.TB, rec benchServerRecord) {
 	tb.Helper()
 	var doc struct {
 		Cores   int                 `json:"cores"`
+		NumCPU  int                 `json:"num_cpu"`
 		Records []benchServerRecord `json:"records"`
 	}
 	if data, err := os.ReadFile("BENCH_server.json"); err == nil {
 		_ = json.Unmarshal(data, &doc)
 	}
 	doc.Cores = runtime.GOMAXPROCS(0)
+	doc.NumCPU = runtime.NumCPU()
 	kept := doc.Records[:0]
 	for _, r := range doc.Records {
 		if r.Name != rec.Name {
@@ -137,7 +140,7 @@ func BenchmarkServerAnalyzeWarm(b *testing.B) {
 	b.ReportMetric(qps, "qps")
 	b.ReportMetric(p99, "p99-ms")
 	mergeBenchServer(b, benchServerRecord{
-		Name: "ServerAnalyzeWarm", Cores: runtime.GOMAXPROCS(0), Requests: b.N,
+		Name: "ServerAnalyzeWarm", Cores: runtime.GOMAXPROCS(0), Workers: runtime.GOMAXPROCS(0), Requests: b.N,
 		QPS: qps, P50Ms: p50, P99Ms: p99, CacheHitRatio: float64(hits) / float64(b.N),
 	})
 }
@@ -170,7 +173,7 @@ func BenchmarkServerAnalyzeCold(b *testing.B) {
 	b.ReportMetric(qps, "qps")
 	b.ReportMetric(p99, "p99-ms")
 	mergeBenchServer(b, benchServerRecord{
-		Name: "ServerAnalyzeCold", Cores: runtime.GOMAXPROCS(0), Requests: b.N,
+		Name: "ServerAnalyzeCold", Cores: runtime.GOMAXPROCS(0), Workers: runtime.GOMAXPROCS(0), Requests: b.N,
 		QPS: qps, P50Ms: p50, P99Ms: p99, CacheHitRatio: float64(hits) / float64(b.N),
 	})
 }
@@ -213,7 +216,7 @@ func BenchmarkServerSessionEdit(b *testing.B) {
 	b.ReportMetric(qps, "qps")
 	b.ReportMetric(p99, "p99-ms")
 	mergeBenchServer(b, benchServerRecord{
-		Name: "ServerSessionEdit", Cores: runtime.GOMAXPROCS(0), Requests: b.N,
+		Name: "ServerSessionEdit", Cores: runtime.GOMAXPROCS(0), Workers: runtime.GOMAXPROCS(0), Requests: b.N,
 		QPS: qps, P50Ms: p50, P99Ms: p99, CacheHitRatio: 0,
 	})
 }
@@ -252,6 +255,6 @@ func BenchmarkServerBatch(b *testing.B) {
 	b.ReportMetric(qps, "programs/s")
 	mergeBenchServer(b, benchServerRecord{
 		Name: fmt.Sprintf("ServerBatch/%dsrcs", len(srcs)), Cores: runtime.GOMAXPROCS(0),
-		Requests: n, QPS: qps, P50Ms: p50, P99Ms: p99, CacheHitRatio: 0,
+		Workers: runtime.GOMAXPROCS(0), Requests: n, QPS: qps, P50Ms: p50, P99Ms: p99, CacheHitRatio: 0,
 	})
 }

@@ -292,12 +292,14 @@ func mergeBenchBatch(b *testing.B, rec benchBatchRecord) {
 	b.Helper()
 	var doc struct {
 		Cores   int                `json:"cores"`
+		NumCPU  int                `json:"num_cpu"`
 		Records []benchBatchRecord `json:"records"`
 	}
 	if data, err := os.ReadFile("BENCH_batch.json"); err == nil {
 		_ = json.Unmarshal(data, &doc)
 	}
 	doc.Cores = runtime.GOMAXPROCS(0)
+	doc.NumCPU = runtime.NumCPU()
 	kept := doc.Records[:0]
 	for _, r := range doc.Records {
 		if r.Name != rec.Name {

@@ -35,8 +35,9 @@ type batchBenchRecord struct {
 func writeBenchBatch(records []batchBenchRecord) error {
 	out, err := json.MarshalIndent(struct {
 		Cores   int                `json:"cores"`
+		NumCPU  int                `json:"num_cpu"`
 		Records []batchBenchRecord `json:"records"`
-	}{runtime.GOMAXPROCS(0), records}, "", "  ")
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), records}, "", "  ")
 	if err != nil {
 		return err
 	}

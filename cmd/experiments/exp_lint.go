@@ -33,8 +33,10 @@ type lintBenchRecord struct {
 func writeBenchLint(records []lintBenchRecord) error {
 	out, err := json.MarshalIndent(struct {
 		Cores   int               `json:"cores"`
+		NumCPU  int               `json:"num_cpu"`
+		Workers int               `json:"workers"`
 		Records []lintBenchRecord `json:"records"`
-	}{runtime.GOMAXPROCS(0), records}, "", "  ")
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), 1, records}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ func init() {
 type serverBenchRecord struct {
 	Name          string  `json:"name"`
 	Cores         int     `json:"cores"`
+	Workers       int     `json:"workers"`
 	Requests      int     `json:"requests"`
 	QPS           float64 `json:"qps"`
 	P50Ms         float64 `json:"p50_ms"`
@@ -41,12 +42,14 @@ type serverBenchRecord struct {
 func mergeBenchServer(records []serverBenchRecord) error {
 	var doc struct {
 		Cores   int                 `json:"cores"`
+		NumCPU  int                 `json:"num_cpu"`
 		Records []serverBenchRecord `json:"records"`
 	}
 	if data, err := os.ReadFile("BENCH_server.json"); err == nil {
 		_ = json.Unmarshal(data, &doc)
 	}
 	doc.Cores = runtime.GOMAXPROCS(0)
+	doc.NumCPU = runtime.NumCPU()
 	for _, rec := range records {
 		kept := doc.Records[:0]
 		for _, r := range doc.Records {
@@ -166,9 +169,13 @@ func expE14(quick bool) {
 			p.name, fmt.Sprint(requests), f2(qps),
 			fmt.Sprintf("%.2fms", p50), fmt.Sprintf("%.2fms", p99), f2(ratio),
 		})
+		workers := jobs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		records = append(records, serverBenchRecord{
-			Name: "E14/" + p.name, Cores: runtime.GOMAXPROCS(0), Requests: requests,
-			QPS: qps, P50Ms: p50, P99Ms: p99, CacheHitRatio: ratio,
+			Name: "E14/" + p.name, Cores: runtime.GOMAXPROCS(0), Workers: workers,
+			Requests: requests, QPS: qps, P50Ms: p50, P99Ms: p99, CacheHitRatio: ratio,
 		})
 	}
 

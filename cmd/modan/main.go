@@ -43,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		dot      = fs.String("dot", "", "emit Graphviz instead of a report: cg (call graph) or beta (binding graph)")
 		format   = fs.Bool("fmt", false, "reformat the program to canonical style instead of analyzing")
 		asJSON   = fs.Bool("json", false, "emit the complete analysis as JSON")
+		profile  = fs.Bool("profile", false, "time each pipeline stage; prints a stage table after the report, or embeds \"stages\" with -json")
 		jobs     = fs.Int("j", 0, "worker-pool size for multi-file batches and in-analysis stage parallelism (0 = GOMAXPROCS, 1 = fully sequential)")
 	)
 	fs.Usage = func() {
@@ -56,7 +57,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	opts := sideeffect.Options{Workers: *jobs, Sequential: *jobs == 1}
+	opts := sideeffect.Options{Workers: *jobs, Sequential: *jobs == 1, Profile: *profile}
 
 	// render honors the part-selection flags; with none set it prints
 	// the full report. Shared by the single-file and batch paths.
@@ -81,8 +82,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// Multi-file mode: analyze every file as a batch and print each
 	// report under a header, in argument order.
 	if fs.NArg() > 1 {
-		if *dot != "" || *format || *asJSON {
-			fmt.Fprintf(stderr, "modan: -dot, -fmt, and -json take a single input\n")
+		if *dot != "" || *format || *asJSON || *profile {
+			fmt.Fprintf(stderr, "modan: -dot, -fmt, -json, and -profile take a single input\n")
 			return 2
 		}
 		srcs := make([]string, fs.NArg())
@@ -136,7 +137,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *asJSON {
-		out, err := report.JSON(a.Mod, a.Use, a.Aliases, a.SecMod)
+		jr := report.BuildJSON(a.Mod, a.Use, a.Aliases, a.SecMod)
+		if a.Stages != nil {
+			jr.Stages = a.Stages.Snapshot()
+		}
+		out, err := jr.Render()
 		if err != nil {
 			fmt.Fprintf(stderr, "modan: %v\n", err)
 			return 1
@@ -159,5 +164,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	render(stdout, a)
+	if *profile && a.Stages != nil {
+		fmt.Fprint(stdout, a.Stages.Table())
+	}
 	return 0
 }

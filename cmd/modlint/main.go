@@ -124,6 +124,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			code = 1
 		}
 		files = append(files, lint.FileReport{File: names[i], Report: rep})
+		// The report holds rendered strings only; recycle the analysis.
+		r.Analysis.Release()
 	}
 
 	switch *format {

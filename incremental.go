@@ -236,9 +236,19 @@ func (s *Session) Edit(newSrc string) (EditMode, error) {
 }
 
 // editFull replaces the session's analysis with a fresh one of prog.
+// The superseded analysis is released: a Session owns its analysis
+// across edits (incremental edits already mutate it in place), so a
+// caller must not hold sets from before an Edit either way.
 func (s *Session) editFull(prog *ir.Program, src string) EditMode {
+	old := s.inc.a
 	a := AnalyzeProgramWith(prog, s.opts)
 	s.inc = NewIncrementalWith(a, s.opts)
 	s.src = src
+	old.Release()
 	return EditFull
 }
+
+// Close releases the session's analysis storage back to the pool. The
+// session (and any Analysis it handed out) must not be used afterwards.
+// Optional, like Analysis.Release.
+func (s *Session) Close() { s.inc.a.Release() }

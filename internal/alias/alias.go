@@ -29,6 +29,7 @@ package alias
 import (
 	"sort"
 
+	"sideeffect/internal/arena"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/core"
 	"sideeffect/internal/ir"
@@ -39,27 +40,29 @@ type Pair struct {
 	X, Y int
 }
 
-func mkPair(a, b int) Pair {
-	if a > b {
-		a, b = b, a
-	}
-	return Pair{X: a, Y: b}
-}
-
 // Analysis holds the alias solution for a program.
 type Analysis struct {
 	Prog *ir.Program
-	// Sets[pid] is ALIAS(p) as a set of pairs.
-	Sets []map[Pair]bool
+	// sets[pid] is ALIAS(p), each pair packed as X<<32|Y with X < Y.
+	// Maps are allocated lazily: most procedures of realistic programs
+	// have no alias pairs at all, and the nil map reads below are free.
+	sets []map[uint64]struct{}
 	// adj[pid] maps a variable ID to the IDs aliased to it in p.
-	adj []map[int][]int
+	adj []map[int][]int32
+}
+
+func pack(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
 }
 
 // Pairs returns ALIAS(p) in deterministic (sorted) order.
 func (a *Analysis) Pairs(p *ir.Procedure) []Pair {
-	out := make([]Pair, 0, len(a.Sets[p.ID]))
-	for pr := range a.Sets[p.ID] {
-		out = append(out, pr)
+	out := make([]Pair, 0, len(a.sets[p.ID]))
+	for pr := range a.sets[p.ID] {
+		out = append(out, Pair{X: int(pr >> 32), Y: int(pr & 0xffffffff)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].X != out[j].X {
@@ -73,7 +76,7 @@ func (a *Analysis) Pairs(p *ir.Procedure) []Pair {
 // NumPairs returns the total number of alias pairs across procedures.
 func (a *Analysis) NumPairs() int {
 	n := 0
-	for _, s := range a.Sets {
+	for _, s := range a.sets {
 		n += len(s)
 	}
 	return n
@@ -83,20 +86,30 @@ func (a *Analysis) NumPairs() int {
 func Compute(prog *ir.Program) *Analysis {
 	a := &Analysis{
 		Prog: prog,
-		Sets: make([]map[Pair]bool, prog.NumProcs()),
-		adj:  make([]map[int][]int, prog.NumProcs()),
+		sets: make([]map[uint64]struct{}, prog.NumProcs()),
+		adj:  make([]map[int][]int32, prog.NumProcs()),
 	}
-	for i := range a.Sets {
-		a.Sets[i] = map[Pair]bool{}
-		a.adj[i] = map[int][]int{}
-	}
-	add := func(pid int, pr Pair) bool {
-		if pr.X == pr.Y || a.Sets[pid][pr] {
+	add := func(pid, x, y int) bool {
+		if x == y {
 			return false
 		}
-		a.Sets[pid][pr] = true
-		a.adj[pid][pr.X] = append(a.adj[pid][pr.X], pr.Y)
-		a.adj[pid][pr.Y] = append(a.adj[pid][pr.Y], pr.X)
+		key := pack(x, y)
+		if _, ok := a.sets[pid][key]; ok {
+			return false
+		}
+		s := a.sets[pid]
+		if s == nil {
+			s = make(map[uint64]struct{}, 8)
+			a.sets[pid] = s
+		}
+		s[key] = struct{}{}
+		ad := a.adj[pid]
+		if ad == nil {
+			ad = make(map[int][]int32, 8)
+			a.adj[pid] = ad
+		}
+		ad[x] = append(ad[x], int32(y))
+		ad[y] = append(ad[y], int32(x))
 		return true
 	}
 
@@ -112,6 +125,8 @@ func Compute(prog *ir.Program) *Analysis {
 	// caller's current pairs.
 	process := func(cs *ir.CallSite) bool {
 		q := cs.Callee
+		callerAdj := a.adj[cs.Caller.ID]
+		callerSet := a.sets[cs.Caller.ID]
 		changed := false
 		for i, ai := range cs.Args {
 			if ai.Mode != ir.FormalRef || ai.Var == nil {
@@ -120,12 +135,12 @@ func Compute(prog *ir.Program) *Analysis {
 			fi := q.Formals[i]
 			// Source 1: non-local actual still visible in callee.
 			if ai.Var.Owner != q && q.Visible(ai.Var) {
-				changed = add(q.ID, mkPair(fi.ID, ai.Var.ID)) || changed
+				changed = add(q.ID, fi.ID, ai.Var.ID) || changed
 			}
 			// Source 3a: pairs of the actual propagate to the formal.
-			for _, z := range a.adj[cs.Caller.ID][ai.Var.ID] {
+			for _, z := range callerAdj[ai.Var.ID] {
 				if q.Visible(prog.Vars[z]) {
-					changed = add(q.ID, mkPair(fi.ID, z)) || changed
+					changed = add(q.ID, fi.ID, int(z)) || changed
 				}
 			}
 			for j := i + 1; j < len(cs.Args); j++ {
@@ -136,11 +151,11 @@ func Compute(prog *ir.Program) *Analysis {
 				fj := q.Formals[j]
 				// Source 2: same variable twice.
 				if ai.Var == aj.Var {
-					changed = add(q.ID, mkPair(fi.ID, fj.ID)) || changed
+					changed = add(q.ID, fi.ID, fj.ID) || changed
 				}
 				// Source 3b: aliased actuals.
-				if a.Sets[cs.Caller.ID][mkPair(ai.Var.ID, aj.Var.ID)] {
-					changed = add(q.ID, mkPair(fi.ID, fj.ID)) || changed
+				if _, ok := callerSet[pack(ai.Var.ID, aj.Var.ID)]; ok {
+					changed = add(q.ID, fi.ID, fj.ID) || changed
 				}
 			}
 		}
@@ -165,8 +180,8 @@ func Compute(prog *ir.Program) *Analysis {
 		// along call edges.
 		for _, child := range prog.Procs[pid].Nested {
 			changed := false
-			for pr := range a.Sets[pid] {
-				if add(child.ID, pr) {
+			for pr := range a.sets[pid] {
+				if add(child.ID, int(pr>>32), int(pr&0xffffffff)) {
 					changed = true
 				}
 			}
@@ -183,16 +198,29 @@ func Compute(prog *ir.Program) *Analysis {
 // of DMOD(s). The input sets are not modified; the result is indexed
 // by call-site ID like core.Result.DMOD.
 func (a *Analysis) Factor(dmod []*bitset.Set) []*bitset.Set {
+	return a.FactorArena(dmod, nil)
+}
+
+// FactorArena is Factor with the output rows drawn from ar, so the
+// factored sets share the lifetime of the Result whose arena backs
+// them (core.Result.Arena under the default allocation policy). A nil
+// arena falls back to heap clones; the arena must not be used from
+// another goroutine while this runs.
+func (a *Analysis) FactorArena(dmod []*bitset.Set, ar *arena.Arena) []*bitset.Set {
 	out := make([]*bitset.Set, len(dmod))
 	for _, cs := range a.Prog.Sites {
-		m := dmod[cs.ID].Clone()
-		adj := a.adj[cs.Caller.ID]
-		if len(adj) > 0 {
-			dmod[cs.ID].ForEach(func(x int) {
-				for _, y := range adj[x] {
-					m.Add(y)
+		d := dmod[cs.ID]
+		m := ar.Clone(d)
+		// Iterate the (typically tiny) alias adjacency, not the DMOD
+		// elements: per aliased variable one membership test replaces a
+		// map lookup per DMOD element. Membership is tested against the
+		// input set, so map order cannot matter.
+		for x, ys := range a.adj[cs.Caller.ID] {
+			if d.Has(x) {
+				for _, y := range ys {
+					m.Add(int(y))
 				}
-			})
+			}
 		}
 		out[cs.ID] = m
 	}

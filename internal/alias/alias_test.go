@@ -19,7 +19,8 @@ func analyze(t *testing.T, src string) *ir.Program {
 }
 
 func hasPair(a *Analysis, p *ir.Procedure, x, y *ir.Variable) bool {
-	return a.Sets[p.ID][mkPair(x.ID, y.ID)]
+	_, ok := a.sets[p.ID][pack(x.ID, y.ID)]
+	return ok
 }
 
 func TestGlobalFormalAlias(t *testing.T) {

@@ -58,7 +58,7 @@ func Build(p *ir.Program) *Beta {
 			}
 		}
 	}
-	b.G = graph.New(len(b.Nodes))
+	var list []graph.Edge
 	for _, cs := range p.Sites {
 		for i, a := range cs.Args {
 			if a.Mode != ir.FormalRef || a.Var == nil {
@@ -73,11 +73,12 @@ func Build(p *ir.Program) *Beta {
 				panic(fmt.Sprintf("binding: ref formal %s has no β node",
 					cs.Callee.Formals[i]))
 			}
-			b.G.AddEdge(src, dst)
+			list = append(list, graph.Edge{From: src, To: dst})
 			b.EdgeSite = append(b.EdgeSite, cs)
 			b.EdgeArg = append(b.EdgeArg, i)
 		}
 	}
+	b.G = graph.FromEdgeList(len(b.Nodes), list)
 	return b
 }
 

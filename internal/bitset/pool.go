@@ -9,18 +9,29 @@ import "sync"
 // runs thousands of times across many programs, and steady-state
 // allocation — not arithmetic — dominates the profile. A single
 // process-wide sync.Pool lets concurrent analyses share warmed-up
-// vectors: capacity is retained on recycle, so after the first few
-// programs most Get calls return a vector that already spans the
-// universe and only needs a memclr.
+// vectors: capacity is retained on recycle (both the dense words and
+// the sparse element buffer), so after the first few programs most Get
+// calls return a vector that already spans the universe and only needs
+// a memclr.
 var scratch = sync.Pool{New: func() any { return &Set{} }}
 
-// GetScratch returns a cleared set with capacity for elements in
+// GetScratch returns a cleared dense set with capacity for elements in
 // [0, n), drawn from the process-wide scratch pool. Release it with
 // PutScratch when done; a set that escapes instead is simply collected
 // by the GC, so forgetting a Put is a throughput leak, never a
 // correctness bug.
 func GetScratch(n int) *Set {
 	s := scratch.Get().(*Set)
+	if s.sparse {
+		// The set was recycled in sparse form; its dense words may be
+		// stale from an earlier dense life, so clear them on the way
+		// back to dense.
+		s.sparse = false
+		s.elems = s.elems[:0]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
 	s.grow(max(n-1, 0))
 	return s
 }
@@ -35,13 +46,27 @@ func PutScratch(s *Set) {
 	scratch.Put(s)
 }
 
-// CopyFrom makes s an exact copy of t (including capacity at least
-// t's), reusing s's backing storage when it is large enough. It
-// returns s. CopyFrom(nil) clears s.
+// CopyFrom makes s an exact copy of t — same elements, same
+// representation, capacity at least t's — reusing s's backing storage
+// when it is large enough. It returns s. CopyFrom(nil) clears s.
 func (s *Set) CopyFrom(t *Set) *Set {
 	if t == nil {
 		s.Clear()
 		return s
+	}
+	if t == s {
+		return s
+	}
+	if t.sparse {
+		s.elems = append(s.elems[:0], t.elems...)
+		s.sparse = true
+		return s
+	}
+	if s.sparse {
+		s.sparse = false
+		s.elems = s.elems[:0]
+		// Stale dense words are fully overwritten by the copy and the
+		// zero-tail loop below.
 	}
 	if len(t.words) > len(s.words) {
 		s.grow(len(t.words)*wordBits - 1)

@@ -18,16 +18,16 @@ type CallGraph struct {
 
 // Build constructs the call multi-graph of p.
 func Build(p *ir.Program) *CallGraph {
-	g := graph.New(p.NumProcs())
-	for _, cs := range p.Sites {
-		id := g.AddEdge(cs.Caller.ID, cs.Callee.ID)
-		if id != cs.ID {
+	list := make([]graph.Edge, len(p.Sites))
+	for i, cs := range p.Sites {
+		if cs.ID != i {
 			// Sites are ID-dense and added in order, so this cannot
 			// happen for a validated program.
 			panic("callgraph: call-site IDs not dense")
 		}
+		list[i] = graph.Edge{From: cs.Caller.ID, To: cs.Callee.ID}
 	}
-	return &CallGraph{Prog: p, G: g}
+	return &CallGraph{Prog: p, G: graph.FromEdgeList(p.NumProcs(), list)}
 }
 
 // Site returns the call site corresponding to a graph edge.

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sideeffect/internal/core"
+	"sideeffect/internal/workload"
+)
+
+// TestFindGMODScratchZeroAlloc gates the zero-allocation hot path: in
+// steady state (pool warmed to the program size) a FindGMODScratch
+// call must not touch the heap at all. This is the property the arena
+// + pooled-solver work of the performance PR exists to provide; a
+// regression here silently reintroduces allocator contention under
+// the batch engine.
+func TestFindGMODScratchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and sync.Pool drops entries at random under it")
+	}
+	res := core.Analyze(workload.Random(workload.DefaultConfig(120, 7)), core.Mod, core.Options{Prune: true})
+	solve := func() {
+		run, _ := core.FindGMODScratch(res.CG.G, res.IMODPlus, res.Facts.Local, res.Prog.Main.ID)
+		run.Release()
+	}
+	solve() // warm the solver pool to this program's size
+	if avg := testing.AllocsPerRun(100, solve); avg != 0 {
+		t.Fatalf("steady-state FindGMODScratch allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestAllocPoliciesAgree: the allocation policy must never change the
+// solution — dense baseline, hybrid, and arena+hybrid runs produce
+// identical GMOD/IMOD+/DMOD sets.
+func TestAllocPoliciesAgree(t *testing.T) {
+	for _, n := range []int{24, 96} {
+		for seed := int64(0); seed < 4; seed++ {
+			cfg := workload.DefaultConfig(n, 1000+seed)
+			prog := workload.Random(cfg)
+			for _, kind := range []core.Kind{core.Mod, core.Use} {
+				t.Run(fmt.Sprintf("N=%d/seed=%d/%s", n, seed, kind), func(t *testing.T) {
+					base := core.Analyze(prog, kind, core.Options{Prune: true, Alloc: core.AllocDense})
+					for _, pol := range []core.AllocPolicy{core.AllocAuto, core.AllocHybrid} {
+						r := core.Analyze(prog, kind, core.Options{Prune: true, Alloc: pol})
+						if len(r.GMOD) != len(base.GMOD) || len(r.DMOD) != len(base.DMOD) {
+							t.Fatalf("%v: result shape differs from dense baseline", pol)
+						}
+						for i := range base.GMOD {
+							if !r.GMOD[i].Equal(base.GMOD[i]) {
+								t.Errorf("%v: GMOD[%d] = %v, dense baseline %v", pol, i, r.GMOD[i], base.GMOD[i])
+							}
+							if !r.IMODPlus[i].Equal(base.IMODPlus[i]) {
+								t.Errorf("%v: IMODPlus[%d] differs from dense baseline", pol, i)
+							}
+							if !r.Facts.I[i].Equal(base.Facts.I[i]) || !r.Facts.Local[i].Equal(base.Facts.Local[i]) {
+								t.Errorf("%v: facts[%d] differ from dense baseline", pol, i)
+							}
+						}
+						for i := range base.DMOD {
+							if !r.DMOD[i].Equal(base.DMOD[i]) {
+								t.Errorf("%v: DMOD[%d] = %v, dense baseline %v", pol, i, r.DMOD[i], base.DMOD[i])
+							}
+						}
+						if pol == core.AllocAuto && r.Arena == nil {
+							t.Error("AllocAuto result has no arena")
+						}
+						if pol == core.AllocHybrid && r.Arena != nil {
+							t.Error("AllocHybrid result unexpectedly has an arena")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReleaseRecyclesArena drives the analyze → consume → Release
+// loop the batch engine runs per worker: each Release parks the arena
+// in the process-wide pool and the next Analyze draws it back warm. If
+// Reset failed to clear a carved prefix, or a stale set aliased a
+// recycled slab, the recycled analyses would diverge from the dense
+// baseline — so every iteration is checked set-for-set against a fresh
+// dense run of the same program.
+func TestReleaseRecyclesArena(t *testing.T) {
+	progs := []struct {
+		n    int
+		seed int64
+	}{{60, 21}, {90, 22}, {24, 23}, {60, 21}}
+	for round := 0; round < 3; round++ {
+		for _, pc := range progs {
+			prog := workload.Random(workload.DefaultConfig(pc.n, pc.seed)).Prune()
+			st := core.BuildStructure(prog)
+			for _, kind := range []core.Kind{core.Mod, core.Use} {
+				got := core.Analyze(prog, kind, core.Options{Alloc: core.AllocAuto, Structure: st})
+				want := core.Analyze(prog, kind, core.Options{Alloc: core.AllocDense, Structure: st})
+				for i := range want.GMOD {
+					if !got.GMOD[i].Equal(want.GMOD[i]) {
+						t.Fatalf("round %d N=%d %v: recycled GMOD[%d] = %v, want %v",
+							round, pc.n, kind, i, got.GMOD[i], want.GMOD[i])
+					}
+				}
+				for i := range want.DMOD {
+					if !got.DMOD[i].Equal(want.DMOD[i]) {
+						t.Fatalf("round %d N=%d %v: recycled DMOD[%d] = %v, want %v",
+							round, pc.n, kind, i, got.DMOD[i], want.DMOD[i])
+					}
+				}
+				got.Release()
+			}
+		}
+	}
+}
+
+// TestArenaResultsIndependent: sets carved from the same arena must
+// not alias — mutating one GMOD row cannot disturb another.
+func TestArenaResultsIndependent(t *testing.T) {
+	prog := workload.Random(workload.DefaultConfig(40, 11))
+	r := core.Analyze(prog, core.Mod, core.Options{Prune: true})
+	if r.Arena == nil {
+		t.Fatal("default policy produced no arena")
+	}
+	before := make([]string, len(r.GMOD))
+	for i, s := range r.GMOD {
+		before[i] = s.String()
+	}
+	probe := r.Prog.NumVars() - 1
+	r.GMOD[0].Add(probe)
+	r.GMOD[0].Remove(probe)
+	for i := 1; i < len(r.GMOD); i++ {
+		if r.GMOD[i].String() != before[i] {
+			t.Fatalf("GMOD[%d] changed when GMOD[0] was mutated", i)
+		}
+	}
+}

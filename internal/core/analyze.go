@@ -1,10 +1,14 @@
 package core
 
 import (
+	"strings"
+
+	"sideeffect/internal/arena"
 	"sideeffect/internal/binding"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/callgraph"
 	"sideeffect/internal/ir"
+	"sideeffect/internal/prof"
 )
 
 // Result is the complete solution of one side-effect problem (MOD or
@@ -30,6 +34,12 @@ type Result struct {
 	// the call statement, before alias factoring.
 	DMOD []*bitset.Set
 
+	// Arena backs the result's bit vectors under the default
+	// allocation policy (nil under AllocHybrid/AllocDense). It lives
+	// and dies with the Result; downstream passes whose output shares
+	// the Result's lifetime (alias factoring) may draw from it too.
+	Arena *arena.Arena
+
 	// GMODStats holds the findgmod work counters, one entry per
 	// nesting level solved.
 	GMODStats []GMODStats
@@ -43,6 +53,18 @@ type Options struct {
 	// procedures. Pruning re-indexes the program, so results refer to
 	// Result.Prog, not the input.
 	Prune bool
+	// Alloc selects the allocation discipline; the zero value
+	// (AllocAuto) is the arena+hybrid production default.
+	Alloc AllocPolicy
+	// Prof, when non-nil, accumulates per-stage wall time (and
+	// optionally allocation counters) under names like "mod.gmod".
+	Prof *prof.Profile
+	// Structure, when non-nil and built for the program Analyze ends up
+	// solving (after any pruning), supplies the kind-independent
+	// skeleton so a MOD+USE pair shares one graph construction. A nil
+	// or mismatched Structure is ignored and the skeleton is built
+	// internally.
+	Structure *Structure
 }
 
 // Analyze runs the complete pipeline of the paper for one problem
@@ -56,18 +78,49 @@ type Options struct {
 // for vectors of v words, matching the paper's O(N² + NE) when the
 // number of variables grows linearly with the program.
 func Analyze(prog *ir.Program, kind Kind, opts Options) *Result {
+	pfx := strings.ToLower(kind.String()) + "."
+	p := opts.Prof
 	if opts.Prune {
-		prog = prog.Prune()
+		p.Do(pfx+"prune", func() { prog = prog.Prune() })
 	}
-	r := &Result{Prog: prog, Kind: kind}
-	r.Facts = ComputeFacts(prog, kind)
-	r.Beta = binding.Build(prog)
-	r.RMOD = SolveRMOD(r.Beta, r.Facts)
-	r.IMODPlus = ComputeIMODPlus(r.Facts, r.RMOD)
-	r.CG = callgraph.Build(prog)
-	r.GMOD, r.GMODStats = SolveGMODMultiLevel(r.CG, r.Facts, r.IMODPlus)
-	r.DMOD = ComputeDMOD(prog, r.RMOD, r.GMOD, r.Facts)
+	al := newSetAlloc(opts.Alloc, prog.NumVars())
+	r := &Result{Prog: prog, Kind: kind, Arena: al.ar}
+	st := opts.Structure
+	if st == nil || st.Prog != prog {
+		st = &Structure{Prog: prog}
+		p.Do(pfx+"beta", func() { st.Beta = binding.Build(prog); st.BetaSCC = st.Beta.G.SCC() })
+		p.Do(pfx+"callgraph", func() { st.CG = callgraph.Build(prog); st.fillLevels() })
+	}
+	r.Beta, r.CG = st.Beta, st.CG
+	p.Do(pfx+"facts", func() { r.Facts = computeFacts(prog, kind, al) })
+	p.Do(pfx+"rmod", func() { r.RMOD = solveRMOD(st.Beta, r.Facts, st.BetaSCC) })
+	p.Do(pfx+"imod+", func() { r.IMODPlus = computeIMODPlus(r.Facts, r.RMOD, al) })
+	p.Do(pfx+"gmod", func() { r.GMOD, r.GMODStats = solveGMODMultiLevel(st, r.Facts, r.IMODPlus, al) })
+	p.Do(pfx+"dmod", func() { r.DMOD = computeDMOD(prog, r.RMOD, r.GMOD, r.Facts, al) })
 	return r
+}
+
+// Release returns the Result's arena to the process-wide pool for
+// reuse by a later Analyze. It is the batch-loop counterpart of simply
+// dropping the Result: callers that analyze many programs in sequence
+// and fully consume each Result before the next can Release instead,
+// which recycles the slab storage without waiting for (or paying) a
+// collection. After Release every set reachable from the Result is
+// dead — the receiver's set fields are nilled to fail fast. Release on
+// a Result without an arena (AllocHybrid/AllocDense) is a no-op, so
+// callers need not branch on policy. Not safe to call concurrently
+// with reads of the same Result.
+func (r *Result) Release() {
+	if r == nil || r.Arena == nil {
+		return
+	}
+	ar := r.Arena
+	r.Arena = nil
+	r.Facts = nil
+	r.IMODPlus = nil
+	r.GMOD = nil
+	r.DMOD = nil
+	arena.Put(ar)
 }
 
 // ComputeDMOD evaluates equation (2) at every call site:
@@ -82,9 +135,14 @@ func Analyze(prog *ir.Program, kind Kind, opts Options) *Result {
 // under its own name (globals and variables of enclosing scopes) and
 // maps formals in RMOD(q) to the actual variables bound to them.
 func ComputeDMOD(prog *ir.Program, rmod *RMOD, gmod []*bitset.Set, facts *Facts) []*bitset.Set {
+	return computeDMOD(prog, rmod, gmod, facts, newSetAlloc(AllocHybrid, prog.NumVars()))
+}
+
+// computeDMOD is ComputeDMOD with the per-site rows drawn from al.
+func computeDMOD(prog *ir.Program, rmod *RMOD, gmod []*bitset.Set, facts *Facts, al setAlloc) []*bitset.Set {
 	out := make([]*bitset.Set, prog.NumSites())
 	for _, cs := range prog.Sites {
-		d := bitset.New(prog.NumVars())
+		d := al.resultDense()
 		q := cs.Callee
 		// b_e over non-locals: GMOD(q) ∖ LOCAL(q).
 		d.UnionDiffWith(gmod[q.ID], facts.Local[q.ID])

@@ -66,6 +66,11 @@ type Facts struct {
 // The computation is bottom-up over the nesting forest and linear in
 // the size of the program.
 func ComputeFacts(prog *ir.Program, kind Kind) *Facts {
+	return computeFacts(prog, kind, newSetAlloc(AllocHybrid, prog.NumVars()))
+}
+
+// computeFacts is ComputeFacts with the sets drawn from al.
+func computeFacts(prog *ir.Program, kind Kind, al setAlloc) *Facts {
 	n := prog.NumProcs()
 	f := &Facts{
 		Prog:  prog,
@@ -78,8 +83,8 @@ func ComputeFacts(prog *ir.Program, kind Kind) *Facts {
 		if kind == Use {
 			seed = p.IUSE
 		}
-		f.I[p.ID] = seed.Clone()
-		f.Local[p.ID] = prog.LocalSet(p)
+		f.I[p.ID] = al.resultClone(seed)
+		f.Local[p.ID] = al.localSet(p)
 	}
 	// Deepest procedures first.
 	order := make([]*ir.Procedure, len(prog.Procs))

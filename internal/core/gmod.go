@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/graph"
 )
@@ -22,6 +24,54 @@ type GMODStats struct {
 // BitVectorSteps returns the total bit-vector operations, the unit of
 // Theorem 2's O(E_C + N_C) bound.
 func (s GMODStats) BitVectorSteps() int { return s.EdgeUnions + s.NodeUnions + s.Visits }
+
+// gmodFrame is one explicit DFS frame: node and next-successor index.
+type gmodFrame struct{ v, ei int }
+
+// gmodState is a reusable findgmod solver: the Tarjan index arrays,
+// the explicit frame stack, and (for the scratch path) the per-node
+// accumulator sets all live here and are recycled through a
+// process-wide pool. Once the pool has warmed to the program size, a
+// FindGMODScratch call touches no allocator at all — the property
+// gated by TestFindGMODScratchZeroAlloc.
+type gmodState struct {
+	dfn, lowlink []int
+	onStack      []bool
+	stack        []int
+	frames       []gmodFrame
+	sets         []*bitset.Set // lazily created, retained accumulators
+	nextdfn      int
+}
+
+var gmodStates = sync.Pool{New: func() any { return new(gmodState) }}
+
+// ensure sizes the search state for an n-node graph and resets it.
+func (st *gmodState) ensure(n int) {
+	if cap(st.dfn) < n {
+		st.dfn = make([]int, n)
+		st.lowlink = make([]int, n)
+		st.onStack = make([]bool, n)
+		st.stack = make([]int, 0, n)
+		st.frames = make([]gmodFrame, 0, n)
+	}
+	st.dfn = st.dfn[:n]
+	st.lowlink = st.lowlink[:n]
+	st.onStack = st.onStack[:n]
+	st.stack = st.stack[:0]
+	st.frames = st.frames[:0]
+	for i := range st.dfn {
+		st.dfn[i] = 0
+		st.onStack[i] = false
+	}
+	st.nextdfn = 1
+}
+
+// ensureSets guarantees n retained accumulator sets.
+func (st *gmodState) ensureSets(n int) {
+	for len(st.sets) < n {
+		st.sets = append(st.sets, new(bitset.Set))
+	}
+}
 
 // FindGMOD is the paper's findgmod (Figure 2): a one-pass adaptation
 // of Tarjan's strongly-connected-components algorithm that evaluates
@@ -50,125 +100,142 @@ func (s GMODStats) BitVectorSteps() int { return s.EdgeUnions + s.NodeUnions + s
 //
 // The search is iterative (explicit frame stack) so call chains of
 // hundreds of thousands of procedures cannot overflow the goroutine
-// stack; the structure otherwise mirrors Figure 2 line by line.
+// stack; the structure otherwise mirrors Figure 2 line by line. Every
+// returned set is freshly cloned from IMOD+ — this is the unpooled
+// baseline; the solver hot path uses FindGMODScratch.
 func FindGMOD(g *graph.Graph, imodPlus []*bitset.Set, local []*bitset.Set, roots ...int) ([]*bitset.Set, GMODStats) {
-	return findGMOD(g, local, func(v int) *bitset.Set {
-		return imodPlus[v].Clone()
-	}, roots)
+	out := make([]*bitset.Set, g.NumNodes())
+	st := gmodStates.Get().(*gmodState)
+	stats := st.run(g, imodPlus, local, out, false, roots)
+	gmodStates.Put(st)
+	return out, stats
 }
 
-// FindGMODScratch is FindGMOD with every per-node set drawn from the
-// bitset scratch pool instead of freshly allocated. The returned sets
-// are pool-owned scratch: the caller must consume them (typically
-// union them into longer-lived result sets) and release every one with
-// bitset.PutScratch. Used by the multi-level driver, which runs one
-// findgmod pass per nesting level and discards each pass's sets after
-// folding them into the result.
-func FindGMODScratch(g *graph.Graph, imodPlus []*bitset.Set, local []*bitset.Set, roots ...int) ([]*bitset.Set, GMODStats) {
-	return findGMOD(g, local, func(v int) *bitset.Set {
-		return bitset.GetScratch(0).CopyFrom(imodPlus[v])
-	}, roots)
+// GMODRun is the result of FindGMODScratch. Sets is indexed by node
+// ID; the sets, the slice, and the search state behind them are owned
+// by a pooled solver, so the caller must fold the sets into
+// longer-lived storage and then call Release. After Release the run
+// must not be used.
+type GMODRun struct {
+	Sets []*bitset.Set
+	st   *gmodState
 }
 
-// findGMOD is the shared Figure-2 search; alloc produces node v's
-// initial set (a copy of IMOD+(v) under some allocation policy).
-func findGMOD(g *graph.Graph, local []*bitset.Set, alloc func(int) *bitset.Set, roots []int) ([]*bitset.Set, GMODStats) {
+// Release returns the run's solver (sets included) to the pool.
+func (r GMODRun) Release() {
+	if r.st != nil {
+		gmodStates.Put(r.st)
+	}
+}
+
+// FindGMODScratch is FindGMOD with every per-node set, the result
+// slice, and the search state drawn from a process-wide pool of
+// reusable solvers: in steady state — once the pool has warmed to the
+// program size — a call performs zero heap allocations. Used by the
+// multi-level driver, which runs one findgmod pass per nesting level
+// and discards each pass's sets after folding them into the result.
+func FindGMODScratch(g *graph.Graph, imodPlus []*bitset.Set, local []*bitset.Set, roots ...int) (GMODRun, GMODStats) {
 	n := g.NumNodes()
-	gmod := make([]*bitset.Set, n)
+	st := gmodStates.Get().(*gmodState)
+	st.ensureSets(n)
+	out := st.sets[:n]
+	stats := st.run(g, imodPlus, local, out, true, roots)
+	return GMODRun{Sets: out, st: st}, stats
+}
+
+// run executes the Figure-2 search over g, filling out[v] with node
+// v's GMOD set. With reuse=true, out[v] must already point at a
+// caller-owned set, which is overwritten via CopyFrom; with
+// reuse=false, out[v] receives a fresh clone of imodPlus[v].
+func (st *gmodState) run(g *graph.Graph, imodPlus, local, out []*bitset.Set, reuse bool, roots []int) GMODStats {
+	n := g.NumNodes()
+	st.ensure(n)
 	var stats GMODStats
-
-	dfn := make([]int, n) // 0 = unvisited
-	lowlink := make([]int, n)
-	onStack := make([]bool, n)
-	stack := make([]int, 0, n)
-	nextdfn := 1
-
-	type frame struct {
-		v  int
-		ei int
+	for _, r := range roots {
+		st.search(g, imodPlus, local, out, reuse, r, &stats)
 	}
-	var frames []frame
-
-	visit := func(v int) {
-		dfn[v] = nextdfn
-		nextdfn++
-		lowlink[v] = dfn[v]
-		gmod[v] = alloc(v) // line 8: initialize to IMOD+
-		stack = append(stack, v)
-		onStack[v] = true
-		stats.Visits++
-		frames = append(frames, frame{v: v})
+	for v := 0; v < n; v++ {
+		st.search(g, imodPlus, local, out, reuse, v, &stats)
 	}
+	return stats
+}
 
-	search := func(root int) {
-		if dfn[root] != 0 {
-			return
-		}
-		visit(root)
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			v := f.v
-			advanced := false
-			for f.ei < len(g.Succs(v)) {
-				e := g.Succs(v)[f.ei]
-				f.ei++
-				q := e.To
-				if dfn[q] == 0 { // tree edge: descend
-					visit(q)
-					advanced = true
-					break
-				}
-				if dfn[q] < dfn[v] && onStack[q] {
-					// Cross or back edge within the current component.
-					if dfn[q] < lowlink[v] {
-						lowlink[v] = dfn[q]
-					}
-				} else {
-					// Edge to a closed component (or a forward edge):
-					// apply equation (4) — line 17.
-					gmod[v].UnionDiffWith(gmod[q], local[q])
-					stats.EdgeUnions++
-				}
+func (st *gmodState) visit(v int, imodPlus, out []*bitset.Set, reuse bool, stats *GMODStats) {
+	st.dfn[v] = st.nextdfn
+	st.nextdfn++
+	st.lowlink[v] = st.dfn[v]
+	if reuse { // line 8: initialize to IMOD+
+		out[v].CopyFrom(imodPlus[v])
+	} else {
+		out[v] = imodPlus[v].Clone()
+	}
+	st.stack = append(st.stack, v)
+	st.onStack[v] = true
+	stats.Visits++
+	st.frames = append(st.frames, gmodFrame{v: v})
+}
+
+func (st *gmodState) search(g *graph.Graph, imodPlus, local, out []*bitset.Set, reuse bool, root int, stats *GMODStats) {
+	if st.dfn[root] != 0 {
+		return
+	}
+	st.visit(root, imodPlus, out, reuse, stats)
+	for len(st.frames) > 0 {
+		f := &st.frames[len(st.frames)-1]
+		v := f.v
+		advanced := false
+		succs := g.Succs(v)
+		for f.ei < len(succs) {
+			e := succs[f.ei]
+			f.ei++
+			q := e.To
+			if st.dfn[q] == 0 { // tree edge: descend
+				st.visit(q, imodPlus, out, reuse, stats)
+				advanced = true
+				break
 			}
-			if advanced {
-				continue
-			}
-			// v is exhausted: close component if v is a root.
-			if lowlink[v] == dfn[v] { // line 19
-				stats.Components++
-				for { // lines 20-24
-					u := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[u] = false
-					if u == v {
-						break
-					}
-					gmod[u].UnionDiffWith(gmod[v], local[v]) // line 22
-					stats.NodeUnions++
+			if st.dfn[q] < st.dfn[v] && st.onStack[q] {
+				// Cross or back edge within the current component.
+				if st.dfn[q] < st.lowlink[v] {
+					st.lowlink[v] = st.dfn[q]
 				}
-			}
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				p := &frames[len(frames)-1]
-				if lowlink[v] < lowlink[p.v] {
-					lowlink[p.v] = lowlink[v]
-				}
-				// Returning across the tree edge (p.v, v): v's dfn is
-				// greater than p's, so Figure 2's stack test fails and
-				// the else branch applies equation (4). When v belongs
-				// to the same (still-open) component this is only a
-				// partial application; the root fix-up completes it.
-				gmod[p.v].UnionDiffWith(gmod[v], local[v])
+			} else {
+				// Edge to a closed component (or a forward edge):
+				// apply equation (4) — line 17.
+				out[v].UnionDiffWith(out[q], local[q])
 				stats.EdgeUnions++
 			}
 		}
+		if advanced {
+			continue
+		}
+		// v is exhausted: close component if v is a root.
+		if st.lowlink[v] == st.dfn[v] { // line 19
+			stats.Components++
+			for { // lines 20-24
+				u := st.stack[len(st.stack)-1]
+				st.stack = st.stack[:len(st.stack)-1]
+				st.onStack[u] = false
+				if u == v {
+					break
+				}
+				out[u].UnionDiffWith(out[v], local[v]) // line 22
+				stats.NodeUnions++
+			}
+		}
+		st.frames = st.frames[:len(st.frames)-1]
+		if len(st.frames) > 0 {
+			p := &st.frames[len(st.frames)-1]
+			if st.lowlink[v] < st.lowlink[p.v] {
+				st.lowlink[p.v] = st.lowlink[v]
+			}
+			// Returning across the tree edge (p.v, v): v's dfn is
+			// greater than p's, so Figure 2's stack test fails and
+			// the else branch applies equation (4). When v belongs
+			// to the same (still-open) component this is only a
+			// partial application; the root fix-up completes it.
+			out[p.v].UnionDiffWith(out[v], local[v])
+			stats.EdgeUnions++
+		}
 	}
-
-	for _, r := range roots {
-		search(r)
-	}
-	for v := 0; v < n; v++ {
-		search(v)
-	}
-	return gmod, stats
 }

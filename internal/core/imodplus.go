@@ -22,10 +22,15 @@ import (
 // over the call sites plus one bottom-up pass over the nesting forest,
 // linear in program size for bounded parameter lists.
 func ComputeIMODPlus(facts *Facts, rmod *RMOD) []*bitset.Set {
+	return computeIMODPlus(facts, rmod, newSetAlloc(AllocHybrid, facts.Prog.NumVars()))
+}
+
+// computeIMODPlus is ComputeIMODPlus with the sets drawn from al.
+func computeIMODPlus(facts *Facts, rmod *RMOD, al setAlloc) []*bitset.Set {
 	prog := facts.Prog
 	out := make([]*bitset.Set, prog.NumProcs())
 	for _, p := range prog.Procs {
-		out[p.ID] = facts.I[p.ID].Clone()
+		out[p.ID] = al.resultClone(facts.I[p.ID])
 	}
 	for _, cs := range prog.Sites {
 		for i, a := range cs.Args {

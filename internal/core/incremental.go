@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sideeffect/internal/arena"
 	"sideeffect/internal/binding"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/callgraph"
@@ -82,7 +83,7 @@ func (inc *Incremental) AddLocalEffect(p *ir.Procedure, v *ir.Variable) ([]*ir.P
 	newPlus := make([]*bitset.Set, prog.NumProcs()) // deltas to IMOD+
 	delta := func(pid int) *bitset.Set {
 		if newPlus[pid] == nil {
-			newPlus[pid] = bitset.New(prog.NumVars())
+			newPlus[pid] = bitset.NewSparse() // deltas are typically tiny
 		}
 		return newPlus[pid]
 	}
@@ -137,11 +138,7 @@ func (inc *Incremental) AddLocalEffect(p *ir.Procedure, v *ir.Variable) ([]*ir.P
 				if newPlus[q.ID] == nil {
 					continue
 				}
-				d := newPlus[q.ID].Clone()
-				d.DifferenceWith(res.Facts.Local[q.ID])
-				if !d.Empty() {
-					delta(q.Parent.ID).UnionWith(d)
-				}
+				delta(q.Parent.ID).UnionDiffWith(newPlus[q.ID], res.Facts.Local[q.ID])
 			}
 		}
 	}
@@ -153,7 +150,7 @@ func (inc *Incremental) AddLocalEffect(p *ir.Procedure, v *ir.Variable) ([]*ir.P
 			continue
 		}
 		res.IMODPlus[pid].UnionWith(d)
-		if res.GMOD[pid].UnionWith(d) {
+		if res.GMOD[pid].UnionInPlaceCount(d) > 0 {
 			changedSet[pid] = true
 			queue = append(queue, pid)
 		}
@@ -180,10 +177,14 @@ func (inc *Incremental) AddLocalEffect(p *ir.Procedure, v *ir.Variable) ([]*ir.P
 		for _, cs := range inc.callersOf[qid] {
 			pid := cs.Caller.ID
 			// new = GMOD(q) ∖ LOCAL(q), class-filtered, minus what the
-			// caller already has.
-			add := bitset.Difference(res.GMOD[qid], res.Facts.Local[qid])
+			// caller already has. The temporary is pooled scratch —
+			// this loop runs once per affected call edge and used to
+			// be the updater's dominant allocation site.
+			add := bitset.GetScratch(0).CopyFrom(res.GMOD[qid])
+			add.DifferenceWith(res.Facts.Local[qid])
 			add.DifferenceWith(res.GMOD[pid])
 			if add.Empty() {
+				bitset.PutScratch(add)
 				continue
 			}
 			changed := false
@@ -193,6 +194,7 @@ func (inc *Incremental) AddLocalEffect(p *ir.Procedure, v *ir.Variable) ([]*ir.P
 					changed = true
 				}
 			})
+			bitset.PutScratch(add)
 			if changed {
 				changedSet[pid] = true
 				if !inQ[pid] {
@@ -216,9 +218,14 @@ func (inc *Incremental) AddLocalEffect(p *ir.Procedure, v *ir.Variable) ([]*ir.P
 }
 
 // Invalidate recomputes the full analysis (used after non-additive
-// edits such as deleting statements or call sites).
+// edits such as deleting statements or call sites). The superseded
+// result's arena is recycled: the updater maintains the result in
+// place, so the old sets are unreachable through it once the fresh
+// solution lands.
 func (inc *Incremental) Invalidate() {
+	old := inc.res.Arena
 	*inc.res = *Analyze(inc.res.Prog, inc.res.Kind, Options{})
+	arena.Put(old)
 }
 
 // Rebase re-points the maintained result at prog, a program model that

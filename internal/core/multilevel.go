@@ -30,64 +30,63 @@ import (
 //
 // For d_P = 0 the result coincides with a single FindGMOD run.
 func SolveGMODMultiLevel(cg *callgraph.CallGraph, facts *Facts, imodPlus []*bitset.Set) ([]*bitset.Set, []GMODStats) {
-	prog := cg.Prog
+	return solveGMODMultiLevel(structureForGMOD(cg), facts, imodPlus, newSetAlloc(AllocHybrid, cg.Prog.NumVars()))
+}
+
+// solveGMODMultiLevel is the allocator-threaded driver behind
+// SolveGMODMultiLevel; Analyze calls it with the analysis's policy.
+// The per-level subgraphs and scope classes come precomputed on st —
+// they are kind-independent, so a MOD+USE pair shares one copy.
+func solveGMODMultiLevel(st *Structure, facts *Facts, imodPlus []*bitset.Set, al setAlloc) ([]*bitset.Set, []GMODStats) {
+	prog := st.Prog
 	dP := prog.MaxLevel()
 
 	// Every procedure's own direct and ref-parameter effects are in
 	// its GMOD regardless of levels.
 	result := make([]*bitset.Set, prog.NumProcs())
 	for i := range result {
-		result[i] = imodPlus[i].Clone()
+		result[i] = al.gmodResult(imodPlus[i])
 	}
-	if dP == 0 {
-		gmod, stats := FindGMODScratch(cg.G, imodPlus, facts.Local, prog.Main.ID)
-		for i := range result {
-			result[i].UnionWith(gmod[i])
-			bitset.PutScratch(gmod[i])
+	// runLevel executes one findgmod pass and folds its per-node sets
+	// into result. Under a pooled policy the pass runs on a recycled
+	// solver; under the dense baseline it clones every set.
+	runLevel := func(g *graph.Graph, seeds, locals []*bitset.Set, roots ...int) GMODStats {
+		if al.pooled() {
+			run, stats := FindGMODScratch(g, seeds, locals, roots...)
+			for i, s := range run.Sets {
+				result[i].UnionWith(s)
+			}
+			run.Release()
+			return stats
 		}
-		return result, []GMODStats{stats}
+		gmod, stats := FindGMOD(g, seeds, locals, roots...)
+		for i, s := range gmod {
+			result[i].UnionWith(s)
+		}
+		return stats
 	}
 
-	// classVars[i] is the set of variables of scope class i.
-	classVars := make([]*bitset.Set, dP+1)
-	for i := range classVars {
-		classVars[i] = bitset.GetScratch(prog.NumVars())
-	}
-	for _, v := range prog.Vars {
-		if lvl := v.ScopeLevel(); lvl <= dP {
-			classVars[lvl].Add(v.ID)
-		}
-		// Variables of class d_P+1 are locals of the deepest
-		// procedures; no call chain can modify them on behalf of a
-		// caller, and they are covered by the IMOD+ base above.
+	if dP == 0 {
+		stats := runLevel(st.Levels[0], imodPlus, facts.Local, prog.Main.ID)
+		return result, []GMODStats{stats}
 	}
 
 	var allStats []GMODStats
 	for lvl := 0; lvl <= dP; lvl++ {
-		// Problem lvl: drop edges that invoke a procedure declared at
-		// a level shallower than lvl.
-		gi := graph.New(prog.NumProcs())
-		for _, cs := range prog.Sites {
-			if cs.Callee.Level >= lvl {
-				gi.AddEdge(cs.Caller.ID, cs.Callee.ID)
-			}
-		}
+		// Problem lvl: st.Levels[lvl] has dropped the edges that invoke
+		// a procedure declared at a level shallower than lvl; the seeds
+		// restrict IMOD+ to the variables whose lifetime that problem
+		// tracks (scope class lvl).
 		seeds := make([]*bitset.Set, prog.NumProcs())
 		for _, p := range prog.Procs {
-			s := bitset.GetScratch(0).CopyFrom(imodPlus[p.ID])
-			s.IntersectWith(classVars[lvl])
+			s := al.tempCopy(imodPlus[p.ID])
+			s.IntersectWith(st.ClassVars[lvl])
 			seeds[p.ID] = s
 		}
-		gmod, stats := FindGMODScratch(gi, seeds, facts.Local, prog.Main.ID)
-		allStats = append(allStats, stats)
-		for i := range result {
-			result[i].UnionWith(gmod[i])
-			bitset.PutScratch(gmod[i])
-			bitset.PutScratch(seeds[i])
+		allStats = append(allStats, runLevel(st.Levels[lvl], seeds, facts.Local, prog.Main.ID))
+		for i := range seeds {
+			al.tempDone(seeds[i])
 		}
-	}
-	for _, s := range classVars {
-		bitset.PutScratch(s)
 	}
 	return result, allStats
 }

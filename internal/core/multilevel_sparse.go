@@ -34,12 +34,12 @@ func SolveGMODMultiLevelSparse(cg *callgraph.CallGraph, facts *Facts, imodPlus [
 	// Level 0 is the full graph.
 	{
 		seeds := restrictSeeds(prog, imodPlus, 0)
-		gmod, stats := FindGMODScratch(cg.G, seeds, facts.Local, prog.Main.ID)
+		run, stats := FindGMODScratch(cg.G, seeds, facts.Local, prog.Main.ID)
 		for i := range result {
-			result[i].UnionWith(gmod[i])
-			bitset.PutScratch(gmod[i])
+			result[i].UnionWith(run.Sets[i])
 			bitset.PutScratch(seeds[i])
 		}
+		run.Release()
 		if dP == 0 {
 			return result, []GMODStats{stats}
 		}
@@ -65,13 +65,14 @@ func SolveGMODMultiLevelSparse(cg *callgraph.CallGraph, facts *Facts, imodPlus [
 			for nNodes < len(procs) && procs[nNodes].Level >= lvl-1 {
 				nNodes++
 			}
-			gi := graph.New(nNodes)
+			var list []graph.Edge
 			for _, cs := range sites {
 				if cs.Callee.Level < lvl {
 					break
 				}
-				gi.AddEdge(compact[cs.Caller.ID], compact[cs.Callee.ID])
+				list = append(list, graph.Edge{From: compact[cs.Caller.ID], To: compact[cs.Callee.ID]})
 			}
+			gi := graph.FromEdgeList(nNodes, list)
 			seeds := make([]*bitset.Set, nNodes)
 			locals := make([]*bitset.Set, nNodes)
 			class := classSet(prog, lvl)
@@ -82,13 +83,13 @@ func SolveGMODMultiLevelSparse(cg *callgraph.CallGraph, facts *Facts, imodPlus [
 				seeds[ci] = s
 				locals[ci] = facts.Local[p.ID]
 			}
-			gmod, stats := FindGMODScratch(gi, seeds, locals)
+			run, stats := FindGMODScratch(gi, seeds, locals)
 			allStats = append(allStats, stats)
 			for ci := 0; ci < nNodes; ci++ {
-				result[procs[ci].ID].UnionWith(gmod[ci])
-				bitset.PutScratch(gmod[ci])
+				result[procs[ci].ID].UnionWith(run.Sets[ci])
 				bitset.PutScratch(seeds[ci])
 			}
+			run.Release()
 			bitset.PutScratch(class)
 		}
 		return result, allStats

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sideeffect/internal/binding"
+	"sideeffect/internal/graph"
 	"sideeffect/internal/ir"
 )
 
@@ -53,10 +54,16 @@ func (r *RMOD) Of(v *ir.Variable) bool {
 // region because the equations are purely disjunctive; that is the
 // observation that makes the collapse legal.
 func SolveRMOD(beta *binding.Beta, facts *Facts) *RMOD {
-	r := &RMOD{Kind: facts.Kind, Beta: beta, Node: make([]bool, len(beta.Nodes))}
-
 	// Step 1: strongly-connected components of β.
-	scc := beta.G.SCC()
+	return solveRMOD(beta, facts, beta.G.SCC())
+}
+
+// solveRMOD is SolveRMOD with β's components precomputed, so a caller
+// solving both problem kinds (their Structure is shared) runs the
+// Tarjan pass once: the components depend only on the binding edges,
+// while the seeds of step 2 are the kind-specific part.
+func solveRMOD(beta *binding.Beta, facts *Facts, scc *graph.SCCInfo) *RMOD {
+	r := &RMOD{Kind: facts.Kind, Beta: beta, Node: make([]bool, len(beta.Nodes))}
 	r.Stats.Components = scc.NumComponents()
 
 	// Step 2: representer seeds.

@@ -30,6 +30,43 @@ func New(n int) *Graph {
 	return &Graph{succ: make([][]Edge, n), pred: make([][]Edge, n)}
 }
 
+// FromEdgeList builds a graph over n nodes from a prepared edge list
+// in one pass, assigning edge IDs by list position. The adjacency
+// lists are carved from two shared backing arrays (classic CSR
+// layout), so construction costs a constant number of allocations
+// instead of O(N + E) incremental appends — the hot builders (call
+// graph, β, the per-level graphs of the multi-level GMOD solver)
+// rebuild graphs on every analysis. The list is taken over by the
+// graph; callers must not reuse it. AddNode/AddEdge remain valid
+// afterwards (later appends fall off the shared backing arrays
+// naturally).
+func FromEdgeList(n int, list []Edge) *Graph {
+	for i := range list {
+		list[i].ID = i
+	}
+	g := &Graph{succ: make([][]Edge, n), pred: make([][]Edge, n), edges: list}
+	deg := make([]int32, 2*n)
+	out, in := deg[:n], deg[n:]
+	for _, e := range list {
+		out[e.From]++
+		in[e.To]++
+	}
+	succBack := make([]Edge, len(list))
+	predBack := make([]Edge, len(list))
+	var so, po int32
+	for v := 0; v < n; v++ {
+		g.succ[v] = succBack[so : so : so+out[v]]
+		g.pred[v] = predBack[po : po : po+in[v]]
+		so += out[v]
+		po += in[v]
+	}
+	for _, e := range list {
+		g.succ[e.From] = append(g.succ[e.From], e)
+		g.pred[e.To] = append(g.pred[e.To], e)
+	}
+	return g
+}
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.succ) }
 

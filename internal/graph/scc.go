@@ -38,6 +38,10 @@ func (g *Graph) SCC() *SCCInfo {
 	}
 	var members [][]int
 	var trivial []bool
+	// Every node lands in exactly one component, so all Members slices
+	// are carved from one backing array (full-slice expressions keep
+	// them from aliasing each other through append).
+	membersBack := make([]int, 0, n)
 	stack := make([]int, 0, n) // Tarjan's node stack
 	next := 1
 
@@ -90,17 +94,18 @@ func (g *Graph) SCC() *SCCInfo {
 			// All edges of v examined: close component if v is a root.
 			if lowlink[v] == dfn[v] {
 				c := len(members)
-				var ms []int
+				start := len(membersBack)
 				for {
 					u := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[u] = false
 					comp[u] = c
-					ms = append(ms, u)
+					membersBack = append(membersBack, u)
 					if u == v {
 						break
 					}
 				}
+				ms := membersBack[start:len(membersBack):len(membersBack)]
 				members = append(members, ms)
 				trivial = append(trivial, len(ms) == 1 && !selfLoop[v])
 			}

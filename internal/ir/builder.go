@@ -21,7 +21,7 @@ type Builder struct {
 // procedure.
 func NewBuilder(name string) *Builder {
 	b := &Builder{prog: &Program{Name: name}}
-	main := &Procedure{ID: 0, Name: "$main", IsMain: true, IMOD: bitset.New(0), IUSE: bitset.New(0)}
+	main := &Procedure{ID: 0, Name: "$main", IsMain: true, IMOD: bitset.NewSparse(), IUSE: bitset.NewSparse()}
 	b.prog.Procs = append(b.prog.Procs, main)
 	b.prog.Main = main
 	return b
@@ -49,8 +49,8 @@ func (b *Builder) Proc(name string, parent *Procedure) *Procedure {
 	p := &Procedure{
 		ID:   len(b.prog.Procs),
 		Name: name,
-		IMOD: bitset.New(0),
-		IUSE: bitset.New(0),
+		IMOD: bitset.NewSparse(),
+		IUSE: bitset.NewSparse(),
 	}
 	if parent != nil {
 		p.Parent = parent
@@ -293,8 +293,8 @@ func (p *Program) Prune() *Program {
 			IsMain: q.IsMain,
 			Level:  q.Level,
 			Pos:    q.Pos,
-			IMOD:   bitset.New(0),
-			IUSE:   bitset.New(0),
+			IMOD:   bitset.NewSparse(),
+			IUSE:   bitset.NewSparse(),
 		}
 		procMap[q] = n
 		if q.Parent != nil {

@@ -1,6 +1,10 @@
 package lint
 
-import "fmt"
+import (
+	"fmt"
+
+	"sideeffect/internal/prof"
+)
 
 // Config selects and re-levels rules. The zero value runs every
 // registered rule at its default severity.
@@ -16,6 +20,9 @@ type Config struct {
 	// Severity overrides the default severity per rule (keyed by ID
 	// or name slug).
 	Severity map[string]Severity
+	// Prof, when non-nil, accumulates per-rule wall time under
+	// "lint.<rule-id>" stage names.
+	Prof *prof.Profile
 }
 
 // selection is the resolved per-rule configuration.

@@ -150,10 +150,12 @@ func Run(in *Input, cfg Config) (*Report, error) {
 		if sev < cfg.MinSeverity {
 			continue // selected but filtered: count stays visible at 0
 		}
-		rl.run(in, func(d Diagnostic) {
-			d.Rule, d.Name, d.Severity = rl.ID, rl.Name, sev
-			rep.Diags = append(rep.Diags, d)
-			rep.Counts[rl.ID]++
+		cfg.Prof.Do("lint."+rl.ID, func() {
+			rl.run(in, func(d Diagnostic) {
+				d.Rule, d.Name, d.Severity = rl.ID, rl.Name, sev
+				rep.Diags = append(rep.Diags, d)
+				rep.Counts[rl.ID]++
+			})
 		})
 	}
 	sortDiagnostics(rep.Diags)

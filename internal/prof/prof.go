@@ -1,0 +1,174 @@
+// Package prof is a lightweight stage timer for the analysis
+// pipeline. A *Profile is threaded through core.Analyze, the section
+// solver, and the lint engine; each stage runs under Do, which records
+// wall time (and optionally allocation deltas) per stage name and can
+// tag the goroutine with a pprof label so CPU profiles attribute
+// samples to pipeline stages.
+//
+// A nil *Profile is valid everywhere and costs one nil check — the
+// production path pays nothing unless profiling was requested.
+package prof
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageStat is the accumulated cost of one named pipeline stage.
+type StageStat struct {
+	Name string `json:"name"`
+	// NS is total wall time in nanoseconds across Count executions.
+	NS    int64 `json:"ns"`
+	Count int64 `json:"count"`
+	// Allocs/Bytes are heap allocation deltas measured around the
+	// stage. They are recorded only when the profile was created with
+	// CountAllocs (sequential pipelines — concurrent stages would
+	// attribute each other's allocations) and are omitted otherwise.
+	Allocs int64 `json:"allocs,omitempty"`
+	Bytes  int64 `json:"bytes,omitempty"`
+}
+
+// Profile accumulates per-stage counters. All methods are safe for
+// concurrent use and safe on a nil receiver (where they do nothing).
+type Profile struct {
+	countAllocs bool
+	labels      bool
+
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*StageStat
+}
+
+// Option configures New.
+type Option func(*Profile)
+
+// CountAllocs samples runtime.MemStats around every stage, recording
+// allocation count and byte deltas. Only meaningful when stages run
+// one at a time: under the parallel batch engine, concurrent stages
+// would be charged for each other's allocations, so callers enable
+// this only on sequential pipelines.
+func CountAllocs() Option { return func(p *Profile) { p.countAllocs = true } }
+
+// WithLabels wraps each stage in a pprof label ("stage" → name), so
+// `go tool pprof` CPU and heap profiles can be filtered and grouped by
+// pipeline stage (e.g. -tagfocus stage=mod.gmod).
+func WithLabels() Option { return func(p *Profile) { p.labels = true } }
+
+// New returns an empty profile.
+func New(opts ...Option) *Profile {
+	p := &Profile{stages: make(map[string]*StageStat)}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Do runs f as stage name, accumulating its cost. On a nil receiver it
+// just runs f.
+func (p *Profile) Do(name string, f func()) {
+	if p == nil {
+		f()
+		return
+	}
+	var m0 runtime.MemStats
+	if p.countAllocs {
+		runtime.ReadMemStats(&m0)
+	}
+	start := time.Now()
+	if p.labels {
+		pprof.Do(context.Background(), pprof.Labels("stage", name), func(context.Context) { f() })
+	} else {
+		f()
+	}
+	ns := time.Since(start).Nanoseconds()
+	var allocs, bytes int64
+	if p.countAllocs {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		allocs = int64(m1.Mallocs - m0.Mallocs)
+		bytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	}
+	p.mu.Lock()
+	st, ok := p.stages[name]
+	if !ok {
+		st = &StageStat{Name: name}
+		p.stages[name] = st
+		p.order = append(p.order, name)
+	}
+	st.NS += ns
+	st.Count++
+	st.Allocs += allocs
+	st.Bytes += bytes
+	p.mu.Unlock()
+}
+
+// Snapshot returns the accumulated stages in first-recorded order.
+// Safe on nil (returns nil).
+func (p *Profile) Snapshot() []StageStat {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]StageStat, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, *p.stages[name])
+	}
+	return out
+}
+
+// TotalNS returns the summed wall time of all stages. Safe on nil.
+func (p *Profile) TotalNS() int64 {
+	var total int64
+	for _, st := range p.Snapshot() {
+		total += st.NS
+	}
+	return total
+}
+
+// Table renders the profile as an aligned text table, stages sorted by
+// descending total time. Safe on nil (returns "").
+func (p *Profile) Table() string {
+	stages := p.Snapshot()
+	if len(stages) == 0 {
+		return ""
+	}
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].NS > stages[j].NS })
+	total := int64(0)
+	hasAllocs := false
+	for _, st := range stages {
+		total += st.NS
+		hasAllocs = hasAllocs || st.Allocs != 0 || st.Bytes != 0
+	}
+	wide := len("stage")
+	for _, st := range stages {
+		if len(st.Name) > wide {
+			wide = len(st.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s %12s %6s %7s", wide, "stage", "time", "count", "share")
+	if hasAllocs {
+		fmt.Fprintf(&b, " %10s %12s", "allocs", "bytes")
+	}
+	b.WriteByte('\n')
+	for _, st := range stages {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(st.NS) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-*s %12s %6d %6.1f%%", wide, st.Name, time.Duration(st.NS), st.Count, share)
+		if hasAllocs {
+			fmt.Fprintf(&b, " %10d %12d", st.Allocs, st.Bytes)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s %12s\n", wide, "total", time.Duration(total))
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package prof
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilProfileRunsFunc(t *testing.T) {
+	var p *Profile
+	ran := false
+	p.Do("x", func() { ran = true })
+	if !ran {
+		t.Fatal("nil profile did not run the stage")
+	}
+	if p.Snapshot() != nil || p.Table() != "" || p.TotalNS() != 0 {
+		t.Fatal("nil profile not inert")
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	p := New()
+	p.Do("a", func() { time.Sleep(time.Millisecond) })
+	p.Do("b", func() {})
+	p.Do("a", func() {})
+	snap := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d stages, want 2", len(snap))
+	}
+	if snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Errorf("order = %v, want first-recorded [a b]", []string{snap[0].Name, snap[1].Name})
+	}
+	if snap[0].Count != 2 || snap[1].Count != 1 {
+		t.Errorf("counts = %d,%d want 2,1", snap[0].Count, snap[1].Count)
+	}
+	if snap[0].NS < int64(time.Millisecond) {
+		t.Errorf("stage a NS = %d, want ≥ 1ms", snap[0].NS)
+	}
+	if p.TotalNS() < snap[0].NS {
+		t.Error("TotalNS lost time")
+	}
+	if !strings.Contains(p.Table(), "a") || !strings.Contains(p.Table(), "total") {
+		t.Errorf("Table missing rows:\n%s", p.Table())
+	}
+}
+
+func TestCountAllocs(t *testing.T) {
+	p := New(CountAllocs())
+	var sink []byte
+	p.Do("alloc", func() { sink = make([]byte, 1<<20) })
+	_ = sink
+	snap := p.Snapshot()
+	if snap[0].Allocs < 1 || snap[0].Bytes < 1<<20 {
+		t.Errorf("allocation delta not captured: %+v", snap[0])
+	}
+}
+
+func TestConcurrentDo(t *testing.T) {
+	p := New(WithLabels())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Do("stage", func() {})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Snapshot()[0].Count; got != 800 {
+		t.Errorf("Count = %d, want 800", got)
+	}
+}

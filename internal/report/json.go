@@ -6,6 +6,7 @@ import (
 
 	"sideeffect/internal/alias"
 	"sideeffect/internal/core"
+	"sideeffect/internal/prof"
 	"sideeffect/internal/section"
 )
 
@@ -18,6 +19,18 @@ type JSONReport struct {
 	Program    string          `json:"program"`
 	Procedures []JSONProcedure `json:"procedures"`
 	CallSites  []JSONCallSite  `json:"callSites"`
+	// Stages carries the per-stage profile when the analysis was run
+	// with profiling on (see prof.Profile); omitted otherwise.
+	Stages []prof.StageStat `json:"stages,omitempty"`
+}
+
+// Render marshals the report as indented JSON.
+func (r *JSONReport) Render() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return string(b) + "\n", nil
 }
 
 // JSONProcedure is one procedure's summary.
@@ -115,9 +128,5 @@ func sortInts(xs []int) {
 
 // JSON renders the report as indented JSON.
 func JSON(mod, use *core.Result, aliases *alias.Analysis, secMod *section.Result) (string, error) {
-	b, err := json.MarshalIndent(BuildJSON(mod, use, aliases, secMod), "", "  ")
-	if err != nil {
-		return "", fmt.Errorf("report: %w", err)
-	}
-	return string(b) + "\n", nil
+	return BuildJSON(mod, use, aliases, secMod).Render()
 }

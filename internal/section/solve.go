@@ -1,10 +1,13 @@
 package section
 
 import (
+	"strings"
+
 	"sideeffect/internal/binding"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/core"
 	"sideeffect/internal/ir"
+	"sideeffect/internal/prof"
 )
 
 // Result holds the regular-section side-effect solution for one
@@ -202,6 +205,13 @@ func Analyze(modRes *core.Result, kind core.Kind) *Result {
 // AnalyzeIn is Analyze under an explicit section lattice (see
 // bounded.go for the precision/cost trade-off).
 func AnalyzeIn(modRes *core.Result, kind core.Kind, lat Lattice) *Result {
+	return AnalyzeProf(modRes, kind, lat, nil)
+}
+
+// AnalyzeProf is AnalyzeIn with per-phase wall time accumulated in pf
+// under "sections.<kind>.{local,formals,globals}". A nil profile is
+// inert, so AnalyzeIn simply delegates here.
+func AnalyzeProf(modRes *core.Result, kind core.Kind, lat Lattice, pf *prof.Profile) *Result {
 	prog, beta := modRes.Prog, modRes.Beta
 	if modRes.Kind != core.Mod {
 		panic("section: Analyze requires the Mod-problem core result (its GMOD sets drive symbol invariance)")
@@ -216,14 +226,28 @@ func AnalyzeIn(modRes *core.Result, kind core.Kind, lat Lattice) *Result {
 		inv:     modRes.GMOD,
 	}
 	inv := invView{sets: res.inv, fixed: -1}
+	pfx := "sections." + strings.ToLower(kind.String()) + "."
 	// Local sections per procedure.
 	local := make([]map[int]RSD, prog.NumProcs())
-	for _, p := range prog.Procs {
-		local[p.ID] = map[int]RSD{}
-		lrsdOf(p, inv, kind, lat, local[p.ID], &res.Stats)
-	}
+	pf.Do(pfx+"local", func() {
+		for _, p := range prog.Procs {
+			local[p.ID] = map[int]RSD{}
+			lrsdOf(p, inv, kind, lat, local[p.ID], &res.Stats)
+		}
+	})
 
 	// --- Phase 1: formal arrays on β.
+	pf.Do(pfx+"formals", func() { solveFormals(res, local, inv, lat) })
+
+	// --- Phase 2: global arrays over the call graph.
+	pf.Do(pfx+"globals", func() { solveGlobals(res, local, inv, lat) })
+	return res
+}
+
+// solveFormals runs phase 1: the rsd(fp) fixed point on the binding
+// multi-graph.
+func solveFormals(res *Result, local []map[int]RSD, inv invView, lat Lattice) {
+	prog, beta := res.Prog, res.Beta
 	for n := range res.Formal {
 		res.Formal[n] = Unaccessed()
 		f := beta.Nodes[n]
@@ -275,8 +299,13 @@ func AnalyzeIn(modRes *core.Result, kind core.Kind, lat Lattice) *Result {
 			}
 		}
 	}
+}
 
-	// --- Phase 2: global arrays over the call graph.
+// solveGlobals runs phase 2: the lattice analog of equation (4) for
+// global arrays, seeded from local accesses and mapped formal
+// summaries.
+func solveGlobals(res *Result, local []map[int]RSD, inv invView, lat Lattice) {
+	prog, beta := res.Prog, res.Beta
 	// Seeds: local accesses of globals, plus formal summaries mapped
 	// through call sites whose actual is a global array (or a section
 	// of one).
@@ -337,7 +366,6 @@ func AnalyzeIn(modRes *core.Result, kind core.Kind, lat Lattice) *Result {
 			}
 		}
 	}
-	return res
 }
 
 // meetInto lowers m[vid] by r under the lattice, reporting change.

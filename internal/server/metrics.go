@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sideeffect/internal/cache"
+	"sideeffect/internal/prof"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
@@ -76,15 +77,29 @@ type metrics struct {
 	lintRuns int64            // lint engine executions (any endpoint)
 	lintHits map[string]int64 // findings per rule ID
 	latency  *histogram
+	// stageSecs accumulates profiled pipeline wall time per stage
+	// name, across every cache-miss analysis.
+	stageSecs map[string]float64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[string]int64),
-		edits:    make(map[string]int64),
-		lintHits: make(map[string]int64),
-		latency:  newHistogram(),
+		requests:  make(map[string]int64),
+		edits:     make(map[string]int64),
+		lintHits:  make(map[string]int64),
+		latency:   newHistogram(),
+		stageSecs: make(map[string]float64),
 	}
+}
+
+// observeStages folds one profiled analysis run into the per-stage
+// time counters.
+func (m *metrics) observeStages(stages []prof.StageStat) {
+	m.mu.Lock()
+	for _, st := range stages {
+		m.stageSecs[st.Name] += float64(st.NS) / 1e9
+	}
+	m.mu.Unlock()
 }
 
 func (m *metrics) request(endpoint string, status int) {
@@ -176,6 +191,17 @@ func (m *metrics) render(cs cache.Stats, sessionsOpen int) string {
 	sort.Strings(rules)
 	for _, rule := range rules {
 		fmt.Fprintf(&b, "modand_lint_findings_total{rule=%q} %d\n", rule, m.lintHits[rule])
+	}
+
+	b.WriteString("# HELP modand_stage_seconds_total Analysis pipeline wall time by stage, from profiled cache-miss computations.\n")
+	b.WriteString("# TYPE modand_stage_seconds_total counter\n")
+	stages := make([]string, 0, len(m.stageSecs))
+	for st := range m.stageSecs {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, st := range stages {
+		fmt.Fprintf(&b, "modand_stage_seconds_total{stage=%q} %g\n", st, m.stageSecs[st])
 	}
 
 	b.WriteString("# HELP modand_analysis_seconds Wall time of analysis computations (cache misses, session work).\n")

@@ -249,11 +249,16 @@ func (s *Server) analyzeCached(ctx context.Context, src string) (*cached, string
 	go func() {
 		entry, outcome, err := s.cache.Do(key, func() (*cached, error) {
 			start := time.Now()
-			a, err := sideeffect.AnalyzeWith(src, s.opts)
+			// Cache misses run profiled so /metrics can attribute
+			// analysis time to pipeline stages.
+			popts := s.opts
+			popts.Profile = true
+			a, err := sideeffect.AnalyzeWith(src, popts)
 			if err != nil {
 				return nil, err
 			}
 			s.met.observeAnalysis(time.Since(start).Seconds())
+			s.met.observeStages(a.Stages.Snapshot())
 			return &cached{a: a}, nil
 		})
 		ch <- result{entry, outcome, err}

@@ -56,11 +56,19 @@ func (st *sessionStore) get(id string) (*session, bool) {
 
 func (st *sessionStore) remove(id string) bool {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.sessions[id]; !ok {
+	s, ok := st.sessions[id]
+	if !ok {
+		st.mu.Unlock()
 		return false
 	}
 	delete(st.sessions, id)
+	st.mu.Unlock()
+	// Recycle the closed session's analysis storage under its own lock,
+	// after it is unreachable through the table, so an in-flight request
+	// that already fetched the handle finishes its read first.
+	s.mu.Lock()
+	s.sess.Close()
+	s.mu.Unlock()
 	return true
 }
 

@@ -21,7 +21,14 @@ import (
 // Rendering (text, JSON, SARIF 2.1.0) is the lint package's job; see
 // cmd/modlint for the command-line driver and internal/server for the
 // /lint endpoint.
+//
+// When the analysis was built with Options.Profile and cfg carries no
+// profile of its own, per-rule timings join Analysis.Stages under
+// "lint.<rule-id>" names.
 func (a *Analysis) Lint(cfg lint.Config) (*lint.Report, error) {
+	if cfg.Prof == nil {
+		cfg.Prof = a.Stages
+	}
 	in := &lint.Input{
 		Prog:    a.Prog,
 		Mod:     a.Mod,

@@ -30,6 +30,7 @@ import (
 	"sideeffect/internal/core"
 	"sideeffect/internal/ir"
 	"sideeffect/internal/lang/sem"
+	"sideeffect/internal/prof"
 	"sideeffect/internal/report"
 	"sideeffect/internal/section"
 )
@@ -46,6 +47,15 @@ type Options struct {
 	// stage runs in order on the calling goroutine. The result is
 	// identical either way — only the schedule changes.
 	Sequential bool
+	// Alloc selects the bit-vector allocation discipline for the core
+	// solvers. The zero value (core.AllocAuto) is the arena+hybrid
+	// production default; core.AllocDense is the pre-arena baseline
+	// kept for benchmarking and differential testing.
+	Alloc core.AllocPolicy
+	// Profile, when true, records per-stage wall time (and, on a
+	// sequential run, allocation counts) in Analysis.Stages and tags
+	// each stage's execution with a pprof "stage" label.
+	Profile bool
 }
 
 // workers resolves the options to a concrete positive worker count.
@@ -78,6 +88,10 @@ type Analysis struct {
 	// ModSets and UseSets are the final per-call-site answers,
 	// DMOD/DUSE extended with aliases (equation (2) + Section 5).
 	ModSets, UseSets []*bitset.Set
+	// Stages holds the per-stage profile when the analysis ran with
+	// Options.Profile; nil otherwise. Stage names are hierarchical:
+	// "mod.gmod", "use.rmod", "sections.mod.formals", "factor.mod", …
+	Stages *prof.Profile
 }
 
 // Analyze parses, checks, and analyzes MiniPL source text, running
@@ -116,11 +130,28 @@ func AnalyzeProgram(prog *ir.Program) *Analysis {
 // the shared inputs are read-only, so the layer runs with no locking.
 func AnalyzeProgramWith(prog *ir.Program, opts Options) *Analysis {
 	a := &Analysis{Prog: prog}
+	if opts.Profile {
+		popts := []prof.Option{prof.WithLabels()}
+		if opts.workers() == 1 {
+			// Allocation deltas come from runtime.ReadMemStats and are
+			// only attributable to a stage when stages run one at a
+			// time.
+			popts = append(popts, prof.CountAllocs())
+		}
+		a.Stages = prof.New(popts...)
+	}
 	w := opts.workers()
+	// The binding graph, its components, the call graph, and the
+	// per-level subgraphs are identical for the Mod and Use problems;
+	// build them once and let both analyses (running concurrently —
+	// the Structure is read-only) share the skeleton.
+	var st *core.Structure
+	a.Stages.Do("structure", func() { st = core.BuildStructure(prog) })
+	co := core.Options{Alloc: opts.Alloc, Prof: a.Stages, Structure: st}
 	batch.Run(w, []func(){
-		func() { a.Mod = core.Analyze(prog, core.Mod, core.Options{}) },
-		func() { a.Use = core.Analyze(prog, core.Use, core.Options{}) },
-		func() { a.Aliases = alias.Compute(prog) },
+		func() { a.Mod = core.Analyze(prog, core.Mod, co) },
+		func() { a.Use = core.Analyze(prog, core.Use, co) },
+		func() { a.Stages.Do("aliases", func() { a.Aliases = alias.Compute(prog) }) },
 	})
 	a.refreshDerived(opts)
 	return a
@@ -132,11 +163,37 @@ func AnalyzeProgramWith(prog *ir.Program, opts Options) *Analysis {
 // by the incremental updater after the core results change.
 func (a *Analysis) refreshDerived(opts Options) {
 	batch.Run(opts.workers(), []func(){
-		func() { a.SecMod = section.Analyze(a.Mod, core.Mod) },
-		func() { a.SecUse = section.Analyze(a.Mod, core.Use) },
-		func() { a.ModSets = a.Aliases.Factor(a.Mod.DMOD) },
-		func() { a.UseSets = a.Aliases.Factor(a.Use.DMOD) },
+		func() { a.SecMod = section.AnalyzeProf(a.Mod, core.Mod, section.SimpleSections, a.Stages) },
+		func() { a.SecUse = section.AnalyzeProf(a.Mod, core.Use, section.SimpleSections, a.Stages) },
+		// Factored sets share their core Result's lifetime, so they are
+		// drawn from its arena; each arena is touched by exactly one of
+		// these goroutines.
+		func() {
+			a.Stages.Do("factor.mod", func() { a.ModSets = a.Aliases.FactorArena(a.Mod.DMOD, a.Mod.Arena) })
+		},
+		func() {
+			a.Stages.Do("factor.use", func() { a.UseSets = a.Aliases.FactorArena(a.Use.DMOD, a.Use.Arena) })
+		},
 	})
+}
+
+// Release returns the analysis's arena-backed set storage to a
+// process-wide pool for reuse by a later analysis. It is optional —
+// dropping the Analysis frees everything through the collector — but a
+// loop that analyzes many programs and fully consumes each result
+// before the next (the batch engine's steady state) recycles warm
+// slabs this way instead of growing fresh ones per program. After
+// Release no set previously obtained from the Analysis may be used;
+// the set-valued fields are nilled to fail fast. Under AllocHybrid or
+// AllocDense there is nothing pooled and Release is a no-op.
+func (a *Analysis) Release() {
+	if a == nil {
+		return
+	}
+	a.ModSets, a.UseSets = nil, nil
+	a.SecMod, a.SecUse = nil, nil
+	a.Mod.Release()
+	a.Use.Release()
 }
 
 // BatchResult is one program's outcome from AnalyzeAll: either a
@@ -155,8 +212,18 @@ type BatchResult struct {
 // unaffected.
 func AnalyzeAll(srcs []string, opts Options) []BatchResult {
 	return batch.Map(opts.workers(), srcs, func(_ int, src string) BatchResult {
-		a, err := AnalyzeWith(src, Options{Sequential: true})
+		a, err := AnalyzeWith(src, Options{Sequential: true, Alloc: opts.Alloc})
 		return BatchResult{Analysis: a, Err: err}
+	})
+}
+
+// AnalyzeAllPrograms is AnalyzeAll for callers that already hold
+// program models: the same bounded worker pool and per-program
+// sequential pipeline, without the parser in front. Programs are
+// analyzed as given (prune first if needed).
+func AnalyzeAllPrograms(progs []*ir.Program, opts Options) []*Analysis {
+	return batch.Map(opts.workers(), progs, func(_ int, p *ir.Program) *Analysis {
+		return AnalyzeProgramWith(p, Options{Sequential: true, Alloc: opts.Alloc})
 	})
 }
 

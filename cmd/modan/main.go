@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"sideeffect"
+	"sideeffect/internal/faultinject"
 	"sideeffect/internal/lang/parser"
 	"sideeffect/internal/lang/printer"
 	"sideeffect/internal/report"
@@ -35,16 +37,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("modan", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gmod     = fs.Bool("gmod", false, "print only the GMOD/GUSE summary table")
-		rmod     = fs.Bool("rmod", false, "print only the RMOD table")
-		sites    = fs.Bool("sites", false, "print only the per-call-site MOD/USE table")
-		sections = fs.Bool("sections", false, "print only the regular-section table")
-		aliases  = fs.Bool("aliases", false, "print only the alias-pair table")
-		dot      = fs.String("dot", "", "emit Graphviz instead of a report: cg (call graph) or beta (binding graph)")
-		format   = fs.Bool("fmt", false, "reformat the program to canonical style instead of analyzing")
-		asJSON   = fs.Bool("json", false, "emit the complete analysis as JSON")
-		profile  = fs.Bool("profile", false, "time each pipeline stage; prints a stage table after the report, or embeds \"stages\" with -json")
-		jobs     = fs.Int("j", 0, "worker-pool size for multi-file batches and in-analysis stage parallelism (0 = GOMAXPROCS, 1 = fully sequential)")
+		gmod      = fs.Bool("gmod", false, "print only the GMOD/GUSE summary table")
+		rmod      = fs.Bool("rmod", false, "print only the RMOD table")
+		sites     = fs.Bool("sites", false, "print only the per-call-site MOD/USE table")
+		sections  = fs.Bool("sections", false, "print only the regular-section table")
+		aliases   = fs.Bool("aliases", false, "print only the alias-pair table")
+		dot       = fs.String("dot", "", "emit Graphviz instead of a report: cg (call graph) or beta (binding graph)")
+		format    = fs.Bool("fmt", false, "reformat the program to canonical style instead of analyzing")
+		asJSON    = fs.Bool("json", false, "emit the complete analysis as JSON")
+		profile   = fs.Bool("profile", false, "time each pipeline stage; prints a stage table after the report, or embeds \"stages\" with -json")
+		jobs      = fs.Int("j", 0, "worker-pool size for multi-file batches and in-analysis stage parallelism (0 = GOMAXPROCS, 1 = fully sequential)")
+		faults    = fs.Float64("faults", 0, "chaos-testing fault probability per pipeline fault point (0 = off)")
+		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed; same seed + inputs replays the same faults")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modan [flags] <file.mpl... | ->\n")
@@ -58,6 +62,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts := sideeffect.Options{Workers: *jobs, Sequential: *jobs == 1, Profile: *profile}
+	inj := faultinject.New(faultinject.Config{Rate: *faults, Seed: *faultSeed})
+	opts.Faults = inj
+	if inj != nil {
+		defer func() {
+			if s := inj.Summary(); s != "" {
+				fmt.Fprintf(stderr, "modan: injected faults: %s\n", s)
+			}
+		}()
+	}
 
 	// render honors the part-selection flags; with none set it prints
 	// the full report. Shared by the single-file and batch paths.
@@ -96,12 +109,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			srcs[i] = string(b)
 		}
 		code := 0
-		for i, r := range sideeffect.AnalyzeAll(srcs, opts) {
+		for i, r := range sideeffect.AnalyzeAllContext(context.Background(), srcs, opts) {
 			fmt.Fprintf(stdout, "==> %s <==\n", fs.Arg(i))
 			if r.Err != nil {
 				fmt.Fprintf(stderr, "modan: %s: %v\n", fs.Arg(i), r.Err)
 				code = 1
 				continue
+			}
+			if r.Degraded {
+				fmt.Fprintf(stderr, "modan: %s: first attempt panicked; served by the sequential fallback\n", fs.Arg(i))
 			}
 			render(stdout, r.Analysis)
 		}
@@ -130,7 +146,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	a, err := sideeffect.AnalyzeWith(string(src), opts)
+	// The hardened entry point computes identical results and turns a
+	// pipeline panic (only possible under -faults) into an error.
+	a, err := sideeffect.AnalyzeContext(context.Background(), string(src), opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "modan: %v\n", err)
 		return 1

@@ -210,3 +210,36 @@ func TestSequentialFlagMatchesDefault(t *testing.T) {
 		t.Errorf("-j 1 output differs from default:\n--- j1\n%s\n--- default\n%s", seq, par)
 	}
 }
+
+// TestFaultsFlagDeterministic runs the same chaos invocation twice:
+// equal seeds must replay equal faults, so exit code, stdout, and
+// stderr are all byte-identical. -j 1 keeps the draw order sequential.
+func TestFaultsFlagDeterministic(t *testing.T) {
+	args := []string{"-j", "1", "-faults", "1", "-fault-seed", "5", "-"}
+	c1, o1, e1 := runCmd(t, args, sample)
+	c2, o2, e2 := runCmd(t, args, sample)
+	if c1 != c2 || o1 != o2 || e1 != e2 {
+		t.Fatalf("chaos run not reproducible:\n(%d,%q,%q)\nvs\n(%d,%q,%q)", c1, o1, e1, c2, o2, e2)
+	}
+	// At rate 1 every fault point fires; the run ends in a clean error
+	// (never a panic across run) and reports the injected-fault summary.
+	if c1 != 1 {
+		t.Fatalf("saturated chaos run exited %d, want 1\nstderr: %s", c1, e1)
+	}
+	if !strings.Contains(e1, "injected faults:") {
+		t.Errorf("stderr missing injected-fault summary: %q", e1)
+	}
+}
+
+// TestFaultsFlagZeroIsIdentity checks that -faults 0 (the default path
+// through the context-aware entry points) matches the plain run.
+func TestFaultsFlagZeroIsIdentity(t *testing.T) {
+	_, base, _ := runCmd(t, []string{"-"}, sample)
+	code, out, errb := runCmd(t, []string{"-faults", "0", "-"}, sample)
+	if code != 0 || errb != "" {
+		t.Fatalf("exit %d stderr %q", code, errb)
+	}
+	if out != base {
+		t.Fatalf("-faults 0 changed the report:\n%s\nvs\n%s", out, base)
+	}
+}

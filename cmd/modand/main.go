@@ -51,14 +51,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 	fs := flag.NewFlagSet("modand", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7820", "listen address")
-		jobs     = fs.Int("j", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
-		cacheN   = fs.Int("cache", 256, "max cached analysis results")
-		maxBytes = fs.Int64("max-request-bytes", 1<<20, "request body size limit")
-		timeout  = fs.Duration("timeout", 30*time.Second, "per-request analysis budget")
-		sessions = fs.Int("sessions", 64, "max concurrently open sessions")
-		batchN   = fs.Int("batch", 256, "max sources per /batch request")
-		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		addr      = fs.String("addr", "127.0.0.1:7820", "listen address")
+		jobs      = fs.Int("j", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+		cacheN    = fs.Int("cache", 256, "max cached analysis results")
+		maxBytes  = fs.Int64("max-request-bytes", 1<<20, "request body size limit")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request analysis budget")
+		sessions  = fs.Int("sessions", 64, "max concurrently open sessions")
+		batchN    = fs.Int("batch", 256, "max sources per /batch request")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		inflight  = fs.Int("max-inflight", 32, "max concurrently computing requests (-1 = unlimited)")
+		queue     = fs.Int("max-queue", 64, "max requests waiting for an admission slot before shedding with 429 (-1 = unlimited)")
+		faultRate = fs.Float64("fault-rate", 0, "chaos-testing fault probability per fault point (0 = off)")
+		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed; same seed + request sequence replays the same faults")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modand [flags]\n")
@@ -79,7 +83,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		Timeout:         *timeout,
 		MaxSessions:     *sessions,
 		MaxBatchSources: *batchN,
+		MaxInFlight:     *inflight,
+		MaxQueue:        *queue,
+		FaultRate:       *faultRate,
+		FaultSeed:       *faultSeed,
 	})
+	if *faultRate > 0 {
+		fmt.Fprintf(stdout, "modand: CHAOS MODE: injecting faults at rate %g (seed %d)\n", *faultRate, *faultSeed)
+	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,

@@ -110,3 +110,49 @@ func TestDaemonFlagErrors(t *testing.T) {
 	close(shutdown)
 	<-exit
 }
+
+// TestDaemonChaosFlags brings the daemon up with fault injection armed
+// and asserts the chaos banner prints and every response to a small
+// request burst is either a success or a structured error — the
+// process itself never dies.
+func TestDaemonChaosFlags(t *testing.T) {
+	base, shutdown, exit, out := startDaemon(t, "-fault-rate", "0.5", "-fault-seed", "1")
+
+	body, _ := json.Marshal(map[string]string{"source": daemonSrc})
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("request %d: transport error %v (daemon died?)", i, err)
+		}
+		var probe struct {
+			Error *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+			Hash string `json:"hash"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+			t.Fatalf("request %d: unparseable body: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if probe.Hash == "" {
+				t.Errorf("request %d: 200 without a hash", i)
+			}
+		} else if probe.Error == nil || probe.Error.Code == "" {
+			t.Errorf("request %d: status %d without a structured error", i, resp.StatusCode)
+		}
+	}
+
+	close(shutdown)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d: %s", code, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "CHAOS MODE") {
+		t.Errorf("missing chaos banner: %s", out.String())
+	}
+}

@@ -1,0 +1,331 @@
+package sideeffect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"sideeffect/internal/alias"
+	"sideeffect/internal/batch"
+	"sideeffect/internal/core"
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/sem"
+	"sideeffect/internal/lint"
+	"sideeffect/internal/prof"
+	"sideeffect/internal/section"
+)
+
+// This file is the hardened face of the public API: every entry point
+// here takes a context, never panics, and guarantees that a failed or
+// abandoned analysis cannot corrupt the process-wide arena pool. The
+// plain entry points (Analyze, AnalyzeProgramWith, AnalyzeAll) keep
+// their historical contract — panics propagate — for callers that
+// want fail-fast behavior; they are thin shells over the same
+// pipeline, so the two families cannot drift.
+
+// asPanicError normalizes a recovered value: captured *batch.PanicError
+// values pass through (keeping the panicking goroutine's stack), raw
+// panics are wrapped with the current stack.
+func asPanicError(rec any) *batch.PanicError {
+	if pe, ok := rec.(*batch.PanicError); ok {
+		return pe
+	}
+	return &batch.PanicError{Value: rec, Stack: debug.Stack()}
+}
+
+// poisonArenas marks both core results' arenas as unsafe for pooling.
+// Called on the panic path only: a panic mid-stage leaves carve state
+// unknown, and a poisoned arena is dropped by Release instead of
+// recycled. Conservative — a panic in one problem's stage poisons the
+// sibling's arena too, trading a slab reallocation for certainty.
+func (a *Analysis) poisonArenas() {
+	if a.Mod != nil {
+		a.Mod.Arena.Poison()
+	}
+	if a.Use != nil {
+		a.Use.Arena.Poison()
+	}
+}
+
+// abort tears down a partially built analysis after err stopped it:
+// panic-path arenas are poisoned (so the pool never sees them), then
+// everything checked out so far is released.
+func (a *Analysis) abort(err error) {
+	var pe *batch.PanicError
+	if errors.As(err, &pe) {
+		a.poisonArenas()
+	}
+	a.Release()
+}
+
+// AnalyzeContext is Analyze with deadline propagation and fault
+// isolation: the context is consulted at every stage boundary, injected
+// faults (Options.Faults) surface as errors, and a panic anywhere in
+// the pipeline — injected or genuine — is returned as an error wrapping
+// *batch.PanicError after the affected arenas are poisoned. It never
+// panics and never leaks pooled storage: a failed call has already
+// released (or safely dropped) everything it checked out.
+func AnalyzeContext(ctx context.Context, src string, opts Options) (*Analysis, error) {
+	prog, err := sem.AnalyzeSource(src)
+	if err != nil {
+		return nil, fmt.Errorf("sideeffect: %w", err)
+	}
+	return AnalyzeProgramContext(ctx, prog.Prune(), opts)
+}
+
+// AnalyzeProgramContext is AnalyzeProgramWith under the hardened
+// contract of AnalyzeContext: cancellable, fault-injectable, total (it
+// returns errors, never panics), and arena-safe on every failure path.
+func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, opts Options) (ra *Analysis, err error) {
+	a := &Analysis{Prog: prog}
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = asPanicError(rec)
+		}
+		if err != nil {
+			a.abort(err)
+			ra, err = nil, fmt.Errorf("sideeffect: analysis failed: %w", err)
+		}
+	}()
+	if err = opts.Faults.At("sideeffect.analyze"); err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		if err = ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Profile {
+		popts := []prof.Option{prof.WithLabels()}
+		if opts.workers() == 1 {
+			popts = append(popts, prof.CountAllocs())
+		}
+		a.Stages = prof.New(popts...)
+	}
+	w := opts.workers()
+	var st *core.Structure
+	a.Stages.Do("structure", func() { st = core.BuildStructure(prog) })
+	co := core.Options{Alloc: opts.Alloc, Prof: a.Stages, Structure: st, Faults: opts.Faults}
+	var modErr, useErr error
+	err = batch.RunCtx(ctx, w, []func(){
+		func() { a.Mod, modErr = core.AnalyzeCtx(ctx, prog, core.Mod, co) },
+		func() { a.Use, useErr = core.AnalyzeCtx(ctx, prog, core.Use, co) },
+		func() { a.Stages.Do("aliases", func() { a.Aliases = alias.Compute(prog) }) },
+	})
+	if err = errors.Join(err, modErr, useErr); err != nil {
+		return nil, err
+	}
+	if err = a.refreshDerivedCtx(ctx, opts); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// refreshDerivedCtx is refreshDerived with cancellation, fault
+// injection, and panic capture. The derived stages draw from the core
+// results' arenas, so a panic here leaves carve state unknown — the
+// caller's abort path poisons the arenas before any Release.
+func (a *Analysis) refreshDerivedCtx(ctx context.Context, opts Options) error {
+	if err := opts.Faults.At("sideeffect.derived"); err != nil {
+		return err
+	}
+	return batch.RunCtx(ctx, opts.workers(), []func(){
+		func() { a.SecMod = section.AnalyzeProf(a.Mod, core.Mod, section.SimpleSections, a.Stages) },
+		func() { a.SecUse = section.AnalyzeProf(a.Mod, core.Use, section.SimpleSections, a.Stages) },
+		func() {
+			a.Stages.Do("factor.mod", func() { a.ModSets = a.Aliases.FactorArena(a.Mod.DMOD, a.Mod.Arena) })
+		},
+		func() {
+			a.Stages.Do("factor.use", func() { a.UseSets = a.Aliases.FactorArena(a.Use.DMOD, a.Use.Arena) })
+		},
+	})
+}
+
+// AnalyzeAllContext is AnalyzeAll with per-request cancellation and
+// graceful degradation. Each program runs under the hardened pipeline;
+// one whose first attempt dies with a captured panic is retried once in
+// degraded mode — sequential, dense allocation, nothing pooled — so a
+// poisoned worker pool or arena bug degrades throughput instead of
+// failing requests (BatchResult.Degraded marks those entries). Once ctx
+// is done, undispatched programs are skipped; their slots carry
+// ctx.Err(). The returned slice always has len(srcs) entries, in input
+// order.
+func AnalyzeAllContext(ctx context.Context, srcs []string, opts Options) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	inner := Options{Sequential: true, Alloc: opts.Alloc, Faults: opts.Faults}
+	out, err := batch.MapCtx(ctx, opts.workers(), srcs, func(_ int, src string) BatchResult {
+		a, aerr := AnalyzeContext(ctx, src, inner)
+		if aerr == nil {
+			return BatchResult{Analysis: a}
+		}
+		var pe *batch.PanicError
+		if errors.As(aerr, &pe) && ctx.Err() == nil {
+			da, derr := AnalyzeContext(ctx, src, Options{
+				Sequential: true, Alloc: core.AllocDense, Faults: opts.Faults,
+			})
+			if derr == nil {
+				return BatchResult{Analysis: da, Degraded: true}
+			}
+			aerr = errors.Join(aerr, derr)
+		}
+		return BatchResult{Err: aerr}
+	})
+	if err != nil {
+		// Skipped (undispatched) slots have a zero BatchResult; stamp
+		// them with the cancellation cause so callers see a structured
+		// error rather than an inexplicable empty entry. Panic errors
+		// cannot reach here — AnalyzeContext is total and the closure
+		// above does not panic.
+		for i := range out {
+			if out[i].Analysis == nil && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
+	return out
+}
+
+// LintContext is Lint with cancellation and panic capture: a panic in a
+// lint rule is returned as an error wrapping *batch.PanicError instead
+// of crossing an API boundary (the lint stage allocates nothing pooled,
+// so no arena handling is needed).
+func (a *Analysis) LintContext(ctx context.Context, cfg lint.Config) (rep *lint.Report, err error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep, err = nil, fmt.Errorf("sideeffect: lint failed: %w", asPanicError(rec))
+		}
+	}()
+	return a.Lint(cfg)
+}
+
+// ErrSessionBroken reports an operation on a session whose maintained
+// solution was left inconsistent by a failed edit (the failure hit
+// after in-place mutation had begun and the full-reanalysis fallback
+// failed too). A broken session refuses every further edit; the only
+// safe operation is Close. The server surfaces this as a structured
+// error until the client deletes the session.
+var ErrSessionBroken = errors.New("sideeffect: session broken by a failed edit; close and recreate it")
+
+// Broken reports whether a failed edit left the session's maintained
+// solution inconsistent. See ErrSessionBroken.
+func (s *Session) Broken() bool { return s.broken }
+
+// NewSessionContext is NewSession under the hardened pipeline:
+// cancellable and total. A failed construction leaves nothing checked
+// out.
+func NewSessionContext(ctx context.Context, src string, opts Options) (*Session, error) {
+	a, err := AnalyzeContext(ctx, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{opts: opts, src: src, inc: NewIncrementalWith(a, opts)}, nil
+}
+
+// EditContext is Edit with transactional failure semantics under
+// cancellation and fault injection:
+//
+//   - a parse/semantic error, or any failure before the maintained
+//     solution is touched (including the whole full-reanalysis path),
+//     leaves the session exactly as it was — same analysis, same
+//     source;
+//   - a failure after in-place mutation has begun falls back to full
+//     reanalysis; if that succeeds the edit still lands (mode
+//     EditFull);
+//   - if the fallback fails too, the session is marked broken: the old
+//     solution is unrecoverable (it was mutated) and every further
+//     edit returns ErrSessionBroken.
+//
+// EditContext never panics and never hands a half-updated solution to
+// a later read.
+func (s *Session) EditContext(ctx context.Context, newSrc string) (mode EditMode, err error) {
+	if s.broken {
+		return EditFull, ErrSessionBroken
+	}
+	prog, perr := sem.AnalyzeSource(newSrc)
+	if perr != nil {
+		return EditFull, fmt.Errorf("sideeffect: %w", perr)
+	}
+	prog = prog.Prune()
+	modAdds, useAdds, ok := ir.AdditiveDelta(s.inc.a.Prog, prog)
+	if !ok {
+		// Full path: the fresh analysis is built off to the side, so a
+		// failure here cannot touch the current solution.
+		return s.editFullCtx(ctx, prog, newSrc, false)
+	}
+	// Incremental path: from the rebase on, the maintained solution is
+	// being mutated in place, so every failure must recover through
+	// full reanalysis or break the session. The recover is load-bearing:
+	// fault points reached on this goroutine (rather than inside a
+	// panic-capturing worker pool) panic straight through the
+	// incremental machinery, and without it the half-mutated solution
+	// would be served as if the edit had never happened.
+	defer func() {
+		if rec := recover(); rec != nil {
+			// The panic tore the in-place update at an arbitrary point;
+			// the arenas must not be pooled when the fallback releases
+			// this analysis.
+			s.inc.a.poisonArenas()
+			var ferr error
+			mode, ferr = s.editFullCtx(ctx, prog, newSrc, true)
+			if ferr == nil {
+				err = nil
+				return
+			}
+			err = errors.Join(asPanicError(rec), ferr)
+		}
+	}()
+	s.inc.rebase(prog)
+	for _, d := range modAdds {
+		if _, err := s.inc.mod.AddLocalEffect(prog.Procs[d.Proc], prog.Vars[d.Var]); err != nil {
+			return s.editFullCtx(ctx, prog, newSrc, true)
+		}
+	}
+	for _, d := range useAdds {
+		if _, err := s.inc.use.AddLocalEffect(prog.Procs[d.Proc], prog.Vars[d.Var]); err != nil {
+			return s.editFullCtx(ctx, prog, newSrc, true)
+		}
+	}
+	if err := s.inc.a.refreshDerivedCtx(ctx, s.opts); err != nil {
+		var pe *batch.PanicError
+		if errors.As(err, &pe) {
+			// The panic tore a derived stage mid-carve; the arenas must
+			// not be pooled when the fallback releases this analysis.
+			s.inc.a.poisonArenas()
+		}
+		mode, ferr := s.editFullCtx(ctx, prog, newSrc, true)
+		if ferr == nil {
+			return mode, nil
+		}
+		return EditFull, errors.Join(err, ferr)
+	}
+	s.src = newSrc
+	return EditIncremental, nil
+}
+
+// editFullCtx replaces the session's analysis with a fresh one of prog.
+// mutated says whether the current solution has already been touched in
+// place: if so, a failure here is unrecoverable and breaks the session;
+// if not, failure leaves the session unchanged.
+func (s *Session) editFullCtx(ctx context.Context, prog *ir.Program, src string, mutated bool) (EditMode, error) {
+	a, err := AnalyzeProgramContext(ctx, prog, s.opts)
+	if err != nil {
+		if mutated {
+			s.broken = true
+			err = errors.Join(err, ErrSessionBroken)
+		}
+		return EditFull, err
+	}
+	old := s.inc.a
+	s.inc = NewIncrementalWith(a, s.opts)
+	s.src = src
+	old.Release()
+	return EditFull, nil
+}

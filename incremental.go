@@ -184,6 +184,9 @@ type Session struct {
 	opts Options
 	src  string
 	inc  *Incremental
+	// broken marks a session whose maintained solution was left
+	// inconsistent by a failed EditContext; see ErrSessionBroken.
+	broken bool
 }
 
 // NewSession parses, checks, and analyzes src and holds it open for
@@ -207,6 +210,9 @@ func (s *Session) Source() string { return s.src }
 // reanalysis otherwise. On a parse or semantic error the session is
 // left unchanged and the error is returned.
 func (s *Session) Edit(newSrc string) (EditMode, error) {
+	if s.broken {
+		return EditFull, ErrSessionBroken
+	}
 	prog, err := sem.AnalyzeSource(newSrc)
 	if err != nil {
 		return EditFull, fmt.Errorf("sideeffect: %w", err)

@@ -26,6 +26,7 @@ package arena
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sideeffect/internal/bitset"
 )
@@ -67,7 +68,28 @@ type Arena struct {
 	// Stats for allocation accounting in experiments.
 	Sets      int // sets carved
 	SlabBytes int // payload bytes held across all slabs
+
+	// poisoned marks an arena whose analysis panicked mid-flight: its
+	// bump cursors may be inconsistent and sets carved from it may
+	// have escaped to an unknown extent, so it must never re-enter the
+	// pool. See Poison.
+	poisoned bool
 }
+
+// Poison marks the arena as unsafe for reuse. The recovery path of a
+// panicked analysis calls this before unwinding: a later Put (e.g.
+// from a defensive Release on the error path) then drops the arena to
+// the collector instead of recycling its slabs, so no future analysis
+// can alias storage whose carve state is unknown. Nil-safe.
+func (a *Arena) Poison() {
+	if a != nil && !a.poisoned {
+		a.poisoned = true
+		poolStats.Poisoned.Add(1)
+	}
+}
+
+// Poisoned reports whether the arena was poisoned.
+func (a *Arena) Poisoned() bool { return a != nil && a.poisoned }
 
 func (a *Arena) hdr() *bitset.Set {
 	for len(a.hdrs) == 0 {
@@ -221,17 +243,66 @@ func (a *Arena) Reset() {
 // program pins.
 var pool = sync.Pool{New: func() any { return new(Arena) }}
 
+// PoolStats is a snapshot of the process-wide pool counters, for the
+// chaos harness's reuse-after-poison invariants.
+type PoolStats struct {
+	// Gets/Puts count pool checkouts and successful returns.
+	Gets, Puts int64
+	// Poisoned counts arenas marked unsafe by a panic recovery path.
+	Poisoned int64
+	// PoisonDropped counts Puts that were refused because the arena
+	// was poisoned (the arena went to the collector instead).
+	PoisonDropped int64
+	// PoisonedReuse counts poisoned arenas handed out by Get. The Put
+	// gate makes this impossible; a non-zero value is a bug, and the
+	// chaos soak asserts it stays zero.
+	PoisonedReuse int64
+}
+
+// poolStats holds the counters behind Stats as independent atomics.
+var poolStats struct {
+	Gets, Puts, Poisoned, PoisonDropped, PoisonedReuse atomic.Int64
+}
+
+// Stats snapshots the pool counters.
+func Stats() PoolStats {
+	return PoolStats{
+		Gets:          poolStats.Gets.Load(),
+		Puts:          poolStats.Puts.Load(),
+		Poisoned:      poolStats.Poisoned.Load(),
+		PoisonDropped: poolStats.PoisonDropped.Load(),
+		PoisonedReuse: poolStats.PoisonedReuse.Load(),
+	}
+}
+
 // Get returns an empty Arena, recycled from the pool when one is
 // available. Pair with Put when the sets carved from it are dead.
-func Get() *Arena { return pool.Get().(*Arena) }
+func Get() *Arena {
+	a := pool.Get().(*Arena)
+	if a.poisoned {
+		// Unreachable while Put holds its gate; replace defensively and
+		// let the chaos invariants surface the bug.
+		poolStats.PoisonedReuse.Add(1)
+		a = new(Arena)
+	}
+	poolStats.Gets.Add(1)
+	return a
+}
 
 // Put resets a and returns it to the pool. The caller must guarantee
 // that no set carved from a is still reachable: the slabs are handed
-// out again and stale sets would alias new ones.
+// out again and stale sets would alias new ones. Poisoned arenas are
+// dropped to the collector instead of pooled — after a panic the carve
+// state is unknown, and recycling it could alias a live analysis.
 func Put(a *Arena) {
 	if a == nil {
 		return
 	}
+	if a.poisoned {
+		poolStats.PoisonDropped.Add(1)
+		return
+	}
+	poolStats.Puts.Add(1)
 	a.Reset()
 	pool.Put(a)
 }

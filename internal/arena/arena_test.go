@@ -86,6 +86,44 @@ func TestBigRequestAndManySets(t *testing.T) {
 	}
 }
 
+func TestPoisonedArenaNeverPooled(t *testing.T) {
+	before := Stats()
+	a := Get()
+	a.Dense(128).Add(7)
+	a.Poison()
+	if !a.Poisoned() {
+		t.Fatal("Poison did not mark the arena")
+	}
+	a.Poison() // idempotent: counted once
+	Put(a)     // must be refused
+	after := Stats()
+	if got := after.PoisonDropped - before.PoisonDropped; got != 1 {
+		t.Fatalf("PoisonDropped delta = %d, want 1", got)
+	}
+	if got := after.Poisoned - before.Poisoned; got != 1 {
+		t.Fatalf("Poisoned delta = %d, want 1 (Poison must be idempotent)", got)
+	}
+	if after.Puts != before.Puts {
+		t.Fatal("poisoned arena was counted as a successful Put")
+	}
+	// Drain the pool: no Get may ever see a poisoned arena.
+	for i := 0; i < 64; i++ {
+		b := Get()
+		if b.Poisoned() {
+			t.Fatal("Get returned a poisoned arena")
+		}
+		Put(b)
+	}
+	if Stats().PoisonedReuse != 0 {
+		t.Fatal("PoisonedReuse is non-zero")
+	}
+	var nilA *Arena
+	nilA.Poison() // nil-safe
+	if nilA.Poisoned() {
+		t.Fatal("nil arena reports poisoned")
+	}
+}
+
 func TestReset(t *testing.T) {
 	var a Arena
 	for i := 0; i < 100; i++ {

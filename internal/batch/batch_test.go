@@ -1,9 +1,12 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersDefault(t *testing.T) {
@@ -69,6 +72,100 @@ func TestRunBoundsConcurrency(t *testing.T) {
 	Run(w, tasks)
 	if peak.Load() > w {
 		t.Errorf("observed %d concurrent tasks, want ≤ %d", peak.Load(), w)
+	}
+}
+
+func TestRunCtxCapturesPanics(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var ran atomic.Int64
+		tasks := []func(){
+			func() { ran.Add(1) },
+			func() { panic("boom") },
+			func() { ran.Add(1) },
+			func() { panic(errors.New("second")) },
+			func() { ran.Add(1) },
+		}
+		err := RunCtx(context.Background(), w, tasks)
+		if err == nil {
+			t.Fatalf("workers=%d: panics not reported", w)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %v is not a PanicError", w, err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError without stack", w)
+		}
+		if ran.Load() != 3 {
+			t.Errorf("workers=%d: independent tasks did not continue after panic: ran %d of 3", w, ran.Load())
+		}
+	}
+}
+
+func TestRunRepanicsOnCaller(t *testing.T) {
+	defer func() {
+		rec := recover()
+		pe, ok := rec.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", rec, rec)
+		}
+		if pe.Value != "worker bug" {
+			t.Fatalf("panic value = %v", pe.Value)
+		}
+	}()
+	Run(4, []func(){func() {}, func() { panic("worker bug") }})
+	t.Fatal("Run did not re-panic")
+}
+
+func TestRunCtxCancellationSkipsUndispatched(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var ran atomic.Int64
+	tasks := make([]func(), 40)
+	tasks[0] = func() {
+		close(started)
+		<-ctx.Done() // hold a worker until cancellation
+		ran.Add(1)
+	}
+	for i := 1; i < len(tasks); i++ {
+		tasks[i] = func() { ran.Add(1); time.Sleep(time.Millisecond) }
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := RunCtx(ctx, 2, tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == int64(len(tasks)) {
+		t.Fatal("cancellation did not skip any task")
+	}
+	// Sequential mode: already-cancelled context runs nothing.
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	var n atomic.Int64
+	err = RunCtx(cancelled, 1, []func(){func() { n.Add(1) }})
+	if !errors.Is(err, context.Canceled) || n.Load() != 0 {
+		t.Fatalf("sequential cancelled run: err=%v ran=%d", err, n.Load())
+	}
+}
+
+func TestMapCtxZeroesSkippedSlots(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 3, []int{1, 2, 3}, func(i, v int) int { return v * 10 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("out[%d] = %d, want zero for skipped slot", i, v)
+		}
+	}
+	out, err = MapCtx(context.Background(), 3, []int{1, 2, 3}, func(i, v int) int { return v * 10 })
+	if err != nil || out[0] != 10 || out[2] != 30 {
+		t.Fatalf("MapCtx = %v, %v", out, err)
 	}
 }
 

@@ -56,11 +56,38 @@ func (o Outcome) String() string {
 // another flight, and Evictions counts LRU removals.
 type Stats struct {
 	Hits, Misses, Dedups, Evictions int64
-	Entries                         int
+	// Corruptions counts entries the validation hook rejected: each was
+	// evicted on lookup and the access degraded to a miss, so a corrupt
+	// entry is recomputed rather than served.
+	Corruptions int64
+	Entries     int
 }
 
 // Cache is a bounded LRU of computed values keyed by content address.
 type Cache[V any] struct {
+	// Validate, when non-nil, is consulted on every lookup that would
+	// serve a stored value: if it reports false the entry is evicted,
+	// counted in Stats.Corruptions, and the access proceeds as a miss
+	// (Do recomputes; Get reports absence). It guards the serving layer
+	// against corrupted cached results — detection is cheap (an
+	// integrity hash check) next to serving a wrong answer. Set it
+	// before the cache is shared between goroutines; it is called with
+	// the cache lock held and must not call back into the cache.
+	Validate func(key string, val V) bool
+
+	// Acquire and Drop, when non-nil, let the caller reference-count
+	// stored values so resources (pooled arenas) can be reclaimed the
+	// moment the last user lets go. Acquire is called once for every
+	// reference handed out: to the cache itself when a value is stored,
+	// and to each caller a lookup serves (Get hits, Do hits, and Do
+	// dedup waiters — the Do leader keeps the reference its compute
+	// callback created). Drop is called when the cache releases its own
+	// reference: eviction, validation rejection, and replacement by Put.
+	// Both run with the cache lock held and must not call back into the
+	// cache. Set them before the cache is shared between goroutines.
+	Acquire func(val V)
+	Drop    func(val V)
+
 	mu       sync.Mutex
 	max      int
 	ll       *list.List // front = most recently used
@@ -75,9 +102,10 @@ type entry[V any] struct {
 }
 
 type flight[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	done    chan struct{}
+	waiters int // dedup callers sharing this flight, counted under mu
+	val     V
+	err     error
 }
 
 // New creates a cache holding at most maxEntries values. Requests for
@@ -101,13 +129,35 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		c.stats.Hits++
-		c.ll.MoveToFront(el)
-		return el.Value.(*entry[V]).val, true
+		if c.valid(el) {
+			c.stats.Hits++
+			c.ll.MoveToFront(el)
+			val := el.Value.(*entry[V]).val
+			if c.Acquire != nil {
+				c.Acquire(val)
+			}
+			return val, true
+		}
 	}
 	c.stats.Misses++
 	var zero V
 	return zero, false
+}
+
+// valid checks el against the validation hook under c.mu, evicting it
+// on rejection.
+func (c *Cache[V]) valid(el *list.Element) bool {
+	e := el.Value.(*entry[V])
+	if c.Validate == nil || c.Validate(e.key, e.val) {
+		return true
+	}
+	c.stats.Corruptions++
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	if c.Drop != nil {
+		c.Drop(e.val)
+	}
+	return false
 }
 
 // Put stores a value, evicting the least recently used entry if the
@@ -120,19 +170,32 @@ func (c *Cache[V]) Put(key string, val V) {
 	c.put(key, val)
 }
 
-// put inserts under c.mu.
+// put inserts under c.mu, taking the cache's own reference on val and
+// dropping the reference to whatever it displaces.
 func (c *Cache[V]) put(key string, val V) {
+	if c.Acquire != nil {
+		c.Acquire(val)
+	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*entry[V]).val = val
+		e := el.Value.(*entry[V])
+		old := e.val
+		e.val = val
 		c.ll.MoveToFront(el)
+		if c.Drop != nil {
+			c.Drop(old)
+		}
 		return
 	}
 	c.entries[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry[V]).key)
+		e := oldest.Value.(*entry[V])
+		delete(c.entries, e.key)
 		c.stats.Evictions++
+		if c.Drop != nil {
+			c.Drop(e.val)
+		}
 	}
 }
 
@@ -144,15 +207,19 @@ func (c *Cache[V]) put(key string, val V) {
 // parallel.
 func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error) {
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok && c.valid(el) {
 		c.stats.Hits++
 		c.ll.MoveToFront(el)
 		val := el.Value.(*entry[V]).val
+		if c.Acquire != nil {
+			c.Acquire(val)
+		}
 		c.mu.Unlock()
 		return val, Hit, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.stats.Dedups++
+		fl.waiters++
 		c.mu.Unlock()
 		<-fl.done
 		return fl.val, Dedup, fl.err
@@ -168,10 +235,38 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error)
 	delete(c.inflight, key)
 	if fl.err == nil {
 		c.put(key, fl.val)
+		// Waiters registered while the flight was inflight; none can
+		// join after its deletion above, so handing each its reference
+		// here (under the same lock) cannot race a late arrival. The
+		// leader keeps the reference compute created. On error no
+		// references exist and waiters must not touch the value.
+		if c.Acquire != nil {
+			for i := 0; i < fl.waiters; i++ {
+				c.Acquire(fl.val)
+			}
+		}
 	}
 	c.mu.Unlock()
 	close(fl.done)
 	return fl.val, Miss, fl.err
+}
+
+// Clear drops every cached entry (counting them as evictions), leaving
+// in-flight computations untouched. With a Drop hook installed this
+// releases the cache's reference to each value, so a quiesced server
+// can return pooled resources held by memoized results.
+func (c *Cache[V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[V])
+		delete(c.entries, e.key)
+		c.stats.Evictions++
+		if c.Drop != nil {
+			c.Drop(e.val)
+		}
+	}
+	c.ll.Init()
 }
 
 // Stats returns a snapshot of the counters.

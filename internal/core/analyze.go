@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"strings"
 
 	"sideeffect/internal/arena"
 	"sideeffect/internal/binding"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/callgraph"
+	"sideeffect/internal/faultinject"
 	"sideeffect/internal/ir"
 	"sideeffect/internal/prof"
 )
@@ -65,6 +68,12 @@ type Options struct {
 	// or mismatched Structure is ignored and the skeleton is built
 	// internally.
 	Structure *Structure
+	// Faults, when non-nil, injects deterministic faults at every
+	// stage boundary (sites "core.mod.gmod", "core.use.rmod", …) for
+	// chaos testing. Injected panics propagate after the arena is
+	// poisoned; injected errors abort the analysis through the same
+	// path as cancellation. Production runs leave this nil.
+	Faults *faultinject.Injector
 }
 
 // Analyze runs the complete pipeline of the paper for one problem
@@ -78,26 +87,88 @@ type Options struct {
 // for vectors of v words, matching the paper's O(N² + NE) when the
 // number of variables grows linearly with the program.
 func Analyze(prog *ir.Program, kind Kind, opts Options) *Result {
+	r, err := AnalyzeCtx(context.Background(), prog, kind, opts)
+	if err != nil {
+		// Unreachable without a cancellable context or a fault
+		// injector; callers that supply either use AnalyzeCtx.
+		panic(err)
+	}
+	return r
+}
+
+// AnalyzeCtx is Analyze with deadline propagation and fault isolation.
+// The context is consulted at every stage boundary (the stages are the
+// cost units of the paper's complexity argument, so a deadline is
+// honored within one linear sub-pass): a cancelled analysis stops,
+// returns its arena to the process-wide pool — no set has escaped yet,
+// so the slabs are clean — and reports ctx.Err(). Injected faults
+// (Options.Faults) surface the same way, except injected panics, which
+// propagate to the caller after the arena is poisoned so a recovery
+// layer can never recycle slabs whose carve state is unknown.
+func AnalyzeCtx(ctx context.Context, prog *ir.Program, kind Kind, opts Options) (_ *Result, err error) {
 	pfx := strings.ToLower(kind.String()) + "."
 	p := opts.Prof
-	if opts.Prune {
-		p.Do(pfx+"prune", func() { prog = prog.Prune() })
+	al := setAlloc{}
+	// Arena-safe recovery: a panic anywhere in the pipeline (injected
+	// or genuine) poisons the checked-out arena before unwinding. The
+	// panic itself still propagates — converting it to an error is the
+	// public layer's job — but the pool is protected no matter who
+	// recovers above us.
+	defer func() {
+		if rec := recover(); rec != nil {
+			al.ar.Poison()
+			// Route the poisoned arena through Put so the pool's
+			// accounting closes (Gets = Puts + PoisonDropped): Put
+			// refuses poisoned arenas, it only records the drop.
+			arena.Put(al.ar)
+			panic(rec)
+		}
+	}()
+	// step guards one stage: fault point first (so chaos runs can hit
+	// a stage even when the context is healthy), then the deadline.
+	step := func(stage string, f func()) bool {
+		if err == nil {
+			err = opts.Faults.At("core." + pfx + stage)
+		}
+		if err == nil && ctx != nil {
+			err = ctx.Err()
+		}
+		if err != nil {
+			return false
+		}
+		p.Do(pfx+stage, f)
+		return true
 	}
-	al := newSetAlloc(opts.Alloc, prog.NumVars())
+	if opts.Prune {
+		if !step("prune", func() { prog = prog.Prune() }) {
+			return nil, fmt.Errorf("core: %s analysis aborted: %w", pfx[:len(pfx)-1], err)
+		}
+	}
+	al = newSetAlloc(opts.Alloc, prog.NumVars())
 	r := &Result{Prog: prog, Kind: kind, Arena: al.ar}
 	st := opts.Structure
+	ok := true
 	if st == nil || st.Prog != prog {
 		st = &Structure{Prog: prog}
-		p.Do(pfx+"beta", func() { st.Beta = binding.Build(prog); st.BetaSCC = st.Beta.G.SCC() })
-		p.Do(pfx+"callgraph", func() { st.CG = callgraph.Build(prog); st.fillLevels() })
+		ok = ok && step("beta", func() { st.Beta = binding.Build(prog); st.BetaSCC = st.Beta.G.SCC() })
+		ok = ok && step("callgraph", func() { st.CG = callgraph.Build(prog); st.fillLevels() })
 	}
 	r.Beta, r.CG = st.Beta, st.CG
-	p.Do(pfx+"facts", func() { r.Facts = computeFacts(prog, kind, al) })
-	p.Do(pfx+"rmod", func() { r.RMOD = solveRMOD(st.Beta, r.Facts, st.BetaSCC) })
-	p.Do(pfx+"imod+", func() { r.IMODPlus = computeIMODPlus(r.Facts, r.RMOD, al) })
-	p.Do(pfx+"gmod", func() { r.GMOD, r.GMODStats = solveGMODMultiLevel(st, r.Facts, r.IMODPlus, al) })
-	p.Do(pfx+"dmod", func() { r.DMOD = computeDMOD(prog, r.RMOD, r.GMOD, r.Facts, al) })
-	return r
+	ok = ok && step("facts", func() { r.Facts = computeFacts(prog, kind, al) })
+	ok = ok && step("rmod", func() { r.RMOD = solveRMOD(st.Beta, r.Facts, st.BetaSCC) })
+	ok = ok && step("imod+", func() { r.IMODPlus = computeIMODPlus(r.Facts, r.RMOD, al) })
+	ok = ok && step("gmod", func() { r.GMOD, r.GMODStats = solveGMODMultiLevel(st, r.Facts, r.IMODPlus, al) })
+	ok = ok && step("dmod", func() { r.DMOD = computeDMOD(prog, r.RMOD, r.GMOD, r.Facts, al) })
+	if !ok {
+		// The aborted result never escaped: every set carved so far is
+		// private to this call, so the arena can recycle immediately.
+		if al.ar != nil {
+			r.Arena = nil
+			arena.Put(al.ar)
+		}
+		return nil, fmt.Errorf("core: %s analysis aborted: %w", pfx[:len(pfx)-1], err)
+	}
+	return r, nil
 }
 
 // Release returns the Result's arena to the process-wide pool for

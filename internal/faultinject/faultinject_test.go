@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// drainAt calls At n times, recovering panics, and tallies outcomes.
+func drainAt(in *Injector, site string, n int) (panics, errs int) {
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(*InjectedPanic); !ok {
+						panic(rec)
+					}
+					panics++
+				}
+			}()
+			if err := in.At(site); err != nil {
+				var ie *InjectedError
+				if !errors.As(err, &ie) {
+					panic("unexpected error type")
+				}
+				errs++
+			}
+		}()
+	}
+	return
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.At("x"); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	if in.Corrupt("x") {
+		t.Fatal("nil injector corrupted")
+	}
+	if in.Total() != 0 || in.Counts() != nil {
+		t.Fatal("nil injector counted")
+	}
+	if New(Config{Rate: 0}) != nil {
+		t.Fatal("zero rate must build a nil injector")
+	}
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	run := func() map[string]uint64 {
+		in := New(Config{Rate: 0.2, Seed: 42, Delay: time.Microsecond})
+		drainAt(in, "a", 500)
+		drainAt(in, "b", 500)
+		in.Corrupt("c")
+		return in.Counts()
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("no faults fired at rate 0.2 over 1000 draws")
+	}
+	if again := run(); !reflect.DeepEqual(first, again) {
+		t.Fatalf("same seed diverged:\n first %v\n again %v", first, again)
+	}
+	other := New(Config{Rate: 0.2, Seed: 43, Delay: time.Microsecond})
+	drainAt(other, "a", 500)
+	drainAt(other, "b", 500)
+	if reflect.DeepEqual(first, other.Counts()) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestRateIsRespected(t *testing.T) {
+	in := New(Config{Rate: 0.1, Seed: 7, Delay: time.Microsecond})
+	const n = 5000
+	drainAt(in, "site", n)
+	got := float64(in.Total()) / n
+	if got < 0.05 || got > 0.15 {
+		t.Fatalf("rate 0.1 fired %.3f of draws", got)
+	}
+}
+
+func TestKindFiltering(t *testing.T) {
+	// Error-only injector: At never panics, Corrupt never fires.
+	in := New(Config{Rate: 1, Seed: 1, Kinds: []Kind{KindError}})
+	panics, errs := drainAt(in, "s", 50)
+	if panics != 0 || errs != 50 {
+		t.Fatalf("error-only injector: %d panics, %d errors", panics, errs)
+	}
+	if in.Corrupt("s") {
+		t.Fatal("corrupt fired without KindCorrupt")
+	}
+	// Corrupt-only injector: At is inert, Corrupt always fires.
+	in = New(Config{Rate: 1, Seed: 1, Kinds: []Kind{KindCorrupt}})
+	if err := in.At("s"); err != nil {
+		t.Fatalf("corrupt-only injector errored At: %v", err)
+	}
+	if !in.Corrupt("s") {
+		t.Fatal("corrupt-only injector did not corrupt at rate 1")
+	}
+}
+
+func TestSummaryAndKindNames(t *testing.T) {
+	in := New(Config{Rate: 1, Seed: 3, Kinds: []Kind{KindError}})
+	drainAt(in, "a", 2)
+	if got := in.Summary(); got != "a/error=2" {
+		t.Fatalf("summary = %q", got)
+	}
+	for k, want := range map[Kind]string{KindPanic: "panic", KindError: "error", KindDelay: "delay", KindCorrupt: "corrupt"} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"net/http"
 
 	"sideeffect"
+	"sideeffect/internal/batch"
 	"sideeffect/internal/cache"
 	"sideeffect/internal/lint"
 )
@@ -63,10 +66,16 @@ func (req *lintRequest) lintConfig() (lint.Config, *apiError) {
 
 // buildLintResponse runs the engine over a completed analysis and
 // assembles the wire form, recording per-rule finding counts in the
-// metrics. file names the artifact in rendered output.
-func (s *Server) buildLintResponse(a *sideeffect.Analysis, file string, cfg lint.Config, format string) (*lintResponse, *apiError) {
-	rep, err := a.Lint(cfg)
+// metrics. file names the artifact in rendered output. A panic in a
+// lint rule comes back as a structured internal error, never across
+// the HTTP boundary.
+func (s *Server) buildLintResponse(ctx context.Context, a *sideeffect.Analysis, file string, cfg lint.Config, format string) (*lintResponse, *apiError) {
+	rep, err := a.LintContext(ctx, cfg)
 	if err != nil {
+		var pe *batch.PanicError
+		if errors.As(err, &pe) || ctx.Err() != nil {
+			return nil, errFrom(err)
+		}
 		return nil, errBadRequest("%v", err)
 	}
 	s.met.lintFindings(rep.Counts)
@@ -116,7 +125,8 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) (int, any, *
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}
-	resp, apiErr := s.buildLintResponse(entry.a, "source.mpl", cfg, req.Format)
+	defer entry.release()
+	resp, apiErr := s.buildLintResponse(r.Context(), entry.a, "source.mpl", cfg, req.Format)
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}
@@ -156,7 +166,10 @@ func (s *Server) handleSessionLint(w http.ResponseWriter, r *http.Request) (int,
 	if r.Context().Err() != nil {
 		return 0, nil, errTimeout()
 	}
-	resp, apiErr := s.buildLintResponse(open.sess.Analysis(), open.id+".mpl", cfg, req.Format)
+	if open.sess.Broken() {
+		return 0, nil, errSessionBroken()
+	}
+	resp, apiErr := s.buildLintResponse(r.Context(), open.sess.Analysis(), open.id+".mpl", cfg, req.Format)
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}

@@ -80,6 +80,12 @@ type metrics struct {
 	// stageSecs accumulates profiled pipeline wall time per stage
 	// name, across every cache-miss analysis.
 	stageSecs map[string]float64
+	// failures counts structured error responses by error code,
+	// panics counts handler panics isolated by the route plumbing, and
+	// degraded counts analyses served by the sequential fallback.
+	failures map[string]int64
+	panics   int64
+	degraded int64
 }
 
 func newMetrics() *metrics {
@@ -89,7 +95,26 @@ func newMetrics() *metrics {
 		lintHits:  make(map[string]int64),
 		latency:   newHistogram(),
 		stageSecs: make(map[string]float64),
+		failures:  make(map[string]int64),
 	}
+}
+
+func (m *metrics) failure(code string) {
+	m.mu.Lock()
+	m.failures[code]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+func (m *metrics) degradedRetry() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
 }
 
 // observeStages folds one profiled analysis run into the per-stage
@@ -138,10 +163,23 @@ func (m *metrics) analysisQuantile(q float64) float64 {
 	return m.latency.quantile(q)
 }
 
+// robustnessStats carries the serving-layer resilience gauges and
+// counters into render: admission-control state, fault-injection
+// totals, and the degradation ladder's usage.
+type robustnessStats struct {
+	// inFlight is the current admission gauge (-1 = unlimited/untracked).
+	inFlight int
+	queued   int64
+	shed     int64
+	// faults is the injector's per-"site/kind" count map (nil when
+	// fault injection is disarmed).
+	faults map[string]uint64
+}
+
 // render produces the Prometheus text exposition of every counter,
 // deterministically ordered. cs is the cache's counter snapshot and
 // sessionsOpen the current session gauge.
-func (m *metrics) render(cs cache.Stats, sessionsOpen int) string {
+func (m *metrics) render(cs cache.Stats, sessionsOpen int, rs robustnessStats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -170,6 +208,9 @@ func (m *metrics) render(cs cache.Stats, sessionsOpen int) string {
 	fmt.Fprintf(&b, "modand_cache_evictions_total %d\n", cs.Evictions)
 	b.WriteString("# TYPE modand_cache_entries gauge\n")
 	fmt.Fprintf(&b, "modand_cache_entries %d\n", cs.Entries)
+	b.WriteString("# HELP modand_cache_corruptions_total Cache entries evicted by the integrity validator.\n")
+	b.WriteString("# TYPE modand_cache_corruptions_total counter\n")
+	fmt.Fprintf(&b, "modand_cache_corruptions_total %d\n", cs.Corruptions)
 
 	b.WriteString("# TYPE modand_sessions_open gauge\n")
 	fmt.Fprintf(&b, "modand_sessions_open %d\n", sessionsOpen)
@@ -191,6 +232,48 @@ func (m *metrics) render(cs cache.Stats, sessionsOpen int) string {
 	sort.Strings(rules)
 	for _, rule := range rules {
 		fmt.Fprintf(&b, "modand_lint_findings_total{rule=%q} %d\n", rule, m.lintHits[rule])
+	}
+
+	b.WriteString("# HELP modand_errors_total Structured error responses by error code.\n")
+	b.WriteString("# TYPE modand_errors_total counter\n")
+	codes := make([]string, 0, len(m.failures))
+	for code := range m.failures {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Fprintf(&b, "modand_errors_total{code=%q} %d\n", code, m.failures[code])
+	}
+	b.WriteString("# HELP modand_panics_total Handler panics isolated by the request plumbing.\n")
+	b.WriteString("# TYPE modand_panics_total counter\n")
+	fmt.Fprintf(&b, "modand_panics_total %d\n", m.panics)
+	b.WriteString("# HELP modand_degraded_total Analyses served by the sequential fallback after a captured panic.\n")
+	b.WriteString("# TYPE modand_degraded_total counter\n")
+	fmt.Fprintf(&b, "modand_degraded_total %d\n", m.degraded)
+
+	b.WriteString("# HELP modand_shed_total Requests shed by admission control (queue overflow or deadline while queued).\n")
+	b.WriteString("# TYPE modand_shed_total counter\n")
+	fmt.Fprintf(&b, "modand_shed_total %d\n", rs.shed)
+	if rs.inFlight >= 0 {
+		b.WriteString("# TYPE modand_inflight gauge\n")
+		fmt.Fprintf(&b, "modand_inflight %d\n", rs.inFlight)
+	}
+	b.WriteString("# TYPE modand_queue_depth gauge\n")
+	fmt.Fprintf(&b, "modand_queue_depth %d\n", rs.queued)
+
+	b.WriteString("# HELP modand_faults_injected_total Deterministic faults injected, by site and kind.\n")
+	b.WriteString("# TYPE modand_faults_injected_total counter\n")
+	sites := make([]string, 0, len(rs.faults))
+	for sk := range rs.faults {
+		sites = append(sites, sk)
+	}
+	sort.Strings(sites)
+	for _, sk := range sites {
+		site, kind := sk, ""
+		if i := strings.LastIndex(sk, "/"); i >= 0 {
+			site, kind = sk[:i], sk[i+1:]
+		}
+		fmt.Fprintf(&b, "modand_faults_injected_total{site=%q,kind=%q} %d\n", site, kind, rs.faults[sk])
 	}
 
 	b.WriteString("# HELP modand_stage_seconds_total Analysis pipeline wall time by stage, from profiled cache-miss computations.\n")

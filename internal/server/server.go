@@ -30,11 +30,17 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sideeffect"
+	"sideeffect/internal/batch"
 	"sideeffect/internal/cache"
+	"sideeffect/internal/core"
+	"sideeffect/internal/faultinject"
 	"sideeffect/internal/report"
 )
 
@@ -59,6 +65,22 @@ type Config struct {
 	// MaxBatchSources bounds the number of sources per /batch request
 	// (default 256).
 	MaxBatchSources int
+	// MaxInFlight bounds the analysis-bearing requests executing at
+	// once (default 32, -1 = unlimited). Requests beyond it wait in the
+	// admission queue.
+	MaxInFlight int
+	// MaxQueue bounds the requests waiting for an admission slot
+	// (default 64, -1 = unlimited). Requests beyond it are shed with
+	// 429 and a Retry-After header instead of piling onto a saturated
+	// server.
+	MaxQueue int
+	// FaultRate, when positive, arms deterministic fault injection at
+	// probability FaultRate per fault point, both in the request
+	// plumbing and through the analysis pipeline. Chaos testing only.
+	FaultRate float64
+	// FaultSeed seeds the injector; the same seed and request sequence
+	// replays the same faults.
+	FaultSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +99,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchSources == 0 {
 		c.MaxBatchSources = 256
 	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 32
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
 	return c
 }
 
@@ -85,11 +113,119 @@ func (c Config) withDefaults() Config {
 // hash and must be treated as immutable (sessions, which mutate their
 // analyses, never go through the cache).
 type cached struct {
-	a        *sideeffect.Analysis
+	a *sideeffect.Analysis
+	// sum is the integrity fingerprint taken when the entry was built;
+	// the cache's validation hook recomputes it on every hit and evicts
+	// entries whose stored analysis no longer matches, so a corrupted
+	// entry costs a recompute instead of serving a wrong answer.
+	sum uint64
+	// refs counts the entry's users: the cache's own reference plus one
+	// per request currently reading the entry. The analysis's pooled
+	// arenas go back to the pool when the last reference releases, so
+	// an entry evicted (or displaced, or rejected as corrupt) while a
+	// request still reads it stays alive exactly until that request
+	// finishes.
+	refs     atomic.Int64
 	jsonOnce sync.Once
 	json     *report.JSONReport
 	textOnce sync.Once
 	text     string
+}
+
+func (e *cached) acquire() { e.refs.Add(1) }
+
+// release returns one reference; the last one recycles the analysis's
+// arenas. Nil-safe so error paths can release unconditionally.
+func (e *cached) release() {
+	if e == nil {
+		return
+	}
+	if e.refs.Add(-1) == 0 {
+		e.a.Release()
+	}
+}
+
+// fingerprint folds the analysis's summary-set cardinalities into one
+// word. It is deliberately cheap — O(procedures) — because it runs on
+// every cache hit: enough to catch a flipped or truncated bit vector,
+// not a cryptographic commitment.
+func fingerprint(a *sideeffect.Analysis) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) { h ^= x; h *= 1099511628211 }
+	for _, p := range a.Prog.Procs {
+		mix(uint64(a.Mod.GMOD[p.ID].Len()))
+		mix(uint64(a.Use.GMOD[p.ID].Len()))
+	}
+	mix(uint64(len(a.ModSets)))
+	mix(uint64(len(a.UseSets)))
+	return h
+}
+
+// newCached wraps a freshly computed analysis, with the creator holding
+// the first reference.
+func newCached(a *sideeffect.Analysis) *cached {
+	e := &cached{a: a, sum: fingerprint(a)}
+	e.refs.Store(1)
+	return e
+}
+
+// admission is the load-shedding gate in front of every
+// analysis-bearing endpoint: at most maxInFlight requests compute at
+// once, at most maxQueue more wait for a slot, and the rest are shed
+// immediately with 429 — a saturated server stays responsive instead of
+// stacking unbounded goroutines behind the worker pool.
+type admission struct {
+	sem      chan struct{} // nil = unlimited
+	maxQueue int64         // <0 = unlimited
+	queued   atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	ad := &admission{maxQueue: int64(maxQueue)}
+	if maxInFlight > 0 {
+		ad.sem = make(chan struct{}, maxInFlight)
+	}
+	return ad
+}
+
+// acquire blocks until a slot frees, the queue overflows (shed), or ctx
+// expires. A nil return means the caller holds a slot and must release.
+func (ad *admission) acquire(ctx context.Context) *apiError {
+	if ad.sem == nil {
+		return nil
+	}
+	select {
+	case ad.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if n := ad.queued.Add(1); ad.maxQueue >= 0 && n > ad.maxQueue {
+		ad.queued.Add(-1)
+		ad.shed.Add(1)
+		return errOverloaded()
+	}
+	defer ad.queued.Add(-1)
+	select {
+	case ad.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		ad.shed.Add(1)
+		return errTimeout()
+	}
+}
+
+func (ad *admission) release() {
+	if ad.sem != nil {
+		<-ad.sem
+	}
+}
+
+func (ad *admission) inFlight() int {
+	if ad.sem == nil {
+		return -1
+	}
+	return len(ad.sem)
 }
 
 func (e *cached) jsonReport() *report.JSONReport {
@@ -109,6 +245,8 @@ func (e *cached) textReport() string {
 type Server struct {
 	cfg      Config
 	opts     sideeffect.Options
+	faults   *faultinject.Injector
+	adm      *admission
 	cache    *cache.Cache[*cached]
 	sessions *sessionStore
 	met      *metrics
@@ -118,21 +256,40 @@ type Server struct {
 // New builds a server with its routes registered.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	faults := faultinject.New(faultinject.Config{Rate: cfg.FaultRate, Seed: cfg.FaultSeed})
 	s := &Server{
 		cfg:      cfg,
-		opts:     sideeffect.Options{Workers: cfg.Workers},
+		opts:     sideeffect.Options{Workers: cfg.Workers, Faults: faults},
+		faults:   faults,
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		cache:    cache.New[*cached](cfg.CacheEntries),
 		sessions: newSessionStore(cfg.MaxSessions),
 		met:      newMetrics(),
 	}
+	// The validation hook guards every cache hit; the "cache.entry"
+	// fault point simulates corruption so chaos runs exercise the
+	// evict-and-recompute path.
+	s.cache.Validate = func(_ string, e *cached) bool {
+		if s.faults.Corrupt("cache.entry") {
+			return false
+		}
+		return fingerprint(e.a) == e.sum
+	}
+	// Reference-count entries through the cache's lifecycle hooks so an
+	// analysis's arenas return to the pool the moment its last user —
+	// the cache on evict/corrupt/replace, or the final in-flight reader
+	// — lets go. Without this, every displaced entry stranded its two
+	// result arenas.
+	s.cache.Acquire = func(e *cached) { e.acquire() }
+	s.cache.Drop = func(e *cached) { e.release() }
 	s.mux = http.NewServeMux()
-	s.route("POST /analyze", "/analyze", s.handleAnalyze)
-	s.route("POST /batch", "/batch", s.handleBatch)
-	s.route("POST /lint", "/lint", s.handleLint)
-	s.route("POST /session/{id}/lint", "/session/{id}/lint", s.handleSessionLint)
-	s.route("POST /session", "/session", s.handleSessionCreate)
+	s.routeHeavy("POST /analyze", "/analyze", s.handleAnalyze)
+	s.routeHeavy("POST /batch", "/batch", s.handleBatch)
+	s.routeHeavy("POST /lint", "/lint", s.handleLint)
+	s.routeHeavy("POST /session/{id}/lint", "/session/{id}/lint", s.handleSessionLint)
+	s.routeHeavy("POST /session", "/session", s.handleSessionCreate)
 	s.route("GET /session/{id}", "/session/{id}", s.handleSessionGet)
-	s.route("POST /session/{id}/edit", "/session/{id}/edit", s.handleSessionEdit)
+	s.routeHeavy("POST /session/{id}/edit", "/session/{id}/edit", s.handleSessionEdit)
 	s.route("DELETE /session/{id}", "/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +313,9 @@ type apiError struct {
 	Status  int    `json:"status"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfter, when positive, is sent as a Retry-After header (shed
+	// responses carry it so well-behaved clients back off).
+	RetryAfter int `json:"-"`
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -186,21 +346,82 @@ func errSessionLimit(max int) *apiError {
 		Message: fmt.Sprintf("session table is full (%d open); DELETE one first", max)}
 }
 
+func errOverloaded() *apiError {
+	return &apiError{Status: http.StatusTooManyRequests, Code: "overloaded",
+		Message:    "server is at capacity and the admission queue is full; retry later",
+		RetryAfter: 1}
+}
+
+func errInternal(err error) *apiError {
+	return &apiError{Status: http.StatusInternalServerError, Code: "internal",
+		Message: fmt.Sprintf("internal error: %v", err)}
+}
+
+func errFaultInjected(err error) *apiError {
+	return &apiError{Status: http.StatusInternalServerError, Code: "fault_injected", Message: err.Error()}
+}
+
+func errSessionBroken() *apiError {
+	return &apiError{Status: http.StatusConflict, Code: "session_poisoned",
+		Message: "a failed edit left this session inconsistent; DELETE it and recreate"}
+}
+
+// errFrom classifies a hardened-pipeline error into the structured
+// vocabulary: cancellation → timeout, injected faults → fault_injected,
+// captured panics → internal, broken sessions → session_poisoned, and
+// everything else (parse/semantic failures) → analysis_failed.
+func errFrom(err error) *apiError {
+	var (
+		inj *faultinject.InjectedError
+		pe  *batch.PanicError
+	)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return errTimeout()
+	case errors.Is(err, sideeffect.ErrSessionBroken):
+		return errSessionBroken()
+	case errors.As(err, &inj):
+		return errFaultInjected(err)
+	case errors.As(err, &pe):
+		return errInternal(err)
+	default:
+		return errAnalysis(err)
+	}
+}
+
 // handlerFunc is a route body: it returns the status and response
 // value, or an apiError.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (int, any, *apiError)
 
 // route registers fn under pattern with the shared plumbing: a request
-// body size limit, a per-request timeout context, request counting by
-// endpoint label, and structured error rendering.
+// body size limit, a per-request timeout context, per-request panic
+// isolation (a panicking handler answers with a structured 500, and
+// the goroutine — which belongs to net/http, not a worker pool —
+// survives), a fault point named after the endpoint, request counting
+// by endpoint label, and structured error rendering.
 func (s *Server) route(pattern, label string, fn handlerFunc) {
+	s.routeWith(pattern, label, fn, false)
+}
+
+// routeHeavy is route behind the admission gate: the handler computes
+// (or may compute), so it must hold an in-flight slot. Requests beyond
+// MaxInFlight wait, requests beyond MaxQueue are shed with 429.
+func (s *Server) routeHeavy(pattern, label string, fn handlerFunc) {
+	s.routeWith(pattern, label, fn, true)
+}
+
+func (s *Server) routeWith(pattern, label string, fn handlerFunc, heavy bool) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
-		status, body, apiErr := fn(w, r.WithContext(ctx))
+		status, body, apiErr := s.serve(ctx, label, heavy, fn, w, r)
 		if apiErr != nil {
 			status = apiErr.Status
+			s.met.failure(apiErr.Code)
+			if apiErr.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(apiErr.RetryAfter))
+			}
 			writeJSON(w, status, map[string]*apiError{"error": apiErr})
 		} else {
 			writeJSON(w, status, body)
@@ -208,6 +429,44 @@ func (s *Server) route(pattern, label string, fn handlerFunc) {
 		s.met.request(label, status)
 	})
 }
+
+// serve runs one request body under admission control, the endpoint
+// fault point, and panic isolation.
+func (s *Server) serve(ctx context.Context, label string, heavy bool, fn handlerFunc, w http.ResponseWriter, r *http.Request) (status int, body any, apiErr *apiError) {
+	if heavy {
+		if apiErr := s.adm.acquire(ctx); apiErr != nil {
+			return 0, nil, apiErr
+		}
+		defer s.adm.release()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panicked()
+			if ip, ok := rec.(*faultinject.InjectedPanic); ok {
+				status, body, apiErr = 0, nil, &apiError{
+					Status: http.StatusInternalServerError, Code: "fault_injected", Message: ip.String(),
+				}
+				return
+			}
+			pe, ok := rec.(*batch.PanicError)
+			if !ok {
+				pe = &batch.PanicError{Value: rec, Stack: debug.Stack()}
+			}
+			status, body, apiErr = 0, nil, errInternal(pe)
+		}
+	}()
+	// The endpoint fault point: an injected panic exercises the
+	// recovery above, an injected error the structured-500 path.
+	if err := s.faults.At("server" + label); err != nil {
+		return 0, nil, errFaultInjected(err)
+	}
+	return fn(w, r.WithContext(ctx))
+}
+
+// FaultCounts reports the injector's per-site/kind fault counts (nil
+// when fault injection is disarmed). Used by the chaos harness to
+// assert determinism.
+func (s *Server) FaultCounts() map[string]uint64 { return s.faults.Counts() }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -234,44 +493,47 @@ func (s *Server) decodeJSON(r *http.Request, v any) *apiError {
 
 // analyzeCached resolves src through the cache under the request
 // context: a hit returns immediately; a miss computes on the worker
-// options; concurrent identical requests share one computation. On
-// context expiry the request fails with the timeout error while the
-// computation (if this request was its leader) finishes in the
-// background and still populates the cache.
+// options with the deadline threaded through every pipeline stage;
+// concurrent identical requests share one computation. A miss whose
+// first attempt dies with a captured panic is retried once in degraded
+// mode (sequential, dense allocation, nothing pooled) before the
+// request fails. The computation runs on the request's own goroutine —
+// a cancelled request stops at the next stage boundary, releases its
+// arena, and frees its admission slot; nothing is left running in the
+// background. Dedup waiters share the leader's outcome, errors
+// included; errors are never cached, so the next request retries.
+// On success the caller owns one reference on the returned entry and
+// must release it when done reading.
 func (s *Server) analyzeCached(ctx context.Context, src string) (*cached, string, cache.Outcome, *apiError) {
 	key := cache.Key(src)
-	type result struct {
-		entry   *cached
-		outcome cache.Outcome
-		err     error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		entry, outcome, err := s.cache.Do(key, func() (*cached, error) {
-			start := time.Now()
-			// Cache misses run profiled so /metrics can attribute
-			// analysis time to pipeline stages.
-			popts := s.opts
-			popts.Profile = true
-			a, err := sideeffect.AnalyzeWith(src, popts)
+	entry, outcome, err := s.cache.Do(key, func() (*cached, error) {
+		start := time.Now()
+		// Cache misses run profiled so /metrics can attribute analysis
+		// time to pipeline stages.
+		popts := s.opts
+		popts.Profile = true
+		a, err := sideeffect.AnalyzeContext(ctx, src, popts)
+		if err != nil {
+			var pe *batch.PanicError
+			if !errors.As(err, &pe) || ctx.Err() != nil {
+				return nil, err
+			}
+			a, err = sideeffect.AnalyzeContext(ctx, src, sideeffect.Options{
+				Sequential: true, Alloc: core.AllocDense, Profile: true, Faults: s.opts.Faults,
+			})
 			if err != nil {
 				return nil, err
 			}
-			s.met.observeAnalysis(time.Since(start).Seconds())
-			s.met.observeStages(a.Stages.Snapshot())
-			return &cached{a: a}, nil
-		})
-		ch <- result{entry, outcome, err}
-	}()
-	select {
-	case <-ctx.Done():
-		return nil, key, 0, errTimeout()
-	case res := <-ch:
-		if res.err != nil {
-			return nil, key, res.outcome, errAnalysis(res.err)
+			s.met.degradedRetry()
 		}
-		return res.entry, key, res.outcome, nil
+		s.met.observeAnalysis(time.Since(start).Seconds())
+		s.met.observeStages(a.Stages.Snapshot())
+		return newCached(a), nil
+	})
+	if err != nil {
+		return nil, key, outcome, errFrom(err)
 	}
+	return entry, key, outcome, nil
 }
 
 // analyzeRequest is the /analyze body. Query is optional; without it
@@ -312,6 +574,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (int, any
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}
+	defer entry.release()
 	resp := analyzeResponse{Hash: key, Cached: outcome == cache.Hit}
 	if req.Query == nil || req.Query.Kind == "" {
 		resp.Report = entry.jsonReport()
@@ -353,6 +616,9 @@ type batchEntry struct {
 	Cached bool               `json:"cached"`
 	Report *report.JSONReport `json:"report,omitempty"`
 	Error  string             `json:"error,omitempty"`
+	// Degraded marks an entry served by the sequential fallback after
+	// its first attempt died with a captured panic.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
@@ -366,20 +632,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, any, 
 	if len(req.Sources) > s.cfg.MaxBatchSources {
 		return 0, nil, errBadRequest("%d sources exceed the per-batch limit of %d", len(req.Sources), s.cfg.MaxBatchSources)
 	}
-	done := make(chan []batchEntry, 1)
-	go func() { done <- s.runBatch(req.Sources) }()
-	select {
-	case <-r.Context().Done():
-		return 0, nil, errTimeout()
-	case entries := <-done:
-		return http.StatusOK, map[string][]batchEntry{"results": entries}, nil
-	}
+	return http.StatusOK, map[string][]batchEntry{"results": s.runBatch(r.Context(), req.Sources)}, nil
 }
 
 // runBatch resolves every source, serving repeats and warm entries
-// from the cache and fanning the rest out over AnalyzeAll's bounded
-// pool.
-func (s *Server) runBatch(sources []string) []batchEntry {
+// from the cache and fanning the rest out over the hardened batch
+// pipeline on the request's own goroutine. Cancellation propagates:
+// undispatched sources come back with the timeout error, running ones
+// stop at their next stage boundary, arenas drain, and the worker pool
+// is free when this returns — a cancelled batch cannot strand workers.
+func (s *Server) runBatch(ctx context.Context, sources []string) []batchEntry {
 	entries := make([]batchEntry, len(sources))
 	var missSrcs []string
 	missAt := make(map[string]int) // key → index into missSrcs
@@ -389,6 +651,7 @@ func (s *Server) runBatch(sources []string) []batchEntry {
 		if e, ok := s.cache.Get(key); ok {
 			entries[i].Cached = true
 			entries[i].Report = e.jsonReport()
+			e.release()
 			continue
 		}
 		if _, dup := missAt[key]; !dup {
@@ -400,36 +663,55 @@ func (s *Server) runBatch(sources []string) []batchEntry {
 		return entries
 	}
 	start := time.Now()
-	results := sideeffect.AnalyzeAll(missSrcs, s.opts)
+	results := sideeffect.AnalyzeAllContext(ctx, missSrcs, s.opts)
 	s.met.observeAnalysis(time.Since(start).Seconds())
 	fresh := make(map[string]*cached, len(results))
 	for j, res := range results {
 		key := cache.Key(missSrcs[j])
 		if res.Err == nil {
-			e := &cached{a: res.Analysis}
+			e := newCached(res.Analysis)
 			fresh[key] = e
 			s.cache.Put(key, e)
+			if res.Degraded {
+				s.met.degradedRetry()
+			}
 		}
 	}
-	for i, src := range sources {
+	// The creator references on fresh entries are released after the
+	// response rows are filled; the cache's own references keep the
+	// entries alive for later requests.
+	defer func() {
+		for _, e := range fresh {
+			e.release()
+		}
+	}()
+	for i := range sources {
 		if entries[i].Report != nil || entries[i].Error != "" {
 			continue
 		}
 		key := entries[i].Hash
-		if e, ok := fresh[key]; ok {
-			entries[i].Report = e.jsonReport()
-		} else if j, ok := missAt[key]; ok {
-			entries[i].Error = results[j].Err.Error()
-		} else {
+		j, queued := missAt[key]
+		switch {
+		case !queued:
 			// Unreachable: every non-cached source was queued.
 			entries[i].Error = fmt.Sprintf("internal: source %d not analyzed", i)
+		case results[j].Err != nil:
+			entries[i].Error = results[j].Err.Error()
+		default:
+			entries[i].Report = fresh[key].jsonReport()
+			entries[i].Degraded = results[j].Degraded
 		}
-		_ = src
 	}
 	return entries
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.met.render(s.cache.Stats(), s.sessions.open()))
+	rs := robustnessStats{
+		inFlight: s.adm.inFlight(),
+		queued:   s.adm.queued.Load(),
+		shed:     s.adm.shed.Load(),
+		faults:   s.faults.Counts(),
+	}
+	fmt.Fprint(w, s.met.render(s.cache.Stats(), s.sessions.open(), rs))
 }

@@ -123,12 +123,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) (in
 	if req.Source == "" {
 		return 0, nil, errBadRequest("missing \"source\"")
 	}
-	if r.Context().Err() != nil {
-		return 0, nil, errTimeout()
-	}
-	sess, err := sideeffect.NewSession(req.Source, s.opts)
+	sess, err := sideeffect.NewSessionContext(r.Context(), req.Source, s.opts)
 	if err != nil {
-		return 0, nil, errAnalysis(err)
+		return 0, nil, errFrom(err)
 	}
 	open, ok := s.sessions.add(sess)
 	if !ok {
@@ -146,6 +143,9 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) (int, 
 	}
 	open.mu.Lock()
 	defer open.mu.Unlock()
+	if open.sess.Broken() {
+		return 0, nil, errSessionBroken()
+	}
 	return http.StatusOK, open.state("", true), nil
 }
 
@@ -170,12 +170,9 @@ func (s *Server) handleSessionEdit(w http.ResponseWriter, r *http.Request) (int,
 	}
 	open.mu.Lock()
 	defer open.mu.Unlock()
-	if r.Context().Err() != nil {
-		return 0, nil, errTimeout()
-	}
-	mode, err := open.sess.Edit(req.Source)
+	mode, err := open.sess.EditContext(r.Context(), req.Source)
 	if err != nil {
-		return 0, nil, errAnalysis(err)
+		return 0, nil, errFrom(err)
 	}
 	open.edits++
 	if mode == sideeffect.EditIncremental {

@@ -28,6 +28,7 @@ import (
 	"sideeffect/internal/batch"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/core"
+	"sideeffect/internal/faultinject"
 	"sideeffect/internal/ir"
 	"sideeffect/internal/lang/sem"
 	"sideeffect/internal/prof"
@@ -56,6 +57,14 @@ type Options struct {
 	// sequential run, allocation counts) in Analysis.Stages and tags
 	// each stage's execution with a pprof "stage" label.
 	Profile bool
+	// Faults, when non-nil, injects deterministic seed-driven faults at
+	// the pipeline's stage boundaries for chaos testing (see
+	// internal/faultinject). Only the context-aware entry points
+	// (AnalyzeContext and friends) honor it: they convert injected
+	// panics into errors after poisoning any affected arena, so a
+	// faulted run never corrupts pooled storage. Production runs leave
+	// this nil.
+	Faults *faultinject.Injector
 }
 
 // workers resolves the options to a concrete positive worker count.
@@ -201,6 +210,10 @@ func (a *Analysis) Release() {
 type BatchResult struct {
 	Analysis *Analysis
 	Err      error
+	// Degraded reports that the first attempt failed with a captured
+	// panic and the Analysis came from AnalyzeAllContext's fallback
+	// retry (sequential, dense allocation, no pooled storage).
+	Degraded bool
 }
 
 // AnalyzeAll analyzes many source texts concurrently on a bounded

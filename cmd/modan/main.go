@@ -49,9 +49,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		jobs      = fs.Int("j", 0, "worker-pool size for multi-file batches and in-analysis stage parallelism (0 = GOMAXPROCS, 1 = fully sequential)")
 		faults    = fs.Float64("faults", 0, "chaos-testing fault probability per pipeline fault point (0 = off)")
 		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed; same seed + inputs replays the same faults")
+		lang      = fs.String("lang", "minipl", "input language: minipl (files) or go (package patterns, directories, or .go files)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modan [flags] <file.mpl... | ->\n")
+		fmt.Fprintf(stderr, "       modan -lang=go [flags] <./pkg/... | dir | file.go>...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +92,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if !any {
 			fmt.Fprint(w, a.Report())
 		}
+	}
+
+	// Go mode: targets are package patterns; each package prints its
+	// report (or selected parts) plus the lowering-confidence table
+	// under a header, in package-path order.
+	if *lang == "go" {
+		if *dot != "" || *format || *asJSON {
+			fmt.Fprintf(stderr, "modan: -dot, -fmt, and -json apply to MiniPL inputs only\n")
+			return 2
+		}
+		results, err := sideeffect.AnalyzeGoPackages(fs.Args(), opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "modan: %v\n", err)
+			return 1
+		}
+		for _, r := range results {
+			if len(results) > 1 {
+				fmt.Fprintf(stdout, "==> %s <==\n", r.Pkg.Path)
+			}
+			render(stdout, r.Analysis)
+			fmt.Fprintf(stdout, "\n%s", r.Pkg.ConfidenceReport())
+			if *profile && r.Analysis.Stages != nil {
+				fmt.Fprint(stdout, r.Analysis.Stages.Table())
+			}
+			r.Release()
+		}
+		return 0
+	} else if *lang != "minipl" {
+		fmt.Fprintf(stderr, "modan: -lang must be minipl or go, got %q\n", *lang)
+		return 2
 	}
 
 	// Multi-file mode: analyze every file as a batch and print each

@@ -56,9 +56,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		minSev  = fs.String("min-severity", "", "drop findings below this severity: info, warning, or error")
 		list    = fs.Bool("list", false, "list the registered rules and exit")
 		jobs    = fs.Int("j", 0, "worker-pool size for multi-file batches (0 = GOMAXPROCS, 1 = sequential)")
+		lang    = fs.String("lang", "minipl", "input language: minipl (files) or go (package patterns, directories, or .go files)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modlint [flags] <file.mpl... | ->\n")
+		fmt.Fprintf(stderr, "       modlint -lang=go [flags] <./pkg/... | dir | file.go>...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +88,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		cfg.MinSeverity = sev
 	}
 
+	opts := sideeffect.Options{Workers: *jobs, Sequential: *jobs == 1}
+
+	switch *lang {
+	case "minipl":
+	case "go":
+		return runGo(fs.Args(), *format, cfg, opts, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "modlint: -lang must be minipl or go, got %q\n", *lang)
+		return 2
+	}
+
 	// Read every input up front so usage errors surface before any
 	// analysis work starts.
 	names := fs.Args()
@@ -106,7 +119,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		srcs[i] = string(b)
 	}
 
-	opts := sideeffect.Options{Workers: *jobs, Sequential: *jobs == 1}
 	code := 0
 	var files []lint.FileReport
 	for i, r := range sideeffect.AnalyzeAll(srcs, opts) {
@@ -128,7 +140,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		r.Analysis.Release()
 	}
 
-	switch *format {
+	if c := emit(*format, files, stdout, stderr); c != 0 {
+		return c
+	}
+	return code
+}
+
+// emit renders the collected file reports in the chosen format;
+// returns 2 on a format/rendering error, 0 otherwise.
+func emit(format string, files []lint.FileReport, stdout, stderr io.Writer) int {
+	switch format {
 	case "text":
 		fmt.Fprint(stdout, lint.Text(files))
 	case "json":
@@ -146,8 +167,42 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprint(stdout, out)
 	default:
-		fmt.Fprintf(stderr, "modlint: -format must be text, json, or sarif, got %q\n", *format)
+		fmt.Fprintf(stderr, "modlint: -format must be text, json, or sarif, got %q\n", format)
 		return 2
+	}
+	return 0
+}
+
+// runGo is the -lang=go path: targets are package patterns, and each
+// matched package becomes one FileReport keyed by its path. Functions
+// the frontend lowered with degraded confidence are listed on stderr
+// so worst-case findings are attributable.
+func runGo(patterns []string, format string, cfg lint.Config, opts sideeffect.Options, stdout, stderr io.Writer) int {
+	results, err := sideeffect.AnalyzeGoPackages(patterns, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "modlint: %v\n", err)
+		return 2
+	}
+	code := 0
+	var files []lint.FileReport
+	for _, r := range results {
+		rep, err := r.Analysis.Lint(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "modlint: %v\n", err)
+			return 2
+		}
+		if !rep.Empty() && code == 0 {
+			code = 1
+		}
+		files = append(files, lint.FileReport{File: r.Pkg.Path, Report: rep})
+		if degraded := r.Pkg.Degraded(); len(degraded) > 0 {
+			fmt.Fprintf(stderr, "modlint: %s: degraded confidence (worst-case facts): %s\n",
+				r.Pkg.Path, strings.Join(degraded, ", "))
+		}
+		r.Release()
+	}
+	if c := emit(format, files, stdout, stderr); c != 0 {
+		return c
 	}
 	return code
 }

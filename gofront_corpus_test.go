@@ -1,0 +1,189 @@
+package sideeffect
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"sideeffect/internal/lint"
+)
+
+// update regenerates every file-based golden in place of comparing.
+// Run `go test -run Golden -update ./...` after a deliberate
+// behaviour or formatting change, then review the diff.
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// checkGolden compares got against the golden file at path, or
+// rewrites the file under -update. Differences report the first
+// drifting line so updates are easy to review.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantB, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	want := string(wantB)
+	if got == want {
+		return
+	}
+	t.Errorf("output drifted from %s (rerun with -update if intended)", path)
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Logf("first diff at line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+			return
+		}
+	}
+	t.Logf("outputs diverge in length: got %d lines, want %d", len(gl), len(wl))
+}
+
+// corpusDirs lists the fixture packages under testdata/gofront in
+// name order, skipping the golden directory itself.
+func corpusDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "gofront"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != "golden" {
+			dirs = append(dirs, filepath.Join("testdata", "gofront", e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) < 12 {
+		t.Fatalf("fixture corpus has %d packages, want >= 12", len(dirs))
+	}
+	return dirs
+}
+
+// TestGoFrontCorpusGolden pins the full analysis report (with the
+// lowering-confidence table) and the modlint output in all three
+// formats for every fixture package. Any change to the frontend's
+// lowering decisions, the solver, the lint rules, or the writers
+// shows up as a diff here.
+func TestGoFrontCorpusGolden(t *testing.T) {
+	for _, dir := range corpusDirs(t) {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			results, err := AnalyzeGoPackages([]string{dir}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 1 {
+				t.Fatalf("got %d packages for %s, want 1", len(results), dir)
+			}
+			r := results[0]
+			defer r.Release()
+
+			golden := func(ext string) string {
+				return filepath.Join("testdata", "gofront", "golden", name+"."+ext)
+			}
+			checkGolden(t, golden("report.txt"), r.GoReport())
+
+			rep, err := r.Analysis.Lint(lint.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			files := []lint.FileReport{{File: r.Pkg.Path, Report: rep}}
+			checkGolden(t, golden("lint.txt"), lint.Text(files))
+			jsonOut, err := lint.JSON(files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, golden("lint.json"), jsonOut)
+			sarifOut, err := lint.SARIF(files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, golden("lint.sarif"), sarifOut)
+		})
+	}
+}
+
+// TestGoFrontCorpusFacts spot-checks load-bearing facts the goldens
+// alone would not explain: the corpus must actually demonstrate the
+// behaviours its packages are named for.
+func TestGoFrontCorpusFacts(t *testing.T) {
+	results, err := AnalyzeGoPackages(corpusDirs(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]GoResult{}
+	for _, r := range results {
+		byPath[filepath.Base(r.Pkg.Path)] = r
+		defer r.Release()
+	}
+
+	// rmod reports whether proc's formal named f is in RMOD.
+	rmod := func(t *testing.T, r GoResult, proc, formal string) bool {
+		t.Helper()
+		for _, p := range r.Analysis.Prog.Procs {
+			if p.Name != proc {
+				continue
+			}
+			for _, fm := range p.Formals {
+				if fm.Name == formal {
+					return r.Analysis.Mod.RMOD.Of(fm)
+				}
+			}
+			t.Fatalf("%s: no formal %q", proc, formal)
+		}
+		t.Fatalf("no procedure %q", proc)
+		return false
+	}
+
+	cases := []struct {
+		pkg, proc, formal string
+		want              bool
+	}{
+		{"ptrwrite", "Set", "p", true},
+		{"ptrwrite", "Peek", "p", false},
+		{"slicewrite", "Fill", "s", true},
+		{"slicewrite", "First", "s", false},
+		{"slicewrite", "Rebind", "s", false},
+		{"mapwrite", "Put", "m", true},
+		{"mapwrite", "Get", "m", false},
+		{"appendinplace", "Grow", "s", true},
+		{"appendinplace", "Appended", "s", false},
+		{"closures", "FillVia", "s", true},
+		{"methods", "Counter.Inc", "c", true},
+		{"methods", "Counter.Get", "c", false},
+		{"methods", "Touch", "w", true},
+		{"methodvalues", "Bound", "g", true},
+		{"methodvalues", "Observer", "g", false},
+		{"structfields", "MovePoint", "p", true},
+		{"structfields", "Widen", "b", true},
+		{"structfields", "Area", "b", false},
+	}
+	for _, c := range cases {
+		r, ok := byPath[c.pkg]
+		if !ok {
+			t.Fatalf("missing corpus package %q", c.pkg)
+		}
+		if got := rmod(t, r, c.proc, c.formal); got != c.want {
+			t.Errorf("%s: RMOD(%s.%s) = %v, want %v", c.pkg, c.proc, c.formal, got, c.want)
+		}
+	}
+
+	// Degraded confidence appears exactly where unanalyzed code is
+	// called, and nowhere in the self-contained packages.
+	if d := byPath["unknowncalls"].Pkg.Degraded(); len(d) == 0 {
+		t.Error("unknowncalls: no degraded procedures, want Log degraded")
+	}
+	for _, pkg := range []string{"pure", "ptrwrite", "slicewrite", "mapwrite", "globals"} {
+		if d := byPath[pkg].Pkg.Degraded(); len(d) > 0 {
+			t.Errorf("%s: unexpectedly degraded: %v", pkg, d)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package sideeffect
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sideeffect/internal/ir"
+)
+
+// findFormal locates proc's formal named f in the analyzed program.
+func findFormal(t *testing.T, r GoResult, proc, formal string) *ir.Variable {
+	t.Helper()
+	for _, p := range r.Analysis.Prog.Procs {
+		if p.Name != proc {
+			continue
+		}
+		for _, fm := range p.Formals {
+			if fm.Name == formal {
+				return fm
+			}
+		}
+		t.Fatalf("%s: no formal %q", proc, formal)
+	}
+	t.Fatalf("no procedure %q in %s", proc, r.Pkg.Path)
+	return nil
+}
+
+// TestGoFrontSelfAnalysis turns the frontend on the repository's own
+// packages — the strongest available fixture, since these sources
+// evolve with the codebase and exercise real idioms (receiver
+// mutation, sparse/dense promotion, pooled arenas). The asserted
+// facts are deliberately coarse and stable: mutators modify their
+// receiver, accessors do not.
+func TestGoFrontSelfAnalysis(t *testing.T) {
+	results, err := AnalyzeGoPackages([]string{
+		filepath.Join("internal", "bitset"),
+		filepath.Join("internal", "arena"),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBase := map[string]GoResult{}
+	for _, r := range results {
+		byBase[filepath.Base(r.Pkg.Path)] = r
+		defer r.Release()
+	}
+	bs, ok := byBase["bitset"]
+	if !ok {
+		t.Fatal("bitset package not analyzed")
+	}
+	ar, ok := byBase["arena"]
+	if !ok {
+		t.Fatal("arena package not analyzed")
+	}
+	if n := bs.Analysis.Prog.NumProcs(); n < 20 {
+		t.Errorf("bitset lowered to %d procedures, want a few dozen", n)
+	}
+	if bs.Pkg.TypeErrors > 0 {
+		t.Errorf("bitset type-checked with %d errors, want 0", bs.Pkg.TypeErrors)
+	}
+
+	// Mutators must put their receiver in RMOD; pure accessors must
+	// not. A frontend regression in hop-write or call lowering flips
+	// one of these.
+	cases := []struct {
+		r            GoResult
+		proc, formal string
+		want         bool
+	}{
+		{bs, "Set.Add", "s", true},
+		{bs, "Set.Remove", "s", true},
+		{bs, "Set.Clear", "s", true},
+		{bs, "Set.Densify", "s", true},
+		{bs, "Set.IsSparse", "s", false},
+		{ar, "Arena.Reset", "a", true},
+		{ar, "Arena.Poisoned", "a", false},
+	}
+	for _, c := range cases {
+		fm := findFormal(t, c.r, c.proc, c.formal)
+		if got := c.r.Analysis.Mod.RMOD.Of(fm); got != c.want {
+			t.Errorf("%s: RMOD(%s.%s) = %v, want %v",
+				c.r.Pkg.Path, c.proc, c.formal, got, c.want)
+		}
+	}
+
+	// Cross-package calls (arena → bitset) are unanalyzed from arena's
+	// point of view, so some arena procedures must be degraded — and
+	// the degradation must be visible in the confidence report.
+	if d := ar.Pkg.Degraded(); len(d) == 0 {
+		t.Error("arena: no degraded procedures despite cross-package calls into bitset")
+	}
+	if rep := ar.Pkg.ConfidenceReport(); rep == "" {
+		t.Error("arena: empty confidence report")
+	}
+}

@@ -1,17 +1,18 @@
 package sideeffect
 
 import (
-	"strings"
 	"testing"
 
 	"sideeffect/internal/workload"
 )
 
 // TestGoldenReport pins the complete formatted report for a fixed
-// program. It exists to catch unintended changes in any layer — a
-// solver regression, a precision change, or a formatting drift all
-// show up as a diff here. Update deliberately when behaviour is meant
-// to change.
+// program against testdata/golden/report.txt. It exists to catch
+// unintended changes in any layer — a solver regression, a precision
+// change, or a formatting drift all show up as a diff here. Update
+// deliberately with `go test -run TestGoldenReport -update` when
+// behaviour is meant to change (the same flag refreshes the Go
+// frontend corpus goldens; see gofront_corpus_test.go).
 func TestGoldenReport(t *testing.T) {
 	a, err := Analyze(`
 program golden;
@@ -35,50 +36,7 @@ end.
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := a.Report()
-	want := `program golden: 3 procedures, 2 call sites, 9 variables (3 global)
-
-== Interprocedural summaries ==
-procedure  GMOD                      GUSE
----------  ------------------------  ------------------------
-$main      {A, g, h}                 {g, h}
-swap       {swap.a, swap.b, swap.t}  {swap.a, swap.b, swap.t}
-colset     {colset.c, colset.i}      {colset.i, colset.v}
-
-== Reference formal parameters (RMOD) ==
-procedure  RMOD
----------  ------
-swap       {a, b}
-colset     {c}
-
-== Alias pairs ==
-procedure  alias pairs
----------  -----------------------
-swap       ⟨g, swap.a⟩ ⟨h, swap.b⟩
-colset     ⟨A, colset.c⟩
-
-== Call sites ==
-call site       at    MOD     USE
---------------  ----  ------  ------
-$main → swap    16:3  {g, h}  {g, h}
-$main → colset  17:3  {A}     {g}
-
-== Regular sections (MOD) ==
-call site       array sections (MOD)
---------------  --------------------
-$main → colset  A(*, 2)
-`
-	if got != want {
-		t.Errorf("golden report drifted:\n--- got\n%s\n--- want\n%s", got, want)
-		// Show the first differing line to ease updating.
-		gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
-		for i := 0; i < len(gl) && i < len(wl); i++ {
-			if gl[i] != wl[i] {
-				t.Logf("first diff at line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
-				break
-			}
-		}
-	}
+	checkGolden(t, "testdata/golden/report.txt", a.Report())
 }
 
 // TestLargeProgramRobustness exercises the full pipeline on a

@@ -1,0 +1,338 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"sideeffect/internal/ir"
+)
+
+// aliasEdge is one may-point-into fact collected by the prepass: the
+// edge's owner may reach storage reachable from obj. A nil obj means
+// the points-to set is unknown (worst case).
+type aliasEdge struct {
+	obj types.Object
+}
+
+// funcBinding tracks the callables a local func-typed variable was
+// bound to; tainted means at least one binding was untrackable.
+type funcBinding struct {
+	lits    []*ast.FuncLit
+	procs   []*ir.Procedure
+	tainted bool
+}
+
+// funcShape records the Go-signature facts a call-site builder needs
+// about a lowered procedure.
+type funcShape struct {
+	recv     bool
+	variadic bool
+}
+
+// procState is the per-function lowering state. Closures chain to
+// their creator through parent, mirroring the ir lexical nesting.
+type procState struct {
+	lw     *lowerer
+	proc   *ir.Procedure
+	parent *procState
+
+	vars  map[types.Object]*ir.Variable
+	names map[string]int
+	edges map[types.Object][]aliasEdge
+	funcs map[types.Object]*funcBinding
+
+	refFormals []*ir.Variable
+	addrLocals []*ir.Variable
+	sites      []*ir.CallSite
+	closN      int
+	loopN      int
+}
+
+// newProcState starts the lowering state for one function (declared
+// function, method, or closure). Closures chain to their creator via
+// parent, mirroring the ir lexical nesting.
+func (lw *lowerer) newProcState(proc *ir.Procedure, parent *procState) *procState {
+	return &procState{
+		lw:     lw,
+		proc:   proc,
+		parent: parent,
+		vars:   map[types.Object]*ir.Variable{},
+		names:  map[string]int{},
+		edges:  map[types.Object][]aliasEdge{},
+		funcs:  map[types.Object]*funcBinding{},
+	}
+}
+
+// declareSignature declares proc's formals (receiver first for
+// methods) and named-result locals. All signatures are declared before
+// any body is lowered, so forward calls see the right arity.
+func (ps *procState) declareSignature(recv *ast.FieldList, ftype *ast.FuncType) {
+	lw := ps.lw
+	shape := funcShape{}
+	if recv != nil && len(recv.List) > 0 {
+		shape.recv = true
+		ps.formalField(recv.List[0])
+	}
+	if ftype != nil && ftype.Params != nil {
+		fields := ftype.Params.List
+		for i, f := range fields {
+			if i == len(fields)-1 {
+				if _, ok := f.Type.(*ast.Ellipsis); ok {
+					shape.variadic = true
+				}
+			}
+			ps.formalField(f)
+		}
+	}
+	lw.shapes[ps.proc] = shape
+	if ftype != nil && ftype.Results != nil {
+		for _, f := range ftype.Results.List {
+			for _, name := range f.Names {
+				if name.Name == "_" {
+					continue
+				}
+				ps.declareLocal(lw.info.Defs[name], name)
+			}
+		}
+	}
+}
+
+// lowerBody runs the prepass then the effect walk over proc's body.
+func (ps *procState) lowerBody(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ps.prepass(body)
+	for _, s := range body.List {
+		ps.stmt(s)
+	}
+}
+
+// formalField declares the formals of one parameter (or receiver)
+// field, classified ref/val by type reachability.
+func (ps *procState) formalField(f *ast.Field) {
+	lw := ps.lw
+	var t types.Type
+	if tv, ok := lw.info.Types[f.Type]; ok {
+		t = tv.Type
+	}
+	if ell, ok := f.Type.(*ast.Ellipsis); ok {
+		// A variadic parameter is a slice inside the function.
+		if et, ok := lw.info.Types[ell.Elt]; ok && et.Type != nil {
+			t = types.NewSlice(et.Type)
+		} else {
+			t = nil
+		}
+	}
+	declare := func(name string, obj types.Object) {
+		ft := t
+		if obj != nil && obj.Type() != nil {
+			ft = obj.Type()
+		}
+		kind := ir.FormalVal
+		if isRefType(ft) {
+			kind = ir.FormalRef
+		}
+		v := lw.b.Formal(ps.proc, ps.unique(name), kind, 0)
+		if obj != nil {
+			ps.vars[obj] = v
+			v.Pos = lw.pos(obj.Pos())
+		}
+		if kind == ir.FormalRef {
+			ps.refFormals = append(ps.refFormals, v)
+		}
+	}
+	if len(f.Names) == 0 {
+		declare(fmt.Sprintf("$p%d", len(ps.proc.Formals)), nil)
+		return
+	}
+	for _, name := range f.Names {
+		if name.Name == "_" {
+			declare(fmt.Sprintf("$p%d", len(ps.proc.Formals)), nil)
+			continue
+		}
+		declare(name.Name, lw.info.Defs[name])
+	}
+}
+
+// unique returns name, or name#2, #3... on collision within the proc.
+func (ps *procState) unique(name string) string {
+	ps.names[name]++
+	if n := ps.names[name]; n > 1 {
+		return fmt.Sprintf("%s#%d", name, n)
+	}
+	return name
+}
+
+// declareLocal declares an ir local for a function-scoped variable
+// object.
+func (ps *procState) declareLocal(obj types.Object, id *ast.Ident) *ir.Variable {
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil // consts, types, funcs
+	}
+	if v, ok := ps.vars[obj]; ok {
+		return v
+	}
+	v := ps.lw.b.Local(ps.proc, ps.unique(obj.Name()))
+	v.Pos = ps.lw.pos(obj.Pos())
+	ps.vars[obj] = v
+	if ps.lw.addrTaken[obj] {
+		ps.addrLocals = append(ps.addrLocals, v)
+	}
+	return v
+}
+
+// fresh declares a synthetic local (argument temporaries, capture
+// stand-ins, synthetic loop indices).
+func (ps *procState) fresh(prefix string) *ir.Variable {
+	ps.lw.tmpN++
+	return ps.lw.b.Local(ps.proc, fmt.Sprintf("$%s%d", prefix, ps.lw.tmpN))
+}
+
+// lookup resolves a variable object through the lexical chain, then
+// the package globals. nil means the object is not package state
+// (another package's var, a field, a const).
+func (ps *procState) lookup(obj types.Object) *ir.Variable {
+	if obj == nil {
+		return nil
+	}
+	for s := ps; s != nil; s = s.parent {
+		if v, ok := s.vars[obj]; ok {
+			return v
+		}
+	}
+	return ps.lw.globals[obj]
+}
+
+// edgesOf unions the alias edges recorded for obj anywhere on the
+// lexical chain (a closure can alias its creator's variables).
+func (ps *procState) edgesOf(obj types.Object) []aliasEdge {
+	var out []aliasEdge
+	for s := ps; s != nil; s = s.parent {
+		out = append(out, s.edges[obj]...)
+	}
+	return out
+}
+
+// targets resolves the storage reachable from obj: the transitive
+// alias closure, mapped to ir variables. escape reports that some
+// member is untrackable, forcing the worst-case effect.
+func (ps *procState) targets(obj types.Object) (vars []*ir.Variable, escape bool) {
+	if obj == nil {
+		return nil, true
+	}
+	seen := map[types.Object]bool{obj: true}
+	queue := []types.Object{obj}
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+		if v := ps.lookup(o); v != nil {
+			vars = append(vars, v)
+		} else if isExternalVar(ps.lw, o) {
+			vars = append(vars, ps.lw.ext())
+		} else {
+			escape = true
+		}
+		for _, e := range ps.edgesOf(o) {
+			if e.obj == nil {
+				escape = true
+				continue
+			}
+			if !seen[e.obj] {
+				seen[e.obj] = true
+				queue = append(queue, e.obj)
+			}
+		}
+	}
+	return vars, escape
+}
+
+// isExternalVar reports whether obj is another package's package-level
+// variable (reachable state, modeled by $external).
+func isExternalVar(lw *lowerer, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pkg() != nil && v.Pkg() != lw.tpkg
+}
+
+// escapeMod applies the worst-case effect: every global, every
+// reference formal and address-taken local on the lexical chain is
+// modified and used.
+func (ps *procState) escapeMod() {
+	lw := ps.lw
+	touch := func(v *ir.Variable) {
+		lw.b.Mod(ps.proc, v)
+		lw.b.Use(ps.proc, v)
+	}
+	touch(lw.ext())
+	for _, g := range lw.allGlobals {
+		touch(g)
+	}
+	for s := ps; s != nil; s = s.parent {
+		for _, v := range s.refFormals {
+			touch(v)
+		}
+		for _, v := range s.addrLocals {
+			touch(v)
+		}
+	}
+}
+
+// modThrough records a write through a reference hop rooted at obj.
+func (ps *procState) modThrough(obj types.Object) {
+	vars, escape := ps.targets(obj)
+	if escape {
+		ps.escapeMod()
+	}
+	for _, v := range vars {
+		ps.lw.b.Mod(ps.proc, v)
+	}
+}
+
+// useThrough records a read through a reference hop rooted at obj.
+func (ps *procState) useThrough(obj types.Object) {
+	vars, escape := ps.targets(obj)
+	if escape {
+		ps.escapeMod()
+	}
+	for _, v := range vars {
+		ps.lw.b.Use(ps.proc, v)
+	}
+}
+
+// useVar records a read of an identifier.
+func (ps *procState) useVar(id *ast.Ident) {
+	obj := ps.lw.objOf(id)
+	if v := ps.lookup(obj); v != nil {
+		ps.lw.b.Use(ps.proc, v)
+	} else if isExternalVar(ps.lw, obj) {
+		ps.lw.b.Use(ps.proc, ps.lw.ext())
+	}
+}
+
+// typeOf returns the (possibly nil) type of an expression.
+func (ps *procState) typeOf(e ast.Expr) types.Type {
+	if tv, ok := ps.lw.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// pkgNameOf returns the imported package path when e is a package
+// qualifier identifier, else "".
+func (ps *procState) pkgNameOf(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := ps.lw.objOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

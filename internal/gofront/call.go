@@ -1,0 +1,370 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	gotoken "go/token"
+	"go/types"
+
+	"sideeffect/internal/ir"
+)
+
+// call lowers one call expression: type conversions, builtins, direct
+// calls to package functions/methods/closures, and the conservative
+// unknown-call fallback for everything else.
+func (ps *procState) call(x *ast.CallExpr) {
+	lw := ps.lw
+	if lw.isTypeConv(x) {
+		for _, a := range x.Args {
+			ps.expr(a)
+		}
+		return
+	}
+	if name := builtinName(lw, x); name != "" {
+		ps.builtin(name, x)
+		return
+	}
+	switch fun := unparen(x.Fun).(type) {
+	case *ast.Ident:
+		obj := lw.objOf(fun)
+		if proc, ok := lw.funcs[obj]; ok {
+			ps.directCall(proc, nil, nil, x)
+			return
+		}
+		if fb := ps.callBinding(obj); fb != nil {
+			ps.useVar(fun)
+			if !fb.tainted {
+				called := false
+				for _, lit := range fb.lits {
+					if proc := lw.litProcs[lit]; proc != nil {
+						ps.directCall(proc, nil, nil, x)
+						called = true
+					}
+				}
+				for _, proc := range fb.procs {
+					ps.directCall(proc, nil, nil, x)
+					called = true
+				}
+				if called {
+					return
+				}
+			}
+			ps.unknownCall(x, nil, "dynamic call")
+			return
+		}
+		if obj == nil {
+			ps.unknownCall(x, nil, "unresolved call")
+			return
+		}
+		// A func-typed parameter or other untracked func value.
+		ps.useVar(fun)
+		ps.unknownCall(x, nil, "dynamic call")
+	case *ast.SelectorExpr:
+		ps.selectorCall(fun, x)
+	case *ast.FuncLit:
+		proc := ps.closureProc(fun)
+		ps.directCall(proc, nil, nil, x)
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation F[T](...) — resolve the base.
+		var bx ast.Expr
+		if ie, ok := fun.(*ast.IndexExpr); ok {
+			bx = ie.X
+		} else {
+			bx = fun.(*ast.IndexListExpr).X
+		}
+		if id, ok := unparen(bx).(*ast.Ident); ok {
+			if proc, ok := lw.funcs[lw.objOf(id)]; ok {
+				ps.directCall(proc, nil, nil, x)
+				return
+			}
+		}
+		ps.expr(bx)
+		ps.unknownCall(x, nil, "dynamic call")
+	default:
+		ps.expr(x.Fun)
+		ps.unknownCall(x, nil, "dynamic call")
+	}
+}
+
+// callBinding finds the func-value binding for obj on the lexical
+// chain.
+func (ps *procState) callBinding(obj types.Object) *funcBinding {
+	if obj == nil {
+		return nil
+	}
+	for s := ps; s != nil; s = s.parent {
+		if fb, ok := s.funcs[obj]; ok {
+			return fb
+		}
+	}
+	return nil
+}
+
+// selectorCall lowers pkg.F(...), x.M(...), and promoted-method calls.
+func (ps *procState) selectorCall(sel *ast.SelectorExpr, x *ast.CallExpr) {
+	lw := ps.lw
+	if path := ps.pkgNameOf(sel.X); path != "" {
+		ps.degradingPkg(path)
+		ps.unknownCall(x, nil, fmt.Sprintf("calls unanalyzed %q", path))
+		return
+	}
+	if selinfo, ok := lw.info.Selections[sel]; ok && selinfo.Kind() == types.MethodVal {
+		if proc, known := lw.funcs[selinfo.Obj()]; known {
+			ps.expr(sel.X)
+			ps.directCall(proc, sel.X, nil, x)
+			return
+		}
+		// Interface dispatch or a method of an embedded foreign type:
+		// the receiver's storage is reachable by the callee.
+		ps.expr(sel.X)
+		ps.unknownCall(x, sel.X, "dynamic call")
+		return
+	}
+	// Method expression, foreign field of func type, or missing info.
+	ps.expr(sel.X)
+	ps.unknownCall(x, nil, "dynamic call")
+}
+
+// builtin lowers the builtin functions with storage effects.
+func (ps *procState) builtin(name string, x *ast.CallExpr) {
+	for _, a := range x.Args {
+		ps.expr(a)
+	}
+	switch name {
+	case "copy", "delete", "clear", "close":
+		if len(x.Args) > 0 {
+			ps.hopEffect(x.Args[0], true)
+		}
+	case "print", "println", "panic":
+		ps.lw.b.Mod(ps.proc, ps.lw.ext())
+		ps.lw.b.Use(ps.proc, ps.lw.ext())
+	}
+	// append, len, cap, make, new, min, max, recover, real, imag,
+	// complex: pure value producers; effects happen only where the
+	// result is assigned.
+}
+
+// directCall creates a real call site to a package procedure. recv is
+// the receiver expression for method calls; recvVar a pre-resolved
+// receiver variable (bound method values).
+func (ps *procState) directCall(callee *ir.Procedure, recv ast.Expr, recvVar *ir.Variable, x *ast.CallExpr) {
+	lw := ps.lw
+	shape := lw.shapes[callee]
+	formals := callee.Formals
+	var actuals []ir.Actual
+	i := 0
+	if shape.recv {
+		if i >= len(formals) {
+			ps.unknownCall(x, recv, "signature mismatch")
+			return
+		}
+		switch {
+		case recvVar != nil:
+			actuals = append(actuals, ir.Actual{Mode: formals[0].Kind, Var: recvVar})
+		case recv != nil:
+			actuals = append(actuals, ps.actual(formals[0], recv))
+		default:
+			// Function value of method type without a receiver in
+			// hand — should not happen; degrade.
+			ps.unknownCall(x, nil, "signature mismatch")
+			return
+		}
+		i = 1
+	}
+	fixed := len(formals) - i
+	if shape.variadic {
+		fixed--
+	}
+	args := x.Args
+	if fixed < 0 || len(args) < fixed || (!shape.variadic && len(args) != fixed) {
+		// Arity surprises (type errors, single-call-result spreading
+		// f(g()) where g is multi-valued): fall back.
+		for _, a := range args {
+			ps.expr(a)
+		}
+		ps.unknownCall(x, recv, "signature mismatch")
+		return
+	}
+	for k := 0; k < fixed; k++ {
+		actuals = append(actuals, ps.actual(formals[i+k], args[k]))
+	}
+	if shape.variadic {
+		vf := formals[len(formals)-1]
+		rest := args[fixed:]
+		if x.Ellipsis.IsValid() && len(rest) == 1 {
+			actuals = append(actuals, ps.actual(vf, rest[0]))
+		} else {
+			// Elements are packed into a fresh slice: the callee can
+			// modify the pack (invisible) but reads every element.
+			var uses []*ir.Variable
+			for _, a := range rest {
+				ps.expr(a)
+				uses = append(uses, ps.usesIn(a)...)
+			}
+			av := ir.Actual{Mode: vf.Kind, Uses: uses}
+			if vf.Kind == ir.FormalRef {
+				av.Var = ps.fresh("vararg")
+			}
+			actuals = append(actuals, av)
+		}
+	}
+	cs := lw.b.Call(ps.proc, callee, actuals, lw.pos(x.Lparen))
+	ps.sites = append(ps.sites, cs)
+}
+
+// actual builds one actual-parameter binding. Reference formals need a
+// variable the caller can see: the root of the argument path, or a
+// fresh temporary when the argument is a literal/call result (storage
+// nothing else can reach).
+func (ps *procState) actual(formal *ir.Variable, arg ast.Expr) ir.Actual {
+	ps.expr(arg)
+	uses := ps.usesIn(arg)
+	a := ir.Actual{Mode: formal.Kind, Uses: uses}
+	root := rootIdent(stripAddr(arg))
+	var v *ir.Variable
+	if root != nil {
+		obj := ps.lw.objOf(root)
+		if _, isPkg := obj.(*types.PkgName); !isPkg {
+			v = ps.lookup(obj)
+			if v == nil && isExternalVar(ps.lw, obj) && formal.Kind == ir.FormalRef {
+				// Passing another package's variable by reference:
+				// the callee's writes land outside the package.
+				ps.lw.b.Mod(ps.proc, ps.lw.ext())
+				ps.lw.b.Use(ps.proc, ps.lw.ext())
+			}
+		}
+	}
+	if v == nil && formal.Kind == ir.FormalRef {
+		v = ps.fresh("tmp")
+	}
+	a.Var = v
+	return a
+}
+
+// stripAddr unwraps a top-level &: the storage passed by &x is x.
+func stripAddr(e ast.Expr) ast.Expr {
+	if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op == gotoken.AND {
+		return u.X
+	}
+	return e
+}
+
+// usesIn collects the tracked variables read to evaluate e, in source
+// order (closure literals evaluate to values; their bodies don't run
+// here).
+func (ps *procState) usesIn(e ast.Expr) []*ir.Variable {
+	var out []*ir.Variable
+	seen := map[*ir.Variable]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := ps.lookup(ps.lw.objOf(id)); v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// unknownCall applies the conservative external-call effect: every
+// reference argument's reachable storage is read and written, the
+// out-of-package world ($external) is read and written, and the
+// function's confidence note records why.
+func (ps *procState) unknownCall(x *ast.CallExpr, recv ast.Expr, reason string) {
+	lw := ps.lw
+	if recv != nil {
+		ps.refArgEffect(recv)
+	}
+	for _, a := range x.Args {
+		ps.expr(a)
+		ps.refArgEffect(a)
+	}
+	lw.b.Mod(ps.proc, lw.ext())
+	lw.b.Use(ps.proc, lw.ext())
+	lw.degrade(ps.proc, reason)
+}
+
+// refArgEffect marks a reference-typed argument's reachable storage as
+// modified and used by an unknown callee.
+func (ps *procState) refArgEffect(a ast.Expr) {
+	t := ps.typeOf(a)
+	isAddr := false
+	if u, ok := unparen(a).(*ast.UnaryExpr); ok && u.Op == gotoken.AND {
+		isAddr = true
+	}
+	if t != nil && !isRefType(t) && !isAddr {
+		return
+	}
+	root := rootIdent(stripAddr(a))
+	if root == nil {
+		return // literal/fresh storage: unreachable elsewhere
+	}
+	obj := ps.lw.objOf(root)
+	if obj == nil {
+		return
+	}
+	if _, ok := obj.(*types.PkgName); ok {
+		return // pkg.X handled via $external already
+	}
+	if _, ok := obj.(*types.Func); ok {
+		return
+	}
+	vars, escape := ps.targets(obj)
+	if escape {
+		ps.escapeMod()
+	}
+	for _, v := range vars {
+		ps.lw.b.Mod(ps.proc, v)
+		ps.lw.b.Use(ps.proc, v)
+	}
+}
+
+// closureProc lowers a closure literal to a procedure nested in the
+// current one (idempotently).
+func (ps *procState) closureProc(lit *ast.FuncLit) *ir.Procedure {
+	lw := ps.lw
+	if proc, ok := lw.litProcs[lit]; ok {
+		return proc
+	}
+	ps.closN++
+	name := fmt.Sprintf("%s$fn%d", ps.proc.Name, ps.closN)
+	proc := lw.b.Proc(name, ps.proc)
+	proc.Pos = lw.pos(lit.Pos())
+	lw.litProcs[lit] = proc
+	lw.fileOf[proc] = lw.file(lit.Pos())
+	lw.noteIdx[name] = len(lw.notes)
+	lw.notes = append(lw.notes, Note{Proc: name, File: lw.fileOf[proc], Confidence: High})
+	// The closure's procState chains to ps so captured variables and
+	// their aliases resolve through the ir lexical nesting.
+	cps := lw.newProcState(proc, ps)
+	cps.declareSignature(nil, lit.Type)
+	cps.lowerBody(lit.Body)
+	return proc
+}
+
+// mayRun charges an escaping closure's effects to its creator with a
+// conservative "may run" call site: fresh capture stand-ins feed its
+// reference formals.
+func (ps *procState) mayRun(lit *ast.FuncLit, proc *ir.Procedure) {
+	lw := ps.lw
+	if lw.litRun[lit] {
+		return
+	}
+	lw.litRun[lit] = true
+	var actuals []ir.Actual
+	for _, f := range proc.Formals {
+		a := ir.Actual{Mode: f.Kind}
+		if f.Kind == ir.FormalRef {
+			a.Var = ps.fresh("cap")
+		}
+		actuals = append(actuals, a)
+	}
+	cs := lw.b.Call(ps.proc, proc, actuals, lw.pos(lit.Pos()))
+	ps.sites = append(ps.sites, cs)
+}

@@ -1,0 +1,74 @@
+package gofront
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sideeffect/internal/core"
+)
+
+// FuzzGoLower drives arbitrary source through the whole frontend. The
+// contract under fuzzing: AnalyzeSource never panics (malformed input
+// becomes an error), and whenever it succeeds the lowered program is
+// well-formed enough for both solvers to complete.
+func FuzzGoLower(f *testing.F) {
+	// Seed with the fixture corpus — real accepted inputs mutate into
+	// interesting near-valid ones.
+	root := filepath.Join("..", "..", "testdata", "gofront")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == "golden" {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, fe := range files {
+			b, err := os.ReadFile(filepath.Join(root, e.Name(), fe.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(b))
+		}
+	}
+	// Constructs the corpus does not reach: unsafe, cgo, generics,
+	// channels and select, goto/labels, interfaces, defer/recover,
+	// anonymous structs, shadowing, and syntactically broken input.
+	for _, seed := range []string{
+		"package p\nimport \"unsafe\"\nfunc F(p unsafe.Pointer) uintptr { return uintptr(p) }\n",
+		"package p\nimport \"C\"\nfunc F() { C.puts(nil) }\n",
+		"package p\nfunc Map[K comparable, V any](m map[K]V, k K, v V) { m[k] = v }\n",
+		"package p\nfunc F(ch chan int) { select { case ch <- 1: case x := <-ch: _ = x } }\n",
+		"package p\nfunc F(n int) int {\nloop:\n\tfor i := 0; i < n; i++ { if i > 3 { break loop }; goto loop }\n\treturn n\n}\n",
+		"package p\ntype I interface{ M(*int) }\nfunc F(i I, p *int) { i.M(p) }\n",
+		"package p\nfunc F(p *int) { defer func() { recover() }(); *p = 1; panic(p) }\n",
+		"package p\nfunc F() { x := struct{ a []int }{}; x.a = append(x.a, 1) }\n",
+		"package p\nvar x int\nfunc F() { x := 1; { x := 2; _ = x }; _ = x }\n",
+		"package p\nfunc F(",
+		"package p\nfunc F(s ...[]*map[string]chan int) {}\n",
+		"\xff\xfe not source at all",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pkg, err := AnalyzeSource("fuzz.go", src)
+		if err != nil {
+			return // rejected inputs just need to be rejected cleanly
+		}
+		if pkg.Prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+		// The IR must be accepted end to end by both solver kinds.
+		if res := core.Analyze(pkg.Prog, core.Mod, core.Options{}); res == nil {
+			t.Fatal("MOD solver returned nil on accepted IR")
+		}
+		if res := core.Analyze(pkg.Prog, core.Use, core.Options{}); res == nil {
+			t.Fatal("USE solver returned nil on accepted IR")
+		}
+	})
+}

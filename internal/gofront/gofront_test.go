@@ -1,0 +1,199 @@
+package gofront
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sideeffect/internal/core"
+	"sideeffect/internal/ir"
+)
+
+// analyze is the test harness: lower a single in-memory file and run
+// the MOD solver over the result, so facts can be asserted without
+// importing the public package (which would cycle).
+func analyze(t *testing.T, src string) (*Package, *core.Result) {
+	t.Helper()
+	pkg, err := AnalyzeSource("test.go", src)
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	return pkg, core.Analyze(pkg.Prog, core.Mod, core.Options{})
+}
+
+// rmodOf reports whether proc's formal named f landed in RMOD.
+func rmodOf(t *testing.T, pkg *Package, res *core.Result, proc, formal string) bool {
+	t.Helper()
+	for _, p := range pkg.Prog.Procs {
+		if p.Name != proc {
+			continue
+		}
+		for _, fm := range p.Formals {
+			if fm.Name == formal {
+				return res.RMOD.Of(fm)
+			}
+		}
+		t.Fatalf("%s: no formal %q", proc, formal)
+	}
+	t.Fatalf("no procedure %q", proc)
+	return false
+}
+
+func TestLowerCoreIdioms(t *testing.T) {
+	pkg, res := analyze(t, `package p
+
+var g int
+
+func PtrWrite(p *int) { *p = 1 }
+func PtrRead(p *int) int { return *p }
+func SliceWrite(s []int) { s[0] = 1 }
+func HeaderRebind(s []int) { s = nil; _ = s }
+func GrowInPlace(s *[]int) { *s = append(*s, 1) }
+func GlobalWrite() { g++ }
+func Chain(p *int) { PtrWrite(p) }
+`)
+	for _, c := range []struct {
+		proc, formal string
+		want         bool
+	}{
+		{"PtrWrite", "p", true},
+		{"PtrRead", "p", false},
+		{"SliceWrite", "s", true},
+		{"HeaderRebind", "s", false},
+		{"GrowInPlace", "s", true},
+		{"Chain", "p", true},
+	} {
+		if got := rmodOf(t, pkg, res, c.proc, c.formal); got != c.want {
+			t.Errorf("RMOD(%s.%s) = %v, want %v", c.proc, c.formal, got, c.want)
+		}
+	}
+	// The global write must be in GMOD(GlobalWrite).
+	var gw *ir.Procedure
+	var gv *ir.Variable
+	for _, p := range pkg.Prog.Procs {
+		if p.Name == "GlobalWrite" {
+			gw = p
+		}
+	}
+	for _, v := range pkg.Prog.Vars {
+		if v.Kind == ir.Global && v.Name == "g" {
+			gv = v
+		}
+	}
+	if gw == nil || gv == nil {
+		t.Fatal("GlobalWrite or g missing from lowered program")
+	}
+	if !res.GMOD[gw.ID].Has(gv.ID) {
+		t.Errorf("GMOD(GlobalWrite) = %v, want it to contain g", res.GMOD[gw.ID])
+	}
+	if pkg.Degraded() != nil {
+		t.Errorf("self-contained package degraded: %v", pkg.Degraded())
+	}
+}
+
+func TestUnknownCallsDegradeSoundly(t *testing.T) {
+	pkg, res := analyze(t, `package p
+
+import "fmt"
+
+func Log(p *int) { fmt.Println(p) }
+func LogVal(p *int) { fmt.Println(*p) }
+`)
+	// Sound worst case: handing the pointer itself to unanalyzed code
+	// must charge the formal as modified...
+	if !rmodOf(t, pkg, res, "Log", "p") {
+		t.Error("RMOD(Log.p) = false; unknown call must assume modification")
+	}
+	// ...while passing only the dereferenced value cannot expose the
+	// pointee, so precision is kept even on a degraded function.
+	if rmodOf(t, pkg, res, "LogVal", "p") {
+		t.Error("RMOD(LogVal.p) = true; value argument cannot be modified")
+	}
+	d := pkg.Degraded()
+	if len(d) != 2 || d[0] != "Log" || d[1] != "LogVal" {
+		t.Errorf("Degraded() = %v, want [Log LogVal]", d)
+	}
+	n := pkg.Note("Log")
+	if n == nil || n.Confidence != Degraded {
+		t.Fatalf("note for Log = %+v, want degraded", n)
+	}
+	if len(n.Reasons) == 0 || !strings.Contains(n.Reasons[0], "fmt") {
+		t.Errorf("degradation reasons = %v, want a mention of fmt", n.Reasons)
+	}
+}
+
+func TestHashDistinguishesContent(t *testing.T) {
+	h1 := Hash([]sourceFile{{name: "a.go", src: "package p\n"}})
+	h2 := Hash([]sourceFile{{name: "a.go", src: "package q\n"}})
+	h3 := Hash([]sourceFile{{name: "b.go", src: "package p\n"}})
+	if h1 == h2 || h1 == h3 {
+		t.Errorf("hash collisions: %s %s %s", h1, h2, h3)
+	}
+	if h1 != Hash([]sourceFile{{name: "a.go", src: "package p\n"}}) {
+		t.Error("hash unstable for identical input")
+	}
+}
+
+func TestExpandSkipsTestdataAndHidden(t *testing.T) {
+	// The repo root's "..." walk must not descend into testdata (the
+	// fixture corpus would otherwise be analyzed by every ./... run).
+	dirs, _, err := Expand([]string{filepath.Join("..", "..") + string(filepath.Separator) + "..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand descended into %s", d)
+		}
+	}
+	if len(dirs) == 0 {
+		t.Error("Expand found no packages under the repo root")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir())); err == nil {
+		t.Error("LoadDir on an empty directory: no error")
+	}
+	if _, err := AnalyzeSource("broken.go", "package p\nfunc {"); err == nil {
+		t.Error("AnalyzeSource on unparseable source: no error")
+	}
+	if _, err := Load([]string{filepath.Join("does", "not", "exist")}); err == nil {
+		t.Error("Load on a missing path: no error")
+	}
+}
+
+// TestCorpusLowersClean lowers every fixture package and validates
+// the IR through the solver — the frontend-side counterpart of the
+// public golden test.
+func TestCorpusLowersClean(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata", "gofront")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == "golden" {
+			continue
+		}
+		seen++
+		pkg, err := LoadDir(filepath.Join(root, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if pkg.Prog == nil || pkg.Prog.NumProcs() < 2 {
+			t.Errorf("%s: implausibly small program", e.Name())
+			continue
+		}
+		res := core.Analyze(pkg.Prog, core.Mod, core.Options{})
+		if res == nil {
+			t.Errorf("%s: solver rejected lowered IR", e.Name())
+		}
+	}
+	if seen < 12 {
+		t.Errorf("corpus has %d packages, want >= 12", seen)
+	}
+}

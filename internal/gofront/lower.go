@@ -1,0 +1,406 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	gotoken "go/token"
+	"go/types"
+	"strings"
+
+	"sideeffect/internal/ir"
+	"sideeffect/internal/lang/token"
+)
+
+// lowerer lowers one type-checked Go package onto an ir.Program.
+type lowerer struct {
+	path string
+	fset *gotoken.FileSet
+	info *types.Info
+	tpkg *types.Package
+
+	b *ir.Builder
+
+	// globals maps package-level var objects to their ir globals.
+	globals map[types.Object]*ir.Variable
+	// external is the lazily created $external global standing for all
+	// state outside the analyzed package (other packages' vars, I/O).
+	external *ir.Variable
+	// allGlobals lists every ir global in creation order (for the
+	// worst-case escape effect).
+	allGlobals []*ir.Variable
+	// funcs maps package function/method objects to their procedures.
+	funcs map[types.Object]*ir.Procedure
+	// addrTaken records objects whose address is taken anywhere in the
+	// package (computed in a single prepass over all files).
+	addrTaken map[types.Object]bool
+	// importBroken lists import paths that could not be resolved; a
+	// selection into one degrades the using function.
+	importBroken map[string]bool
+
+	// shapes records Go-signature facts per procedure; litProcs the
+	// procedure lowered for each closure literal; litRun whether a
+	// may-run site was already charged for a literal.
+	shapes   map[*ir.Procedure]funcShape
+	litProcs map[*ast.FuncLit]*ir.Procedure
+	litRun   map[*ast.FuncLit]bool
+
+	notes   []Note
+	noteIdx map[string]int // proc name → index in notes
+	fileOf  map[*ir.Procedure]string
+	tmpN    int // counter for fresh synthetic locals
+}
+
+func newLowerer(path string, fset *gotoken.FileSet, info *types.Info, tpkg *types.Package) *lowerer {
+	return &lowerer{
+		path:         path,
+		fset:         fset,
+		info:         info,
+		tpkg:         tpkg,
+		globals:      map[types.Object]*ir.Variable{},
+		funcs:        map[types.Object]*ir.Procedure{},
+		addrTaken:    map[types.Object]bool{},
+		importBroken: map[string]bool{},
+		shapes:       map[*ir.Procedure]funcShape{},
+		litProcs:     map[*ast.FuncLit]*ir.Procedure{},
+		litRun:       map[*ast.FuncLit]bool{},
+		noteIdx:      map[string]int{},
+		fileOf:       map[*ir.Procedure]string{},
+	}
+}
+
+// pos converts a Go source position to the report position model.
+func (lw *lowerer) pos(p gotoken.Pos) token.Pos {
+	if !p.IsValid() {
+		return token.Pos{}
+	}
+	pp := lw.fset.Position(p)
+	return token.Pos{Line: pp.Line, Col: pp.Column}
+}
+
+// file returns the base file name declaring pos.
+func (lw *lowerer) file(p gotoken.Pos) string {
+	if !p.IsValid() {
+		return ""
+	}
+	name := lw.fset.Position(p).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// ext returns the $external global, creating it on first use.
+func (lw *lowerer) ext() *ir.Variable {
+	if lw.external == nil {
+		lw.external = lw.b.Global("$external")
+		lw.allGlobals = append(lw.allGlobals, lw.external)
+	}
+	return lw.external
+}
+
+// degrade records a degradation reason against proc.
+func (lw *lowerer) degrade(proc *ir.Procedure, reason string) {
+	i, ok := lw.noteIdx[proc.Name]
+	if !ok {
+		return // $main and synthetic procs carry no note
+	}
+	lw.notes[i].Confidence = Degraded
+	lw.notes[i].Reasons = append(lw.notes[i].Reasons, reason)
+}
+
+// isRefType reports whether a value of type t can reach storage shared
+// with the caller: pointers, slices, maps, channels, interfaces, type
+// parameters, and composites containing one. Unknown types (type
+// errors) classify as references, conservatively.
+func isRefType(t types.Type) bool {
+	return refType(t, 0)
+}
+
+func refType(t types.Type, depth int) bool {
+	if t == nil || depth > 20 {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Invalid || u.Kind() == types.UnsafePointer
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	case *types.Signature:
+		// Func values carry no caller storage through the formal; the
+		// effects of invoking an escaped closure are charged to its
+		// creator via the may-run call site.
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refType(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return refType(u.Elem(), depth+1)
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if refType(u.At(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	default:
+		// *types.TypeParam and anything future: conservative.
+		return true
+	}
+}
+
+// lower drives the whole-package lowering: globals first, then one
+// procedure per declared function/method, then bodies (so forward and
+// mutual references resolve).
+func (lw *lowerer) lower(files []*ast.File) (prog *ir.Program, notes []Note, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("lowering panic: %v", r)
+		}
+	}()
+	lw.b = ir.NewBuilder(lw.path)
+	main := lw.b.Main()
+
+	// Prepass: record every &lvalue root in the package, so locals are
+	// known address-taken before any body is lowered.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == gotoken.AND {
+				if id := rootIdent(u.X); id != nil {
+					if obj := lw.objOf(id); obj != nil {
+						lw.addrTaken[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Package-level vars become globals, in declaration order.
+	type initSpec struct {
+		names []types.Object
+		exprs []ast.Expr
+	}
+	var inits []initSpec
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != gotoken.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var objs []types.Object
+				for _, name := range vs.Names {
+					obj := lw.info.Defs[name]
+					if name.Name == "_" || obj == nil {
+						objs = append(objs, nil)
+						continue
+					}
+					g := lw.b.Global(name.Name)
+					g.Pos = lw.pos(name.Pos())
+					lw.globals[obj] = g
+					lw.allGlobals = append(lw.allGlobals, g)
+					objs = append(objs, obj)
+				}
+				if len(vs.Values) > 0 {
+					inits = append(inits, initSpec{names: objs, exprs: vs.Values})
+				}
+			}
+		}
+	}
+
+	// Declare one procedure per function and method declaration.
+	type bodyWork struct {
+		decl *ast.FuncDecl
+		proc *ir.Procedure
+	}
+	var work []bodyWork
+	nameCount := map[string]int{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				if ok { // body-less declaration (assembly, linkname)
+					continue
+				}
+				continue
+			}
+			name := procName(fd)
+			nameCount[name]++
+			if nameCount[name] > 1 {
+				name = fmt.Sprintf("%s#%d", name, nameCount[name])
+			}
+			proc := lw.b.Proc(name, nil)
+			proc.Pos = lw.pos(fd.Pos())
+			lw.fileOf[proc] = lw.file(fd.Pos())
+			if obj := lw.info.Defs[fd.Name]; obj != nil {
+				lw.funcs[obj] = proc
+			}
+			lw.noteIdx[name] = len(lw.notes)
+			lw.notes = append(lw.notes, Note{Proc: name, File: lw.fileOf[proc], Confidence: High})
+			work = append(work, bodyWork{decl: fd, proc: proc})
+		}
+	}
+
+	// Declare every signature, then lower bodies in declaration order
+	// (forward and mutual calls need final arities).
+	states := make([]*procState, len(work))
+	for i, w := range work {
+		states[i] = lw.newProcState(w.proc, nil)
+		states[i].declareSignature(w.decl.Recv, w.decl.Type)
+	}
+	for i, w := range work {
+		states[i].lowerBody(w.decl.Body)
+	}
+
+	// Package-variable initializers run in $main: the initialized
+	// globals are modified, the read variables used, and calls inside
+	// initializer expressions contribute their external effects.
+	for _, is := range inits {
+		for _, obj := range is.names {
+			if g := lw.globals[obj]; g != nil {
+				lw.b.Mod(main, g)
+			}
+		}
+		for _, e := range is.exprs {
+			lw.initEffects(main, e)
+		}
+	}
+
+	sortNotes(lw.notes)
+	prog, err = lw.b.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, lw.notes, nil
+}
+
+// initEffects conservatively charges a package-variable initializer
+// expression to $main: every referenced global is used, and any call
+// is treated as external (initializers run before analysis scope).
+func (lw *lowerer) initEffects(main *ir.Procedure, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if g := lw.globals[lw.objOf(x)]; g != nil {
+				lw.b.Use(main, g)
+			}
+		case *ast.CallExpr:
+			if !lw.isTypeConv(x) && builtinName(lw, x) == "" {
+				lw.b.Mod(main, lw.ext())
+				lw.b.Use(main, lw.ext())
+			}
+		case *ast.FuncLit:
+			return false // too dynamic for init modeling; $external covers it
+		}
+		return true
+	})
+}
+
+// procName names a function declaration: "F" for functions,
+// "T.M" for methods (pointer receivers unwrap to the base type).
+func procName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + fd.Name.Name
+		default:
+			return "?." + fd.Name.Name
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (lw *lowerer) objOf(id *ast.Ident) types.Object {
+	if obj := lw.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return lw.info.Defs[id]
+}
+
+// rootIdent returns the base identifier of an lvalue path: the x of
+// x, x.f, x[i], *x, and parenthesized forms; nil when the path is
+// rooted in a call, literal, or other non-variable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isTypeConv reports whether a call expression is actually a type
+// conversion (T(x)).
+func (lw *lowerer) isTypeConv(call *ast.CallExpr) bool {
+	if tv, ok := lw.info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(lw *lowerer, call *ast.CallExpr) string {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+			continue
+		}
+		break
+	}
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj := lw.objOf(id); obj != nil {
+		if _, ok := obj.(*types.Builtin); ok {
+			return id.Name
+		}
+		return ""
+	}
+	// Unresolved (type errors): recognize by name so fuzzing inputs
+	// with missing info still lower the common builtins sanely.
+	switch id.Name {
+	case "append", "len", "cap", "copy", "delete", "clear", "make", "new",
+		"panic", "print", "println", "recover", "min", "max", "complex",
+		"real", "imag", "close":
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,739 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	gotoken "go/token"
+	"go/types"
+
+	"sideeffect/internal/ir"
+)
+
+// ---------------------------------------------------------------------
+// Prepass (walk A): declare every function-scoped variable in source
+// order and collect the flow-insensitive alias edges, before any
+// effect is recorded — so the worst-case escape set is complete from
+// the first statement. Closure literals are skipped; each closure runs
+// its own prepass when lowered.
+// ---------------------------------------------------------------------
+
+func (ps *procState) prepass(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			ps.preAssign(x.Lhs, x.Rhs, x.Tok == gotoken.DEFINE)
+		case *ast.ValueSpec:
+			var lhs []ast.Expr
+			for _, name := range x.Names {
+				lhs = append(lhs, name)
+			}
+			ps.preAssign(lhs, x.Values, true)
+		case *ast.RangeStmt:
+			ps.preRange(x)
+		case *ast.TypeSwitchStmt:
+			ps.preTypeSwitch(x)
+		}
+		return true
+	})
+}
+
+// preAssign declares defined locals and records alias/function-value
+// edges for one (multi-)assignment.
+func (ps *procState) preAssign(lhs, rhs []ast.Expr, define bool) {
+	lw := ps.lw
+	for _, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if define {
+			if obj := lw.info.Defs[id]; obj != nil {
+				ps.declareLocal(obj, id)
+			}
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			ps.preEdge(lhs[i], rhs[i], false)
+		}
+		return
+	}
+	// Tuple form: x, y := f() / m[k] / <-ch / v.(T).
+	if len(rhs) == 1 {
+		for _, l := range lhs {
+			ps.preEdge(l, rhs[0], true)
+		}
+	}
+}
+
+// preEdge records what lhs may come to point into after being
+// assigned rhs. tuple marks the multi-value unpacking forms.
+func (ps *procState) preEdge(lhs, rhs ast.Expr, tuple bool) {
+	lw := ps.lw
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := lw.objOf(id)
+	if obj == nil {
+		return
+	}
+	if t := obj.Type(); t != nil {
+		if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+			ps.preFuncBind(obj, rhs)
+			return
+		}
+		if !isRefType(t) {
+			return
+		}
+	}
+	add := func(o types.Object) {
+		ps.edges[obj] = append(ps.edges[obj], aliasEdge{obj: o})
+	}
+	rhs = unparen(rhs)
+	switch r := rhs.(type) {
+	case *ast.Ident:
+		if ro := lw.objOf(r); ro != nil && ro != obj {
+			if _, ok := ro.(*types.Var); ok {
+				add(ro)
+			}
+		} else if ro == nil {
+			add(nil)
+		}
+	case *ast.UnaryExpr:
+		if r.Op == gotoken.AND {
+			if _, fresh := unparen(r.X).(*ast.CompositeLit); fresh {
+				return // &T{...}: fresh storage
+			}
+			ps.rootEdge(add, r.X)
+			return
+		}
+		if r.Op == gotoken.ARROW {
+			add(nil) // received value: provenance unknown
+			return
+		}
+	case *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
+		// Fresh (or valueless) storage; a composite literal embedding
+		// existing pointers still only reaches what those point to,
+		// which the element vars' own edges cover conservatively when
+		// written through — accept the precision loss here.
+		return
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.IndexListExpr,
+		*ast.SliceExpr, *ast.StarExpr, *ast.TypeAssertExpr:
+		ps.rootEdge(add, rhs)
+		return
+	case *ast.CallExpr:
+		if lw.isTypeConv(r) {
+			if len(r.Args) == 1 {
+				ps.preEdge(lhs, r.Args[0], false)
+			}
+			return
+		}
+		switch builtinName(lw, r) {
+		case "append":
+			// append may return the same backing array: alias arg 0
+			// (and a spread tail).
+			if len(r.Args) > 0 {
+				ps.rootEdge(add, r.Args[0])
+				if r.Ellipsis.IsValid() && len(r.Args) > 1 {
+					ps.rootEdge(add, r.Args[len(r.Args)-1])
+				}
+			}
+			return
+		case "make", "new", "len", "cap", "min", "max", "recover":
+			return // fresh or non-reference results
+		case "":
+			add(nil) // real call: unknown provenance
+			return
+		default:
+			return
+		}
+	default:
+		if tuple {
+			add(nil)
+			return
+		}
+		return
+	}
+	_ = tuple
+}
+
+// rootEdge adds an edge to the root variable of an lvalue-ish path,
+// or an unknown edge when the path has no variable root.
+func (ps *procState) rootEdge(add func(types.Object), e ast.Expr) {
+	if id := rootIdent(e); id != nil {
+		if o := ps.lw.objOf(id); o != nil {
+			if _, ok := o.(*types.Var); ok {
+				add(o)
+				return
+			}
+			return // const/func root reaches nothing mutable
+		}
+	}
+	add(nil)
+}
+
+// preFuncBind tracks what callables a func-typed variable can hold.
+func (ps *procState) preFuncBind(obj types.Object, rhs ast.Expr) {
+	fb := ps.funcs[obj]
+	if fb == nil {
+		fb = &funcBinding{}
+		ps.funcs[obj] = fb
+	}
+	switch r := unparen(rhs).(type) {
+	case *ast.FuncLit:
+		fb.lits = append(fb.lits, r)
+	case *ast.Ident:
+		if p, ok := ps.lw.funcs[ps.lw.objOf(r)]; ok {
+			fb.procs = append(fb.procs, p)
+			return
+		}
+		fb.tainted = true
+	default:
+		fb.tainted = true
+	}
+}
+
+func (ps *procState) preRange(x *ast.RangeStmt) {
+	lw := ps.lw
+	for _, e := range []ast.Expr{x.Key, x.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if x.Tok == gotoken.DEFINE {
+			if obj := lw.info.Defs[id]; obj != nil {
+				ps.declareLocal(obj, id)
+			}
+		}
+		// A reference-typed element aliases the ranged container.
+		if obj := lw.objOf(id); obj != nil && obj.Type() != nil && isRefType(obj.Type()) {
+			ps.rootEdge(func(o types.Object) {
+				ps.edges[obj] = append(ps.edges[obj], aliasEdge{obj: o})
+			}, x.X)
+		}
+	}
+}
+
+func (ps *procState) preTypeSwitch(x *ast.TypeSwitchStmt) {
+	lw := ps.lw
+	var src ast.Expr
+	switch a := x.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				src = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := unparen(a.X).(*ast.TypeAssertExpr); ok {
+			src = ta.X
+		}
+	}
+	for _, cl := range x.Body.List {
+		obj := lw.info.Implicits[cl]
+		if obj == nil {
+			continue
+		}
+		ps.declareLocal(obj, nil)
+		if src != nil && obj.Type() != nil && isRefType(obj.Type()) {
+			ps.rootEdge(func(o types.Object) {
+				ps.edges[obj] = append(ps.edges[obj], aliasEdge{obj: o})
+			}, src)
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ---------------------------------------------------------------------
+// Effects (walk B): statements.
+// ---------------------------------------------------------------------
+
+func (ps *procState) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range x.List {
+			ps.stmt(t)
+		}
+	case *ast.ExprStmt:
+		ps.expr(x.X)
+	case *ast.AssignStmt:
+		ps.assign(x)
+	case *ast.IncDecStmt:
+		ps.expr(x.X)
+		ps.write(x.X)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == gotoken.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					} else if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						rhs = vs.Values[0]
+					}
+					if rhs != nil {
+						ps.bindOrExpr(name, rhs)
+						ps.write(name)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			ps.expr(e)
+		}
+	case *ast.IfStmt:
+		ps.stmt(x.Init)
+		ps.expr(x.Cond)
+		ps.stmt(x.Body)
+		ps.stmt(x.Else)
+	case *ast.ForStmt:
+		ps.forLoop(x)
+	case *ast.RangeStmt:
+		ps.rangeLoop(x)
+	case *ast.SwitchStmt:
+		ps.stmt(x.Init)
+		ps.expr(x.Tag)
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					ps.expr(e)
+				}
+				for _, t := range cc.Body {
+					ps.stmt(t)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		ps.stmt(x.Init)
+		if a, ok := x.Assign.(*ast.AssignStmt); ok {
+			for _, e := range a.Rhs {
+				ps.expr(e)
+			}
+		} else if e, ok := x.Assign.(*ast.ExprStmt); ok {
+			ps.expr(e.X)
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, t := range cc.Body {
+					ps.stmt(t)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				ps.stmt(cc.Comm)
+				for _, t := range cc.Body {
+					ps.stmt(t)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		ps.expr(x.Value)
+		ps.expr(x.Chan)
+		ps.hopEffect(x.Chan, true)
+	case *ast.GoStmt:
+		ps.call(x.Call)
+	case *ast.DeferStmt:
+		ps.call(x.Call)
+	case *ast.LabeledStmt:
+		ps.stmt(x.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// assign handles =, :=, and the compound operators.
+func (ps *procState) assign(x *ast.AssignStmt) {
+	compound := x.Tok != gotoken.ASSIGN && x.Tok != gotoken.DEFINE
+	if len(x.Lhs) == len(x.Rhs) {
+		for i := range x.Rhs {
+			ps.bindOrExpr(x.Lhs[i], x.Rhs[i])
+		}
+	} else {
+		for _, e := range x.Rhs {
+			ps.expr(e)
+		}
+	}
+	for _, l := range x.Lhs {
+		if compound {
+			ps.expr(l)
+		}
+		ps.write(l)
+	}
+}
+
+// bindOrExpr evaluates one rhs; when it is a closure literal (or named
+// function) being bound to a tracked func variable, the closure is
+// lowered without a may-run site — its calls create real sites.
+func (ps *procState) bindOrExpr(lhs, rhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if fb := ps.funcs[ps.lw.objOf(id)]; fb != nil {
+			switch r := unparen(rhs).(type) {
+			case *ast.FuncLit:
+				ps.closureProc(r)
+				return
+			case *ast.Ident:
+				if _, known := ps.lw.funcs[ps.lw.objOf(r)]; known {
+					return // named function value; sites appear at calls
+				}
+			}
+		}
+	}
+	ps.expr(rhs)
+}
+
+// ---------------------------------------------------------------------
+// Effects (walk B): expressions and lvalue writes.
+// ---------------------------------------------------------------------
+
+func (ps *procState) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		ps.useVar(x)
+	case *ast.BasicLit:
+	case *ast.BinaryExpr:
+		ps.expr(x.X)
+		ps.expr(x.Y)
+	case *ast.UnaryExpr:
+		ps.expr(x.X)
+		if x.Op == gotoken.ARROW {
+			// Receiving consumes channel state.
+			ps.hopEffect(x.X, true)
+		}
+	case *ast.StarExpr:
+		ps.expr(x.X)
+		ps.hopEffect(x.X, false)
+	case *ast.SelectorExpr:
+		ps.selector(x, false)
+	case *ast.IndexExpr:
+		ps.expr(x.Index)
+		ps.expr(x.X)
+		if ps.indexHops(x.X) {
+			ps.hopEffect(x.X, false)
+		}
+	case *ast.IndexListExpr:
+		ps.expr(x.X)
+	case *ast.SliceExpr:
+		ps.expr(x.X)
+		ps.expr(x.Low)
+		ps.expr(x.High)
+		ps.expr(x.Max)
+	case *ast.CallExpr:
+		ps.call(x)
+	case *ast.FuncLit:
+		proc := ps.closureProc(x)
+		ps.mayRun(x, proc)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			ps.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		if _, ok := x.Key.(*ast.Ident); !ok {
+			ps.expr(x.Key)
+		}
+		ps.expr(x.Value)
+	case *ast.TypeAssertExpr:
+		ps.expr(x.X)
+	case *ast.ParenExpr:
+		ps.expr(x.X)
+	case *ast.Ellipsis:
+		ps.expr(x.Elt)
+	}
+}
+
+// selector handles x.f reads: package-qualified references, degrading
+// packages (unsafe/cgo/broken imports), field reads through pointers.
+func (ps *procState) selector(x *ast.SelectorExpr, callee bool) {
+	lw := ps.lw
+	if path := ps.pkgNameOf(x.X); path != "" {
+		ps.degradingPkg(path)
+		if !callee {
+			if obj := lw.objOf(x.Sel); obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					lw.b.Use(ps.proc, lw.ext())
+				}
+			} else {
+				lw.b.Use(ps.proc, lw.ext())
+			}
+		}
+		return
+	}
+	ps.expr(x.X)
+	if selinfo, ok := lw.info.Selections[x]; ok && !callee && selinfo.Kind() == types.MethodVal {
+		// Method value escaping as data: whoever receives it may run
+		// it against this receiver.
+		ps.mayRunMethod(x, selinfo.Obj())
+		return
+	}
+	if t := ps.typeOf(x.X); t != nil {
+		if _, ok := t.Underlying().(*types.Pointer); ok && !callee {
+			ps.hopEffect(x.X, false)
+		}
+	}
+}
+
+// mayRunMethod charges an escaping bound method value x.M: a may-run
+// call site when M is a package method, otherwise the unknown-callee
+// effect on the receiver's storage.
+func (ps *procState) mayRunMethod(x *ast.SelectorExpr, method types.Object) {
+	lw := ps.lw
+	proc, known := lw.funcs[method]
+	if !known {
+		ps.refArgEffect(x.X)
+		lw.b.Mod(ps.proc, lw.ext())
+		lw.b.Use(ps.proc, lw.ext())
+		lw.degrade(ps.proc, "dynamic call")
+		return
+	}
+	var recvVar *ir.Variable
+	if id := rootIdent(x.X); id != nil {
+		recvVar = ps.lookup(lw.objOf(id))
+	}
+	if recvVar == nil {
+		recvVar = ps.fresh("tmp")
+	}
+	var actuals []ir.Actual
+	for i, f := range proc.Formals {
+		a := ir.Actual{Mode: f.Kind}
+		if i == 0 {
+			if f.Kind == ir.FormalRef {
+				a.Var = recvVar
+			} else {
+				a.Var = recvVar
+				a.Uses = []*ir.Variable{recvVar}
+			}
+		} else if f.Kind == ir.FormalRef {
+			a.Var = ps.fresh("cap")
+		}
+		actuals = append(actuals, a)
+	}
+	cs := lw.b.Call(ps.proc, proc, actuals, lw.pos(x.Pos()))
+	ps.sites = append(ps.sites, cs)
+}
+
+// degradingPkg notes the packages whose mere use voids the model.
+func (ps *procState) degradingPkg(path string) {
+	lw := ps.lw
+	switch path {
+	case "unsafe":
+		lw.degrade(ps.proc, "uses unsafe")
+		ps.escapeMod()
+	case "C":
+		lw.degrade(ps.proc, "uses cgo")
+		ps.escapeMod()
+	case "reflect":
+		lw.degrade(ps.proc, "uses reflection")
+		ps.escapeMod()
+	default:
+		if lw.importBroken[path] {
+			lw.degrade(ps.proc, fmt.Sprintf("unresolved import %q", path))
+			ps.escapeMod()
+		}
+	}
+}
+
+// indexHops reports whether indexing base crosses a reference hop
+// (slice, map, pointer-to-array) rather than staying inside a value
+// array.
+func (ps *procState) indexHops(base ast.Expr) bool {
+	t := ps.typeOf(base)
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Array, *types.Basic: // value array, string
+		return false
+	default:
+		return true
+	}
+}
+
+// hopEffect records a read (or write, when mod) of the storage behind
+// a reference hop rooted in path.
+func (ps *procState) hopEffect(path ast.Expr, mod bool) {
+	id := rootIdent(path)
+	if id == nil {
+		// No variable root (call result, literal): the storage may be
+		// anything reachable — worst case.
+		ps.escapeMod()
+		return
+	}
+	obj := ps.lw.objOf(id)
+	if obj == nil {
+		ps.escapeMod()
+		return
+	}
+	if _, ok := obj.(*types.PkgName); ok {
+		ps.lw.b.Use(ps.proc, ps.lw.ext())
+		if mod {
+			ps.lw.b.Mod(ps.proc, ps.lw.ext())
+		}
+		return
+	}
+	if mod {
+		ps.modThrough(obj)
+	} else {
+		ps.useThrough(obj)
+	}
+}
+
+// write records the effect of assigning to lvalue e: a direct write
+// modifies the root variable itself (unless the root is a by-reference
+// formal, whose direct binding is a caller-invisible copy); a write
+// across a reference hop modifies the storage reachable from the root.
+func (ps *procState) write(e ast.Expr) {
+	root, hop, external := ps.writePath(e)
+	if external {
+		ps.lw.b.Mod(ps.proc, ps.lw.ext())
+		return
+	}
+	if root == nil {
+		if hop {
+			ps.escapeMod()
+		}
+		return
+	}
+	obj := ps.lw.objOf(root)
+	if hop {
+		ps.useVar(root)
+		ps.modThrough(obj)
+		return
+	}
+	if root.Name == "_" {
+		return
+	}
+	if v := ps.lookup(obj); v != nil {
+		if v.Kind != ir.FormalRef {
+			ps.lw.b.Mod(ps.proc, v)
+		}
+	} else if isExternalVar(ps.lw, obj) {
+		ps.lw.b.Mod(ps.proc, ps.lw.ext())
+	}
+}
+
+// writePath walks an lvalue to its root, deciding whether the path
+// crosses a reference hop and whether it leaves the package.
+func (ps *procState) writePath(e ast.Expr) (root *ast.Ident, hop, external bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, hop, false
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			hop = true
+			e = x.X
+		case *ast.SelectorExpr:
+			if path := ps.pkgNameOf(x.X); path != "" {
+				ps.degradingPkg(path)
+				return nil, hop, true
+			}
+			if t := ps.typeOf(x.X); t == nil {
+				hop = true
+			} else if _, ok := t.Underlying().(*types.Pointer); ok {
+				hop = true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			ps.expr(x.Index)
+			if ps.indexHops(x.X) {
+				hop = true
+			}
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			hop = true
+			e = x.X
+		case *ast.SliceExpr:
+			hop = true
+			e = x.X
+		default:
+			return nil, true, false
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Loops.
+// ---------------------------------------------------------------------
+
+// forLoop lowers a counted for loop; if its body produced call sites,
+// the ⟨index, sites⟩ pair is recorded for the parallelizability rules.
+func (ps *procState) forLoop(x *ast.ForStmt) {
+	ps.stmt(x.Init)
+	ps.expr(x.Cond)
+	var index *ir.Variable
+	if init, ok := x.Init.(*ast.AssignStmt); ok && len(init.Lhs) > 0 {
+		if id, ok := init.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			index = ps.lookup(ps.lw.objOf(id))
+		}
+	}
+	before := len(ps.sites)
+	ps.stmt(x.Body)
+	ps.stmt(x.Post)
+	ps.recordLoop(index, before, x.For)
+}
+
+// rangeLoop lowers a range loop; uses the key as the loop index when
+// it is a tracked scalar.
+func (ps *procState) rangeLoop(x *ast.RangeStmt) {
+	ps.expr(x.X)
+	if t := ps.typeOf(x.X); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Basic, *types.Array:
+		default:
+			ps.hopEffect(x.X, false)
+		}
+	}
+	var index *ir.Variable
+	for _, e := range []ast.Expr{x.Key, x.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if v := ps.lookup(ps.lw.objOf(id)); v != nil {
+				ps.lw.b.Mod(ps.proc, v)
+				if index == nil {
+					index = v
+				}
+			}
+		}
+	}
+	before := len(ps.sites)
+	ps.stmt(x.Body)
+	ps.recordLoop(index, before, x.For)
+}
+
+func (ps *procState) recordLoop(index *ir.Variable, before int, pos gotoken.Pos) {
+	if len(ps.sites) == before {
+		return
+	}
+	if index == nil || index.Kind == ir.FormalRef {
+		ps.loopN++
+		index = ps.lw.b.Local(ps.proc, fmt.Sprintf("$idx%d", ps.loopN))
+	}
+	sites := make([]*ir.CallSite, len(ps.sites)-before)
+	copy(sites, ps.sites[before:])
+	ps.lw.b.Loop(ps.proc, index, sites, ps.lw.pos(pos))
+}

@@ -21,6 +21,9 @@ type lintRequest struct {
 	Disable     []string `json:"disable,omitempty"`
 	MinSeverity string   `json:"minSeverity,omitempty"`
 	Format      string   `json:"format,omitempty"`
+	// Lang selects the frontend ("" or "minipl" for MiniPL, "go" for
+	// a single-file Go package), like /analyze.
+	Lang string `json:"lang,omitempty"`
 }
 
 // lintDiagnostic is one finding on the wire — the same field set the
@@ -121,12 +124,19 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) (int, any, *
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}
-	entry, key, outcome, apiErr := s.analyzeCached(r.Context(), req.Source)
+	if req.Lang == "" {
+		req.Lang = r.URL.Query().Get("lang")
+	}
+	entry, key, outcome, apiErr := s.analyzeCachedLang(r.Context(), req.Lang, req.Source)
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}
 	defer entry.release()
-	resp, apiErr := s.buildLintResponse(r.Context(), entry.a, "source.mpl", cfg, req.Format)
+	file := "source.mpl"
+	if req.Lang == "go" {
+		file = "source.go"
+	}
+	resp, apiErr := s.buildLintResponse(r.Context(), entry.a, file, cfg, req.Format)
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}

@@ -41,6 +41,7 @@ import (
 	"sideeffect/internal/cache"
 	"sideeffect/internal/core"
 	"sideeffect/internal/faultinject"
+	"sideeffect/internal/gofront"
 	"sideeffect/internal/report"
 )
 
@@ -130,6 +131,10 @@ type cached struct {
 	json     *report.JSONReport
 	textOnce sync.Once
 	text     string
+	// Go-frontend entries carry the per-function lowering-confidence
+	// notes and the rendered confidence table appended to text reports.
+	notes []gofront.Note
+	conf  string
 }
 
 func (e *cached) acquire() { e.refs.Add(1) }
@@ -166,6 +171,15 @@ func fingerprint(a *sideeffect.Analysis) uint64 {
 func newCached(a *sideeffect.Analysis) *cached {
 	e := &cached{a: a, sum: fingerprint(a)}
 	e.refs.Store(1)
+	return e
+}
+
+// newCachedGo wraps a Go-package analysis, keeping the frontend's
+// confidence notes alongside the analysis.
+func newCachedGo(r sideeffect.GoResult) *cached {
+	e := newCached(r.Analysis)
+	e.notes = r.Pkg.Notes
+	e.conf = r.Pkg.ConfidenceReport()
 	return e
 }
 
@@ -236,7 +250,12 @@ func (e *cached) jsonReport() *report.JSONReport {
 }
 
 func (e *cached) textReport() string {
-	e.textOnce.Do(func() { e.text = e.a.Report() })
+	e.textOnce.Do(func() {
+		e.text = e.a.Report()
+		if e.conf != "" {
+			e.text += "\n" + e.conf
+		}
+	})
 	return e.text
 }
 
@@ -536,11 +555,47 @@ func (s *Server) analyzeCached(ctx context.Context, src string) (*cached, string
 	return entry, key, outcome, nil
 }
 
+// analyzeCachedLang dispatches by input language: "" and "minipl" use
+// the MiniPL path (and its cache namespace); "go" lowers the source as
+// a single-file Go package under a language-prefixed cache key, so the
+// two frontends can never serve each other's entries. The Go key is
+// content-addressed over the same bytes the package hash covers.
+func (s *Server) analyzeCachedLang(ctx context.Context, lang, src string) (*cached, string, cache.Outcome, *apiError) {
+	switch lang {
+	case "", "minipl":
+		return s.analyzeCached(ctx, src)
+	case "go":
+	default:
+		return nil, "", 0, errBadRequest("unknown lang %q (want minipl or go)", lang)
+	}
+	key := cache.Key("go\x00" + src)
+	entry, outcome, err := s.cache.Do(key, func() (*cached, error) {
+		start := time.Now()
+		popts := s.opts
+		popts.Profile = true
+		res, err := sideeffect.AnalyzeGoSource("source.go", src, popts)
+		if err != nil {
+			return nil, err
+		}
+		s.met.observeAnalysis(time.Since(start).Seconds())
+		s.met.observeStages(res.Analysis.Stages.Snapshot())
+		return newCachedGo(res), nil
+	})
+	if err != nil {
+		return nil, key, outcome, errFrom(err)
+	}
+	return entry, key, outcome, nil
+}
+
 // analyzeRequest is the /analyze body. Query is optional; without it
 // the response carries the full JSON report.
 type analyzeRequest struct {
 	Source string        `json:"source"`
 	Query  *analyzeQuery `json:"query,omitempty"`
+	// Lang selects the frontend: "" or "minipl" for MiniPL source,
+	// "go" to lower Source as a single-file Go package. The ?lang=
+	// query parameter sets it too (the body wins when both appear).
+	Lang string `json:"lang,omitempty"`
 }
 
 // analyzeQuery selects one answer instead of the full report. Kind is
@@ -560,6 +615,9 @@ type analyzeResponse struct {
 	Text      string                `json:"text,omitempty"`
 	Names     []string              `json:"names,omitempty"`
 	CallSites []sideeffect.CallSite `json:"callSites,omitempty"`
+	// Notes carries the Go frontend's per-function lowering-confidence
+	// records (absent for MiniPL sources).
+	Notes []gofront.Note `json:"notes,omitempty"`
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
@@ -570,12 +628,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (int, any
 	if req.Source == "" {
 		return 0, nil, errBadRequest("missing \"source\"")
 	}
-	entry, key, outcome, apiErr := s.analyzeCached(r.Context(), req.Source)
+	if req.Lang == "" {
+		req.Lang = r.URL.Query().Get("lang")
+	}
+	entry, key, outcome, apiErr := s.analyzeCachedLang(r.Context(), req.Lang, req.Source)
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}
 	defer entry.release()
-	resp := analyzeResponse{Hash: key, Cached: outcome == cache.Hit}
+	resp := analyzeResponse{Hash: key, Cached: outcome == cache.Hit, Notes: entry.notes}
 	if req.Query == nil || req.Query.Kind == "" {
 		resp.Report = entry.jsonReport()
 		return http.StatusOK, resp, nil

@@ -70,4 +70,39 @@ done
 # -list names every rule.
 /tmp/modlint -list | grep -q SE007 || fail "-list missing SE007"
 
+# --- Go frontend (-lang=go) ---------------------------------------------
+# The fixture corpus pins modlint's Go output with the same golden
+# files the in-process test uses (testdata/gofront/golden, refreshed
+# by `go test -run TestGoFrontCorpus -update .`).
+GOPKGS=(pure aliashaz deadglobal loops unknowncalls)
+
+for base in "${GOPKGS[@]}"; do
+  dir="testdata/gofront/$base"
+  for fmt in txt json sarif; do
+    flag="$fmt"; [ "$fmt" = txt ] && flag=text
+    /tmp/modlint -lang=go -format "$flag" "$dir" >"/tmp/lint_smoke_go.$fmt" 2>/dev/null || true
+    cmp -s "/tmp/lint_smoke_go.$fmt" "testdata/gofront/golden/$base.lint.$fmt" \
+      || fail "go $base $fmt output drifted from golden"
+  done
+done
+
+# Degraded-confidence attribution lands on stderr, not in the report.
+/tmp/modlint -lang=go testdata/gofront/unknowncalls >/dev/null 2>/tmp/lint_smoke_go.err || true
+grep -q "degraded confidence" /tmp/lint_smoke_go.err \
+  || fail "no degraded-confidence notice for unknowncalls"
+
+# A bad language is a usage error.
+/tmp/modlint -lang=cobol testdata/gofront/pure >/dev/null 2>&1 && fail "-lang=cobol accepted" || code=$?
+[ "$code" = 2 ] || fail "-lang=cobol exited $code, want 2"
+
+# Go batches render byte-identically sequentially and on a pool.
+ALLGO=()
+for base in "${GOPKGS[@]}"; do ALLGO+=("testdata/gofront/$base"); done
+/tmp/modlint -lang=go -format sarif -j 1 "${ALLGO[@]}" >/tmp/lint_smoke_go.batch1 2>/dev/null || true
+for rep in 1 2 3; do
+  /tmp/modlint -lang=go -format sarif -j 4 "${ALLGO[@]}" >/tmp/lint_smoke_go.batch2 2>/dev/null || true
+  cmp -s /tmp/lint_smoke_go.batch1 /tmp/lint_smoke_go.batch2 \
+    || fail "go parallel batch output differs from sequential (rep $rep)"
+done
+
 echo "lint_smoke: OK"

@@ -1,0 +1,31 @@
+// Package aliashaz manufactures the Section-5 precision loss: a
+// global passed by reference aliases a formal, and a call inside the
+// aliased procedure modifies one side of the pair — so the write is
+// visible through both names and SE003 (alias-hazard) fires.
+package aliashaz
+
+var shared int
+
+// raise writes through its pointer formal.
+func raise(p *int) { *p += 1 }
+
+// middle enters with ⟨shared, q⟩ possibly aliased and then calls
+// raise(q), whose DMOD contains q: the hazard site.
+func middle(q *int) { raise(q) }
+
+// Trigger passes the global's address down the chain.
+func Trigger() { middle(&shared) }
+
+// Twice passes the same local to both formals — the two-formal alias;
+// the call to raise inside both modifies one side of the pair.
+func Twice() int {
+	x := 0
+	both(&x, &x)
+	return x
+}
+
+// both forwards its first formal into raise and reads the second.
+func both(a, b *int) {
+	raise(a)
+	_ = *b
+}

@@ -1,0 +1,13 @@
+// Package appendinplace contrasts the two append idioms: growing
+// through a *[]T pointer mutates the caller's slice, while the
+// value-returning form leaves the argument untouched.
+package appendinplace
+
+// Grow appends through the pointer — the caller's header changes.
+func Grow(s *[]int, x int) { *s = append(*s, x) }
+
+// GrowMany appends several values through one hop.
+func GrowMany(s *[]int, xs ...int) { *s = append(*s, xs...) }
+
+// Appended returns a fresh header; the argument is not modified.
+func Appended(s []int, x int) []int { return append(s, x) }

@@ -1,0 +1,35 @@
+// Package closures exercises function literals capturing outer
+// variables: the lowered closure is a procedure nested inside its
+// host, so captured-variable effects flow to callers by lexical
+// nesting exactly as in the paper's Section 4 formulation.
+package closures
+
+// MakeCounter returns a closure that mutates the captured n; the
+// closure escapes, so calling it must count as modifying n.
+func MakeCounter() func() int {
+	n := 0
+	return func() int {
+		n++
+		return n
+	}
+}
+
+// SumWith runs a locally bound closure over the slice; acc is
+// captured and mutated, xs is only read.
+func SumWith(xs []int) int {
+	acc := 0
+	add := func(x int) { acc += x }
+	for _, x := range xs {
+		add(x)
+	}
+	return acc
+}
+
+// FillVia mutates the slice parameter from inside a closure: the
+// write must escape the literal and land s in the host's RMOD.
+func FillVia(s []int, v int) {
+	set := func(i int) { s[i] = v }
+	for i := range s {
+		set(i)
+	}
+}

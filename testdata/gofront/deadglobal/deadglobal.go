@@ -1,0 +1,16 @@
+// Package deadglobal declares a package variable no function reads or
+// writes: SE004 (dead-global) must flag it, while the live global
+// stays unflagged.
+package deadglobal
+
+// unused is in no GMOD and no GUSE anywhere.
+var unused int
+
+// live is read and written below.
+var live int
+
+// Touch keeps live alive.
+func Touch() { live++ }
+
+// See reads live.
+func See() int { return live }

@@ -1,0 +1,30 @@
+// Package globals exercises package-level variables: initializer
+// effects land in the synthetic main, and every function's global
+// reads and writes show up in GMOD/GUSE.
+package globals
+
+var (
+	counter int
+	limit   = 100
+	history []int
+)
+
+// Bump writes one global and reads another.
+func Bump() {
+	if counter < limit {
+		counter++
+	}
+}
+
+// Record appends to the global history in place.
+func Record(x int) { history = append(history, x) }
+
+// Current reads the counter only.
+func Current() int { return counter }
+
+// ResetAll writes every global.
+func ResetAll() {
+	counter = 0
+	limit = 100
+	history = nil
+}

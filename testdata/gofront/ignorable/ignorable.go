@@ -1,0 +1,13 @@
+// Package ignorable stages a call with dead effects: smudge writes a
+// global nothing ever reads, so the call's entire MOD set is unused
+// afterwards and SE005 (ignorable-call) flags the site.
+package ignorable
+
+// scratch is written but never read anywhere in the package.
+var scratch int
+
+// smudge blind-writes the global (no read, so GUSE stays empty).
+func smudge() { scratch = 1 }
+
+// Trigger calls smudge; everything the call modifies is dead.
+func Trigger() { smudge() }

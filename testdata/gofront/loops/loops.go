@@ -1,0 +1,44 @@
+// Package loops puts call sites inside for and range loops so the
+// loop-verdict rules (SE006 parallelizable / SE007 serial) have
+// something to judge on lowered Go.
+package loops
+
+var total int
+
+// accumulate writes the global — a loop-carried dependence.
+func accumulate(x int) { total += x }
+
+// store writes one slice element.
+func store(s []int, i, v int) { s[i] = v }
+
+// SumAll calls the accumulator from a range loop; the shared global
+// makes every iteration depend on the last.
+func SumAll(xs []int) int {
+	total = 0
+	for _, x := range xs {
+		accumulate(x)
+	}
+	return total
+}
+
+// FillAll calls the element writer from an indexed loop.
+func FillAll(s []int, v int) {
+	for i := 0; i < len(s); i++ {
+		store(s, i, v)
+	}
+}
+
+// check is pure — the only call inside CountPos's loop.
+func check(x int) bool { return x > 0 }
+
+// CountPos calls a pure function every iteration: no shared writes
+// between iterations, so the loop is parallelizable.
+func CountPos(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		if check(x) {
+			n++
+		}
+	}
+	return n
+}

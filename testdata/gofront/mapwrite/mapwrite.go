@@ -1,0 +1,15 @@
+// Package mapwrite exercises map mutation: element writes, delete, and
+// clear all modify the shared map the caller passed in.
+package mapwrite
+
+// Put inserts or overwrites a key.
+func Put(m map[string]int, k string, v int) { m[k] = v }
+
+// Drop removes a key via the delete builtin.
+func Drop(m map[string]int, k string) { delete(m, k) }
+
+// Reset empties the map in place.
+func Reset(m map[string]int) { clear(m) }
+
+// Get only reads; the map formal stays out of RMOD.
+func Get(m map[string]int, k string) int { return m[k] }

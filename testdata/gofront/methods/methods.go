@@ -1,0 +1,27 @@
+// Package methods exercises method calls, pointer receivers, and
+// methods promoted through embedding.
+package methods
+
+// Counter is the base type: Inc mutates, Get is pure.
+type Counter struct{ n int }
+
+// Inc modifies the receiver.
+func (c *Counter) Inc() { c.n++ }
+
+// Get reads the receiver only (SE001 on the receiver, SE002 pure).
+func (c *Counter) Get() int { return c.n }
+
+// Wrapper embeds Counter; Inc and Get are promoted.
+type Wrapper struct {
+	Counter
+	tag string
+}
+
+// Touch calls the promoted Inc — the effect must reach w.
+func Touch(w *Wrapper) { w.Inc() }
+
+// Label reads through the promoted Get.
+func Label(w *Wrapper) int { return w.Get() }
+
+// Reset writes a field directly on the embedded value.
+func Reset(w *Wrapper) { w.Counter.n = 0 }

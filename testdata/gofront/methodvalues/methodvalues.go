@@ -1,0 +1,19 @@
+// Package methodvalues exercises escaping method values: c.Inc used
+// as a value may run later, so the receiver must be charged as
+// modified at the point the value escapes.
+package methodvalues
+
+// Gauge is mutated through its pointer methods.
+type Gauge struct{ v int }
+
+// Inc modifies the receiver.
+func (g *Gauge) Inc() { g.v++ }
+
+// Read is pure.
+func (g *Gauge) Read() int { return g.v }
+
+// Bound returns g.Inc as a first-class value; g escapes as modified.
+func Bound(g *Gauge) func() { return g.Inc }
+
+// Observer returns the pure method value; g must not enter RMOD.
+func Observer(g *Gauge) func() int { return g.Read }

@@ -1,0 +1,20 @@
+// Package ptrwrite exercises writes through pointer parameters: each
+// *p = v must land the formal in RMOD and the caller's argument in the
+// call's MOD set.
+package ptrwrite
+
+// Set stores through its pointer.
+func Set(p *int, v int) { *p = v }
+
+// Swap modifies both pointees.
+func Swap(a, b *int) {
+	t := *a
+	*a = *b
+	*b = t
+}
+
+// Bump is a read-modify-write through one hop.
+func Bump(p *int) { *p++ }
+
+// Peek only reads; p should stay out of RMOD (SE001).
+func Peek(p *int) int { return *p }

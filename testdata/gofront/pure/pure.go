@@ -1,0 +1,33 @@
+// Package pure holds functions with no caller-visible side effects:
+// every one should be flagged SE002 (pure-procedure), and the slice
+// parameter of Sum, never written through, should be flagged SE001.
+package pure
+
+// Add is arithmetic only.
+func Add(a, b int) int { return a + b }
+
+// Max branches but writes nothing outside its frame.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sum reads its slice without modifying it.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Scale allocates a fresh slice; the input stays untouched.
+func Scale(xs []int, k int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package slicewrite exercises in-place slice element writes: s[i] = v
+// mutates the backing array the caller sees, so the slice formal must
+// enter RMOD even though the header itself is passed by value.
+package slicewrite
+
+// Fill overwrites every element in place.
+func Fill(s []int, v int) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// SetFirst writes a single element.
+func SetFirst(s []int, v int) {
+	if len(s) > 0 {
+		s[0] = v
+	}
+}
+
+// First reads without writing; the formal stays out of RMOD.
+func First(s []int) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+// Rebind reassigns the local header only — callers observe nothing.
+func Rebind(s []int) int {
+	s = s[1:]
+	return len(s)
+}

@@ -1,0 +1,34 @@
+// Package structfields exercises field writes through pointers,
+// nested structs, and struct values mixed with reference components.
+package structfields
+
+// Point is a flat value struct.
+type Point struct{ X, Y int }
+
+// Box nests a Point and carries a reference component.
+type Box struct {
+	Min, Max Point
+	Tags     []string
+}
+
+// MovePoint writes both fields through the pointer.
+func MovePoint(p *Point, dx, dy int) {
+	p.X += dx
+	p.Y += dy
+}
+
+// Widen writes a nested field through one hop.
+func Widen(b *Box, by int) { b.Max.X += by }
+
+// Tag mutates the slice reached through a struct value: the backing
+// array is shared even though b is passed by value.
+func Tag(b Box, i int, t string) {
+	if i < len(b.Tags) {
+		b.Tags[i] = t
+	}
+}
+
+// Area reads fields only.
+func Area(b *Box) int {
+	return (b.Max.X - b.Min.X) * (b.Max.Y - b.Min.Y)
+}

@@ -1,0 +1,21 @@
+// Package unknowncalls leans on code the frontend cannot see: calls
+// into unanalyzed packages must degrade soundly to worst-case effects
+// and mark the calling function's confidence as degraded.
+package unknowncalls
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Log calls into fmt — unknown effects, degraded confidence.
+func Log(msg string) { fmt.Println(msg) }
+
+// Shout combines a local computation with an unanalyzed call.
+func Shout(msg string) string {
+	out := strings.ToUpper(msg)
+	return out + "!"
+}
+
+// Quiet never leaves the package and stays high-confidence.
+func Quiet(a, b int) int { return a * b }

@@ -14,13 +14,22 @@
 //	GET    /session/{id}       session state and report
 //	POST   /session/{id}/edit  apply an edit (incremental or full)
 //	DELETE /session/{id}       close a session
+//	GET    /index/status       watch-mode indexer summary
+//	GET    /index/files        watch-mode per-file table
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness probe
 //	GET    /debug/pprof/       profiling; /debug/vars for expvar
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
-// accepting connections, drains in-flight requests for up to
-// -drain, then exits.
+// With -watch the daemon also runs the persistent indexer over a
+// directory tree, keeping analyses warm across edits; with -state-dir
+// it checkpoints its warm state (cache entries, sessions, index) to
+// disk and restores it on the next start, so a restarted daemon
+// answers its first queries for unchanged sources from the persisted
+// snapshot.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops the
+// watcher, stops accepting connections, drains in-flight requests for
+// up to -drain, then flushes a final checkpoint and exits.
 package main
 
 import (
@@ -33,10 +42,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"sideeffect"
+	"sideeffect/internal/indexer"
 	"sideeffect/internal/server"
+	"sideeffect/internal/store"
 )
 
 func main() {
@@ -63,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		queue     = fs.Int("max-queue", 64, "max requests waiting for an admission slot before shedding with 429 (-1 = unlimited)")
 		faultRate = fs.Float64("fault-rate", 0, "chaos-testing fault probability per fault point (0 = off)")
 		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed; same seed + request sequence replays the same faults")
+		watch     = fs.String("watch", "", "directory tree to index and keep warm (empty = no watcher)")
+		stateDir  = fs.String("state-dir", "", "directory for persisted checkpoints (empty = no persistence)")
+		langs     = fs.String("lang", "minipl,go", "comma-separated frontends the watcher indexes (minipl, go)")
+		poll      = fs.Duration("poll", 250*time.Millisecond, "watcher scan interval")
+		debounce  = fs.Duration("debounce", 500*time.Millisecond, "quiet window after the last change before a batch is processed")
+		ckptEvery = fs.Duration("checkpoint", 30*time.Second, "periodic checkpoint interval (requires -state-dir)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modand [flags]\n")
@@ -91,6 +111,109 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 	if *faultRate > 0 {
 		fmt.Fprintf(stdout, "modand: CHAOS MODE: injecting faults at rate %g (seed %d)\n", *faultRate, *faultSeed)
 	}
+
+	// Persistence: restore the previous checkpoint before serving, so
+	// the first request for an unchanged source is a warm hit. A
+	// corrupt checkpoint degrades to a clean cold start — the store
+	// never yields a partial or wrong answer.
+	var (
+		st       *store.Store
+		restored *store.Checkpoint
+	)
+	if *stateDir != "" {
+		var err error
+		st, err = store.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "modand: state: %v\n", err)
+			return 1
+		}
+		cp, err := st.Load()
+		switch {
+		case errors.Is(err, store.ErrCorrupt):
+			fmt.Fprintf(stdout, "modand: state: %v; starting cold\n", err)
+		case err != nil:
+			fmt.Fprintf(stderr, "modand: state: %v\n", err)
+			return 1
+		case cp != nil:
+			entries, sess := srv.ImportCheckpoint(cp)
+			fmt.Fprintf(stdout, "modand: state: restored %d cache entries, %d sessions\n", entries, sess)
+			restored = cp
+		}
+	}
+
+	// Watch mode: index the tree and publish results into the server's
+	// cache. Restored index state lets the first scan skip unchanged
+	// files entirely.
+	var ix *indexer.Indexer
+	if *watch != "" {
+		root, err := filepath.Abs(*watch)
+		if err != nil {
+			fmt.Fprintf(stderr, "modand: watch: %v\n", err)
+			return 1
+		}
+		ix = indexer.New(indexer.Config{
+			Root:        root,
+			Langs:       strings.Split(*langs, ","),
+			Poll:        *poll,
+			Debounce:    *debounce,
+			MaxSessions: *sessions,
+			Opts:        sideeffect.Options{Workers: *jobs},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stdout, format+"\n", args...)
+			},
+		}, srv)
+		if restored != nil && restored.Index != nil {
+			if n := ix.RestoreState(restored.Index); n > 0 {
+				fmt.Fprintf(stdout, "modand: index: primed %d files from state\n", n)
+			}
+		}
+		srv.AttachIndex(ix)
+		ix.Start()
+		fmt.Fprintf(stdout, "modand: watching %s\n", root)
+	}
+
+	// saveCheckpoint flushes the warm state. Periodic saves are quiet
+	// (errors only); the final SIGTERM-drain flush logs size and
+	// duration so operators can see the persistence cost.
+	saveCheckpoint := func(verbose bool) {
+		if st == nil {
+			return
+		}
+		cp := srv.ExportCheckpoint()
+		if ix != nil {
+			cp.Index = ix.ExportState()
+		}
+		stats, err := st.Save(cp)
+		if err != nil {
+			fmt.Fprintf(stderr, "modand: checkpoint: %v\n", err)
+			return
+		}
+		srv.NoteCheckpoint(stats)
+		if verbose {
+			fmt.Fprintf(stdout, "modand: checkpoint: %d entries, %d sessions, %d bytes in %s\n",
+				stats.Entries, stats.Sessions, stats.Bytes, stats.Duration.Round(time.Microsecond))
+		}
+	}
+	ckptStop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if st != nil && *ckptEvery > 0 {
+		go func() {
+			defer close(ckptDone)
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-t.C:
+					saveCheckpoint(false)
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
+	}
+
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -123,16 +246,28 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		fmt.Fprintf(stdout, "modand: shutdown requested, draining for up to %v\n", *drain)
 	}
 
+	// Shutdown order: stop the watcher first (it absorbs any pending
+	// batch, so the final checkpoint reflects disk), stop periodic
+	// checkpoints (the final flush must not race one), drain HTTP,
+	// then flush the final checkpoint.
+	if ix != nil {
+		ix.Stop()
+	}
+	close(ckptStop)
+	<-ckptDone
+
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stderr, "modand: drain incomplete: %v\n", err)
+		saveCheckpoint(true)
 		return 1
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(stderr, "modand: %v\n", err)
 		return 1
 	}
+	saveCheckpoint(true)
 	fmt.Fprintln(stdout, "modand: bye")
 	return 0
 }

@@ -269,6 +269,42 @@ func (c *Cache[V]) Clear() {
 	c.ll.Init()
 }
 
+// KV pairs one stored key with its value, as returned by Snapshot.
+type KV[V any] struct {
+	Key string
+	Val V
+}
+
+// Snapshot returns every cached entry in recency order (most recently
+// used first), without touching the hit/miss counters or recency. With
+// an Acquire hook installed, the caller receives one reference per
+// returned value and must release each when done — the checkpoint
+// exporter uses this so entries evicted mid-export stay readable.
+func (c *Cache[V]) Snapshot() []KV[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]KV[V], 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[V])
+		if c.Acquire != nil {
+			c.Acquire(e.val)
+		}
+		out = append(out, KV[V]{Key: e.key, Val: e.val})
+	}
+	return out
+}
+
+// Contains reports whether key is currently stored, without counting
+// the lookup, bumping recency, validating, or handing out a
+// reference. The watch-mode indexer uses it to classify already-known
+// content (renames, restarts) as warm without disturbing the LRU.
+func (c *Cache[V]) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Cache[V]) Stats() Stats {
 	c.mu.Lock()

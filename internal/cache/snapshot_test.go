@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRecencyOrderAndRefs pins the checkpoint exporter's
+// contract: Snapshot returns every entry most-recently-used first,
+// hands the caller one reference per value, and disturbs neither the
+// counters nor the eviction order.
+func TestSnapshotRecencyOrderAndRefs(t *testing.T) {
+	c := New[int](8)
+	refs := map[int]int{}
+	c.Acquire = func(v int) { refs[v]++ }
+	c.Drop = func(v int) { refs[v]-- }
+
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // a becomes most recently used
+
+	before := c.Stats()
+	snap := c.Snapshot()
+	var keys []string
+	for _, kv := range snap {
+		keys = append(keys, kv.Key)
+	}
+	if want := []string{"a", "c", "b"}; !reflect.DeepEqual(keys, want) {
+		t.Errorf("Snapshot order = %v, want %v", keys, want)
+	}
+	// One reference per snapshotted value, on top of the cache's own
+	// and the one Get handed out for a.
+	if refs[1] != 3 || refs[2] != 2 || refs[3] != 2 {
+		t.Errorf("refs after Snapshot = %v, want a:3 b:2 c:2", refs)
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("Snapshot moved counters: %+v → %+v", before, after)
+	}
+
+	// Recency untouched: the next eviction removes b (oldest), not a.
+	c2 := New[int](3)
+	c2.Put("a", 1)
+	c2.Put("b", 2)
+	c2.Put("c", 3)
+	c2.Get("a")
+	c2.Snapshot()
+	c2.Put("d", 4)
+	if _, ok := c2.Get("b"); ok {
+		t.Error("LRU victim after Snapshot was not b")
+	}
+	if _, ok := c2.Get("a"); !ok {
+		t.Error("Snapshot disturbed recency of a")
+	}
+}
+
+// TestSnapshotKeepsEvictedValueAlive pins why Snapshot references
+// matter: a value evicted mid-export must stay usable until the
+// exporter releases it.
+func TestSnapshotKeepsEvictedValueAlive(t *testing.T) {
+	alive := map[int]int{}
+	c := New[int](1)
+	c.Acquire = func(v int) { alive[v]++ }
+	c.Drop = func(v int) { alive[v]-- }
+	c.Put("a", 1)
+	snap := c.Snapshot()
+	c.Put("b", 2) // evicts a, dropping the cache's reference
+	if alive[1] != 1 {
+		t.Errorf("evicted value's snapshot reference gone: alive = %v", alive)
+	}
+	for range snap {
+		// Exporter done: release the snapshot reference.
+		alive[1]--
+	}
+	if alive[1] != 0 {
+		t.Errorf("reference accounting off after release: %v", alive)
+	}
+}
+
+// TestContainsIsInert pins Contains: membership only — no counters, no
+// recency bump, no references, no validation.
+func TestContainsIsInert(t *testing.T) {
+	c := New[int](2)
+	validated := 0
+	c.Validate = func(string, int) bool { validated++; return true }
+	acquired := 0
+	c.Acquire = func(int) { acquired++ }
+
+	c.Put("a", 1)
+	c.Put("b", 2)
+	baseAcquired := acquired
+	before := c.Stats()
+
+	if !c.Contains("a") || !c.Contains("b") || c.Contains("nope") {
+		t.Error("Contains membership wrong")
+	}
+	if acquired != baseAcquired {
+		t.Error("Contains handed out a reference")
+	}
+	if validated != 0 {
+		t.Error("Contains ran validation")
+	}
+	after := c.Stats()
+	if after != before {
+		t.Errorf("Contains moved stats: %+v → %+v", before, after)
+	}
+
+	// No recency bump: a is still the LRU victim even after Contains(a).
+	c.Contains("a")
+	c.Put("c", 3)
+	if c.Contains("a") {
+		t.Error("Contains bumped recency; a survived eviction")
+	}
+}

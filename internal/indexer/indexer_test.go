@@ -1,0 +1,366 @@
+package indexer
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sideeffect/internal/store"
+)
+
+const idxSrc = `
+program incr;
+global g, h;
+
+proc leaf(ref x)
+begin
+  x := 1
+end;
+
+proc mid(ref y)
+begin
+  call leaf(y)
+end;
+
+begin
+  call mid(g)
+end.
+`
+
+const idxGoSrc = `package p
+
+var counter int
+
+func Bump(p *int) { *p++; counter++ }
+`
+
+// fakeTarget records installed snapshots, standing in for the server.
+type fakeTarget struct {
+	mu       sync.Mutex
+	entries  map[string]*store.EntrySnapshot
+	installs int
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{entries: make(map[string]*store.EntrySnapshot)}
+}
+
+func (f *fakeTarget) InstallSnapshot(snap *store.EntrySnapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.entries[snap.Key] = snap
+	f.installs++
+	return nil
+}
+
+func (f *fakeTarget) HasEntry(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.entries[key]
+	return ok
+}
+
+func (f *fakeTarget) installCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.installs
+}
+
+// fastConfig is tuned so watcher tests converge in tens of
+// milliseconds: scans every 2ms, batches after an 8ms quiet window.
+func fastConfig(root string) Config {
+	return Config{Root: root, Poll: 2 * time.Millisecond, Debounce: 8 * time.Millisecond}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func startIndexer(t *testing.T, cfg Config, target Target) *Indexer {
+	t.Helper()
+	ix := New(cfg, target)
+	ix.Start()
+	t.Cleanup(ix.Stop)
+	return ix
+}
+
+// TestIndexColdStart covers the basic path: files already on disk are
+// indexed on the first scan and their rendered snapshots installed
+// under the same keys the server's request handlers derive.
+func TestIndexColdStart(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "a.mpl"), idxSrc)
+	writeFile(t, filepath.Join(dir, "b.go"), idxGoSrc)
+	ft := newFakeTarget()
+	ix := startIndexer(t, fastConfig(dir), ft)
+
+	waitFor(t, "both files indexed", func() bool { return ix.Stats().Analyses == 2 })
+	if !ft.HasEntry(keyFor("minipl", idxSrc)) {
+		t.Error("MiniPL snapshot not installed under the server's key")
+	}
+	if !ft.HasEntry(keyFor("go", idxGoSrc)) {
+		t.Error("Go snapshot not installed under the server's namespaced key")
+	}
+	st := ix.Stats()
+	if st.Files != 2 || st.FullReanalyses != 2 || st.IncrementalEdits != 0 {
+		t.Errorf("stats = %+v, want 2 files, 2 cold analyses", st)
+	}
+	files, ok := ix.Files().([]fileView)
+	if !ok || len(files) != 2 {
+		t.Fatalf("Files() = %#v, want 2 rows", ix.Files())
+	}
+	if files[0].Path != "a.mpl" || files[0].Mode != "cold" || files[0].Procs != 3 {
+		t.Errorf("a.mpl row = %+v, want mode cold, 3 procs", files[0])
+	}
+}
+
+// TestDebounceCoalescesBursts pins that an edit burst lands as one
+// batch analyzing only the final content — not one analysis per write.
+func TestDebounceCoalescesBursts(t *testing.T) {
+	dir := t.TempDir()
+	ft := newFakeTarget()
+	cfg := fastConfig(dir)
+	cfg.Debounce = 150 * time.Millisecond
+	ix := startIndexer(t, cfg, ft)
+	waitFor(t, "first scan", func() bool { return ix.Stats().Scans >= 1 })
+
+	path := filepath.Join(dir, "burst.mpl")
+	final := strings.Replace(idxSrc, "x := 1", "x := 1; h := g", 1)
+	for i, content := range []string{idxSrc, strings.Replace(idxSrc, "x := 1", "x := 2", 1), final} {
+		writeFile(t, path, content)
+		if i < 2 {
+			time.Sleep(20 * time.Millisecond) // well inside the quiet window
+		}
+	}
+	waitFor(t, "burst batch", func() bool { return ix.Stats().Batches >= 1 })
+	st := ix.Stats()
+	if st.Analyses != 1 {
+		t.Errorf("burst of 3 writes ran %d analyses, want 1 (coalesced)", st.Analyses)
+	}
+	if !ft.HasEntry(keyFor("minipl", final)) {
+		t.Error("final burst content not installed")
+	}
+	if ft.HasEntry(keyFor("minipl", idxSrc)) {
+		t.Error("intermediate burst content was analyzed; debounce failed")
+	}
+}
+
+// TestAdditiveEditTakesIncrementalPath pins the Session.Edit wiring:
+// an additive change to an already-indexed file is absorbed
+// incrementally, a structural change forces full reanalysis, and both
+// are observable in the counters.
+func TestAdditiveEditTakesIncrementalPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.mpl")
+	writeFile(t, path, idxSrc)
+	ft := newFakeTarget()
+	ix := startIndexer(t, fastConfig(dir), ft)
+	waitFor(t, "cold index", func() bool { return ix.Stats().Analyses == 1 })
+
+	// Additive: a new assignment only adds local facts.
+	additive := strings.Replace(idxSrc, "x := 1", "x := 1; h := g", 1)
+	writeFile(t, path, additive)
+	waitFor(t, "incremental edit", func() bool { return ix.Stats().IncrementalEdits == 1 })
+	if !ft.HasEntry(keyFor("minipl", additive)) {
+		t.Error("incrementally updated snapshot not installed")
+	}
+
+	// Structural: a new call site forces full reanalysis.
+	structural := strings.Replace(additive, "call mid(g)", "call mid(g); call leaf(h)", 1)
+	writeFile(t, path, structural)
+	waitFor(t, "full reanalysis", func() bool { return ix.Stats().FullReanalyses == 2 })
+	st := ix.Stats()
+	if st.Analyses != 3 || st.IncrementalEdits != 1 {
+		t.Errorf("stats = %+v, want 3 analyses of which 1 incremental", st)
+	}
+	files := ix.Files().([]fileView)
+	if files[0].Mode != "full" {
+		t.Errorf("after structural edit, mode = %q, want full", files[0].Mode)
+	}
+}
+
+// TestDeleteLeavesNoGhost pins deletion tracking: a removed file
+// disappears from the table instead of lingering as a stale result.
+func TestDeleteLeavesNoGhost(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gone.mpl")
+	writeFile(t, path, idxSrc)
+	ft := newFakeTarget()
+	ix := startIndexer(t, fastConfig(dir), ft)
+	waitFor(t, "cold index", func() bool { return ix.Stats().Analyses == 1 })
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delete processed", func() bool { return ix.Stats().Deletes == 1 })
+	if files := ix.Files().([]fileView); len(files) != 0 {
+		t.Errorf("deleted file still listed: %+v", files)
+	}
+	if st := ix.Stats(); st.Files != 0 {
+		t.Errorf("Files gauge = %d after delete, want 0", st.Files)
+	}
+}
+
+// TestRenameIsWarm pins rename handling: moving a file is recognized
+// by content address and costs zero re-analysis.
+func TestRenameIsWarm(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.mpl")
+	writeFile(t, old, idxSrc)
+	ft := newFakeTarget()
+	ix := startIndexer(t, fastConfig(dir), ft)
+	waitFor(t, "cold index", func() bool { return ix.Stats().Analyses == 1 })
+
+	if err := os.Rename(old, filepath.Join(dir, "new.mpl")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rename processed", func() bool { return ix.Stats().Renames == 1 })
+	st := ix.Stats()
+	if st.Analyses != 1 {
+		t.Errorf("rename triggered %d analyses, want the original 1 only", st.Analyses)
+	}
+	if st.Deletes != 0 {
+		t.Errorf("rename counted as delete: %+v", st)
+	}
+	if st.Warm != 1 {
+		t.Errorf("rename not counted warm: %+v", st)
+	}
+	files := ix.Files().([]fileView)
+	if len(files) != 1 || files[0].Path != "new.mpl" || files[0].Mode != "warm" {
+		t.Errorf("after rename, table = %+v, want new.mpl warm", files)
+	}
+	if files[0].Procs != 3 {
+		t.Errorf("rename lost procedure count: %+v", files[0])
+	}
+}
+
+// TestErrorFileTracked pins error handling: a file that fails to
+// analyze is tracked with its message and does not poison the loop.
+func TestErrorFileTracked(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "bad.mpl"), "this is not minipl")
+	writeFile(t, filepath.Join(dir, "good.mpl"), idxSrc)
+	ft := newFakeTarget()
+	ix := startIndexer(t, fastConfig(dir), ft)
+	waitFor(t, "batch", func() bool {
+		st := ix.Stats()
+		return st.Errors == 1 && st.Analyses == 1
+	})
+	files := ix.Files().([]fileView)
+	if len(files) != 2 || files[0].Path != "bad.mpl" || files[0].Status != "error" || files[0].Error == "" {
+		t.Errorf("error file not tracked: %+v", files)
+	}
+	if files[1].Status != "ok" {
+		t.Errorf("good file affected by bad neighbor: %+v", files[1])
+	}
+	// Fixing the file clears the error on the next batch.
+	writeFile(t, filepath.Join(dir, "bad.mpl"), idxGoSrcAsMiniPL())
+	waitFor(t, "fixed", func() bool { return ix.Stats().Analyses == 2 })
+	files = ix.Files().([]fileView)
+	if files[0].Status != "ok" {
+		t.Errorf("fixed file still errored: %+v", files[0])
+	}
+}
+
+// idxGoSrcAsMiniPL returns a second valid MiniPL program (distinct
+// content from idxSrc).
+func idxGoSrcAsMiniPL() string {
+	return strings.Replace(idxSrc, "program incr", "program incrtwo", 1)
+}
+
+// TestRestoreStateSkipsUnchanged pins the restart path: with primed
+// state and a target that already holds the entries, an unchanged tree
+// produces no work at all — and a file edited while the daemon was
+// down is re-processed.
+func TestRestoreStateSkipsUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.mpl")
+	pathB := filepath.Join(dir, "b.mpl")
+	writeFile(t, pathA, idxSrc)
+	writeFile(t, pathB, idxGoSrcAsMiniPL())
+	ft := newFakeTarget()
+	first := startIndexer(t, fastConfig(dir), ft)
+	waitFor(t, "cold index", func() bool { return first.Stats().Analyses == 2 })
+	first.Stop()
+	state := first.ExportState()
+
+	// Edit b while "down".
+	editedB := strings.Replace(idxGoSrcAsMiniPL(), "x := 1", "x := 3", 1)
+	writeFile(t, pathB, editedB)
+
+	second := New(fastConfig(dir), ft)
+	if n := second.RestoreState(state); n != 2 {
+		t.Fatalf("RestoreState primed %d files, want 2", n)
+	}
+	second.Start()
+	t.Cleanup(second.Stop)
+	waitFor(t, "changed file reprocessed", func() bool { return second.Stats().Analyses == 1 })
+
+	// Give the watcher a few more scans: the unchanged file must never
+	// be touched.
+	waitFor(t, "a few scans", func() bool { return second.Stats().Scans >= 5 })
+	st := second.Stats()
+	if st.Analyses != 1 {
+		t.Errorf("restored watcher ran %d analyses, want 1 (only the edited file)", st.Analyses)
+	}
+	if st.Warm != 0 {
+		t.Errorf("unchanged files re-touched (%d warm events), want none", st.Warm)
+	}
+	files := second.Files().([]fileView)
+	if files[0].Path != "a.mpl" || files[0].Mode != "cold" {
+		t.Errorf("unchanged file state not preserved: %+v", files[0])
+	}
+	if files[1].Mode != "full" {
+		t.Errorf("edited-while-down file mode = %q, want full", files[1].Mode)
+	}
+}
+
+// TestRestoreStateRejectsForeignRoot pins that state recorded for a
+// different tree is ignored rather than misapplied.
+func TestRestoreStateRejectsForeignRoot(t *testing.T) {
+	ix := New(fastConfig(t.TempDir()), newFakeTarget())
+	if n := ix.RestoreState(&store.IndexState{Root: "/somewhere/else",
+		Files: []store.FileState{{Path: "x.mpl", Lang: "minipl"}}}); n != 0 {
+		t.Errorf("foreign-root state primed %d files, want 0", n)
+	}
+}
+
+// TestRevertIsWarm pins that reverting a file to previously indexed
+// content is served from the target without re-analysis.
+func TestRevertIsWarm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rev.mpl")
+	writeFile(t, path, idxSrc)
+	ft := newFakeTarget()
+	ix := startIndexer(t, fastConfig(dir), ft)
+	waitFor(t, "cold index", func() bool { return ix.Stats().Analyses == 1 })
+
+	edited := strings.Replace(idxSrc, "x := 1", "x := 9", 1)
+	writeFile(t, path, edited)
+	waitFor(t, "edit", func() bool { return ix.Stats().Analyses == 2 })
+
+	writeFile(t, path, idxSrc) // revert
+	waitFor(t, "revert", func() bool { return ix.Stats().Warm == 1 })
+	if st := ix.Stats(); st.Analyses != 2 {
+		t.Errorf("revert re-analyzed: %+v", st)
+	}
+}

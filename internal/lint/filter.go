@@ -1,0 +1,46 @@
+package lint
+
+// Filter derives the report a Run with cfg would have produced from a
+// completed full run (every rule enabled, default severities, no
+// minimum). It is the warm-restart path's lint engine: a persisted
+// full-rules report can answer any request configuration without a
+// live analysis, byte-identically to running the engine fresh.
+//
+// The equivalence holds because rule selection and severity handling
+// never change *which* diagnostics a rule emits, only whether they are
+// kept and at what level, and because the engine's total order —
+// (line, col, rule, subject, message) — does not involve severity, so
+// re-leveling cannot reorder. Filtering r.Diags in place therefore
+// preserves Run's order exactly.
+func (r *Report) Filter(cfg Config) (*Report, error) {
+	sel, err := cfg.selection()
+	if err != nil {
+		return nil, err
+	}
+	out := &Report{Counts: make(map[string]int)}
+	// keep maps each surviving rule to its effective severity, exactly
+	// as Run resolves it; rules selected but below MinSeverity stay
+	// visible in Counts at zero, like Run's.
+	keep := make(map[string]Severity)
+	for _, rl := range registry {
+		sev, on := sel.level(rl)
+		if !on {
+			continue
+		}
+		out.Counts[rl.ID] = 0
+		if sev < cfg.MinSeverity {
+			continue
+		}
+		keep[rl.ID] = sev
+	}
+	for _, d := range r.Diags {
+		sev, ok := keep[d.Rule]
+		if !ok {
+			continue
+		}
+		d.Severity = sev
+		out.Diags = append(out.Diags, d)
+		out.Counts[d.Rule]++
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+)
+
+// IndexView is what the serving layer needs from an attached
+// watch-mode indexer: JSON-marshalable status and file-table views
+// for the /index endpoints, and pre-rendered Prometheus lines merged
+// into /metrics. The interface keeps the dependency one-way — the
+// indexer imports the server's snapshot hooks, the server knows the
+// indexer only through this view.
+type IndexView interface {
+	// Status returns the summary the /index/status endpoint serves.
+	Status() any
+	// Files returns the per-file table the /index/files endpoint
+	// serves, deterministically ordered.
+	Files() any
+	// MetricsLines returns fully formed Prometheus exposition lines
+	// (each newline-terminated) describing the indexer's counters.
+	MetricsLines() string
+}
+
+// indexHolder wraps the view for atomic publication (AttachIndex may
+// race the first requests when the daemon starts watching).
+type indexHolder struct{ view IndexView }
+
+// AttachIndex publishes a watch-mode indexer's view on the /index
+// endpoints and /metrics. Passing nil detaches.
+func (s *Server) AttachIndex(v IndexView) {
+	if v == nil {
+		s.index.Store(nil)
+		return
+	}
+	s.index.Store(&indexHolder{view: v})
+}
+
+// indexView returns the attached view, or nil.
+func (s *Server) indexView() IndexView {
+	if h := s.index.Load(); h != nil {
+		return h.view
+	}
+	return nil
+}
+
+func errNoIndex() *apiError {
+	return &apiError{Status: http.StatusNotFound, Code: "no_index",
+		Message: "no watch-mode indexer is attached (start the daemon with -watch)"}
+}
+
+func (s *Server) handleIndexStatus(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	v := s.indexView()
+	if v == nil {
+		return 0, nil, errNoIndex()
+	}
+	return http.StatusOK, v.Status(), nil
+}
+
+func (s *Server) handleIndexFiles(w http.ResponseWriter, r *http.Request) (int, any, *apiError) {
+	v := s.indexView()
+	if v == nil {
+		return 0, nil, errNoIndex()
+	}
+	return http.StatusOK, v.Files(), nil
+}

@@ -67,6 +67,18 @@ func (req *lintRequest) lintConfig() (lint.Config, *apiError) {
 	return cfg, nil
 }
 
+// lintReport produces a configured lint report from either backing:
+// live entries run the engine over the analysis; snapshot-backed
+// entries filter the persisted full-rules run down to the requested
+// configuration (byte-identical to a fresh run — see lint.Filter),
+// so a warm /lint never recomputes anything.
+func (e *cached) lintReport(ctx context.Context, cfg lint.Config) (*lint.Report, error) {
+	if e.a != nil {
+		return e.a.LintContext(ctx, cfg)
+	}
+	return e.snap.Lint.Filter(cfg)
+}
+
 // buildLintResponse runs the engine over a completed analysis and
 // assembles the wire form, recording per-rule finding counts in the
 // metrics. file names the artifact in rendered output. A panic in a
@@ -81,6 +93,12 @@ func (s *Server) buildLintResponse(ctx context.Context, a *sideeffect.Analysis, 
 		}
 		return nil, errBadRequest("%v", err)
 	}
+	return s.renderLintResponse(rep, file, format)
+}
+
+// renderLintResponse assembles the wire form from a completed report,
+// recording per-rule finding counts in the metrics.
+func (s *Server) renderLintResponse(rep *lint.Report, file string, format string) (*lintResponse, *apiError) {
 	s.met.lintFindings(rep.Counts)
 	resp := &lintResponse{
 		Findings:    len(rep.Diags),
@@ -132,11 +150,22 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) (int, any, *
 		return 0, nil, apiErr
 	}
 	defer entry.release()
+	if entry.snap != nil {
+		s.met.warmHit()
+	}
 	file := "source.mpl"
 	if req.Lang == "go" {
 		file = "source.go"
 	}
-	resp, apiErr := s.buildLintResponse(r.Context(), entry.a, file, cfg, req.Format)
+	rep, err := entry.lintReport(r.Context(), cfg)
+	if err != nil {
+		var pe *batch.PanicError
+		if errors.As(err, &pe) || r.Context().Err() != nil {
+			return 0, nil, errFrom(err)
+		}
+		return 0, nil, errBadRequest("%v", err)
+	}
+	resp, apiErr := s.renderLintResponse(rep, file, req.Format)
 	if apiErr != nil {
 		return 0, nil, apiErr
 	}

@@ -86,6 +86,16 @@ type metrics struct {
 	failures map[string]int64
 	panics   int64
 	degraded int64
+	// warmHits counts requests answered from a snapshot-backed cache
+	// entry (persisted checkpoint or watch-mode indexer install) —
+	// answers no analysis stage ran for in this process. warmEntries is
+	// the number of entries the last checkpoint import restored, and
+	// the checkpoint* counters describe completed checkpoint writes.
+	warmHits          int64
+	warmEntries       int64
+	checkpoints       int64
+	checkpointBytes   int64
+	checkpointSeconds float64
 }
 
 func newMetrics() *metrics {
@@ -114,6 +124,29 @@ func (m *metrics) panicked() {
 func (m *metrics) degradedRetry() {
 	m.mu.Lock()
 	m.degraded++
+	m.mu.Unlock()
+}
+
+// warmHit records one request served from a snapshot-backed entry.
+func (m *metrics) warmHit() {
+	m.mu.Lock()
+	m.warmHits++
+	m.mu.Unlock()
+}
+
+// warmLoaded records how many entries a checkpoint import restored.
+func (m *metrics) warmLoaded(n int64) {
+	m.mu.Lock()
+	m.warmEntries += n
+	m.mu.Unlock()
+}
+
+// checkpointed records one completed checkpoint write.
+func (m *metrics) checkpointed(bytes int64, seconds float64) {
+	m.mu.Lock()
+	m.checkpoints++
+	m.checkpointBytes += bytes
+	m.checkpointSeconds += seconds
 	m.mu.Unlock()
 }
 
@@ -275,6 +308,20 @@ func (m *metrics) render(cs cache.Stats, sessionsOpen int, rs robustnessStats) s
 		}
 		fmt.Fprintf(&b, "modand_faults_injected_total{site=%q,kind=%q} %d\n", site, kind, rs.faults[sk])
 	}
+
+	b.WriteString("# HELP modand_warm_hits_total Requests served from snapshot-backed entries (persisted checkpoint or indexer install).\n")
+	b.WriteString("# TYPE modand_warm_hits_total counter\n")
+	fmt.Fprintf(&b, "modand_warm_hits_total %d\n", m.warmHits)
+	b.WriteString("# HELP modand_warm_entries Cache entries restored from persisted checkpoints.\n")
+	b.WriteString("# TYPE modand_warm_entries gauge\n")
+	fmt.Fprintf(&b, "modand_warm_entries %d\n", m.warmEntries)
+	b.WriteString("# HELP modand_checkpoints_total Completed checkpoint writes.\n")
+	b.WriteString("# TYPE modand_checkpoints_total counter\n")
+	fmt.Fprintf(&b, "modand_checkpoints_total %d\n", m.checkpoints)
+	b.WriteString("# TYPE modand_checkpoint_bytes_total counter\n")
+	fmt.Fprintf(&b, "modand_checkpoint_bytes_total %d\n", m.checkpointBytes)
+	b.WriteString("# TYPE modand_checkpoint_seconds_total counter\n")
+	fmt.Fprintf(&b, "modand_checkpoint_seconds_total %g\n", m.checkpointSeconds)
 
 	b.WriteString("# HELP modand_stage_seconds_total Analysis pipeline wall time by stage, from profiled cache-miss computations.\n")
 	b.WriteString("# TYPE modand_stage_seconds_total counter\n")

@@ -43,6 +43,7 @@ import (
 	"sideeffect/internal/faultinject"
 	"sideeffect/internal/gofront"
 	"sideeffect/internal/report"
+	"sideeffect/internal/store"
 )
 
 // Config tunes the server. The zero value gets sensible production
@@ -113,8 +114,21 @@ func (c Config) withDefaults() Config {
 // The Analysis inside is shared by every request for the same source
 // hash and must be treated as immutable (sessions, which mutate their
 // analyses, never go through the cache).
+//
+// An entry has one of two backings: a live Analysis (a is non-nil —
+// the normal computed case), or a restored snapshot (snap is non-nil —
+// the entry was loaded from a persisted checkpoint and serves purely
+// rendered data, with no analysis behind it). Both answer every
+// /analyze, /lint, and query request byte-identically; the snapshot
+// backing is what makes a warm restart possible.
 type cached struct {
 	a *sideeffect.Analysis
+	// snap backs restored entries; json is pre-decoded from it at
+	// install time (see newCachedSnap).
+	snap *store.EntrySnapshot
+	// lang is "minipl" or "go", tracked so the checkpoint exporter can
+	// round-trip the entry's namespace.
+	lang string
 	// sum is the integrity fingerprint taken when the entry was built;
 	// the cache's validation hook recomputes it on every hit and evicts
 	// entries whose stored analysis no longer matches, so a corrupted
@@ -140,7 +154,8 @@ type cached struct {
 func (e *cached) acquire() { e.refs.Add(1) }
 
 // release returns one reference; the last one recycles the analysis's
-// arenas. Nil-safe so error paths can release unconditionally.
+// arenas (a no-op for snapshot-backed entries, which hold no pooled
+// storage). Nil-safe so error paths can release unconditionally.
 func (e *cached) release() {
 	if e == nil {
 		return
@@ -169,7 +184,7 @@ func fingerprint(a *sideeffect.Analysis) uint64 {
 // newCached wraps a freshly computed analysis, with the creator holding
 // the first reference.
 func newCached(a *sideeffect.Analysis) *cached {
-	e := &cached{a: a, sum: fingerprint(a)}
+	e := &cached{a: a, lang: "minipl", sum: fingerprint(a)}
 	e.refs.Store(1)
 	return e
 }
@@ -178,9 +193,27 @@ func newCached(a *sideeffect.Analysis) *cached {
 // confidence notes alongside the analysis.
 func newCachedGo(r sideeffect.GoResult) *cached {
 	e := newCached(r.Analysis)
+	e.lang = "go"
 	e.notes = r.Pkg.Notes
 	e.conf = r.Pkg.ConfidenceReport()
 	return e
+}
+
+// newCachedSnap wraps a restored (or indexer-rendered) snapshot as a
+// cache entry, decoding its JSON report once up front. The creator
+// holds the first reference.
+func newCachedSnap(snap *store.EntrySnapshot) (*cached, error) {
+	jr := new(report.JSONReport)
+	if err := json.Unmarshal(snap.JSON, jr); err != nil {
+		return nil, fmt.Errorf("snapshot entry %s: %w", snap.Key, err)
+	}
+	if snap.Lint == nil {
+		return nil, fmt.Errorf("snapshot entry %s: missing lint report", snap.Key)
+	}
+	e := &cached{snap: snap, lang: snap.Lang, json: jr, notes: snap.Notes, conf: snap.Conf}
+	e.sum = snap.Fingerprint()
+	e.refs.Store(1)
+	return e, nil
 }
 
 // admission is the load-shedding gate in front of every
@@ -244,19 +277,96 @@ func (ad *admission) inFlight() int {
 
 func (e *cached) jsonReport() *report.JSONReport {
 	e.jsonOnce.Do(func() {
-		e.json = report.BuildJSON(e.a.Mod, e.a.Use, e.a.Aliases, e.a.SecMod)
+		if e.json == nil {
+			e.json = report.BuildJSON(e.a.Mod, e.a.Use, e.a.Aliases, e.a.SecMod)
+		}
 	})
 	return e.json
 }
 
 func (e *cached) textReport() string {
 	e.textOnce.Do(func() {
-		e.text = e.a.Report()
+		if e.snap != nil {
+			e.text = e.snap.Text
+		} else {
+			e.text = e.a.Report()
+		}
 		if e.conf != "" {
 			e.text += "\n" + e.conf
 		}
 	})
 	return e.text
+}
+
+// findProc locates a procedure's summary in the decoded JSON report
+// (snapshot-backed entries only). The error text matches the live
+// path's, so warm and cold answers stay byte-identical down to error
+// bodies.
+func (e *cached) findProc(proc string) (*report.JSONProcedure, error) {
+	for i := range e.json.Procedures {
+		if e.json.Procedures[i].Name == proc {
+			return &e.json.Procedures[i], nil
+		}
+	}
+	return nil, fmt.Errorf("sideeffect: no procedure %q", proc)
+}
+
+// modNames answers the "gmod" query from either backing.
+func (e *cached) modNames(proc string) ([]string, error) {
+	if e.a != nil {
+		return e.a.MOD(proc)
+	}
+	p, err := e.findProc(proc)
+	if err != nil {
+		return nil, err
+	}
+	return p.GMOD, nil
+}
+
+// useNames answers the "guse" query from either backing.
+func (e *cached) useNames(proc string) ([]string, error) {
+	if e.a != nil {
+		return e.a.USE(proc)
+	}
+	p, err := e.findProc(proc)
+	if err != nil {
+		return nil, err
+	}
+	return p.GUSE, nil
+}
+
+// rmodNames answers the "rmod" query from either backing.
+func (e *cached) rmodNames(proc string) ([]string, error) {
+	if e.a != nil {
+		return e.a.RMOD(proc)
+	}
+	p, err := e.findProc(proc)
+	if err != nil {
+		return nil, err
+	}
+	return p.RMOD, nil
+}
+
+// callSites answers the "callsites" query from either backing. The
+// snapshot path reconstructs the wire shape from the decoded JSON
+// report, whose per-site MOD/USE/section strings were rendered by the
+// same code the live path renders with.
+func (e *cached) callSites() []sideeffect.CallSite {
+	if e.a != nil {
+		return e.a.CallSites()
+	}
+	out := make([]sideeffect.CallSite, 0, len(e.json.CallSites))
+	for _, cs := range e.json.CallSites {
+		out = append(out, sideeffect.CallSite{
+			Caller:   cs.Caller,
+			Callee:   cs.Callee,
+			Pos:      cs.Pos,
+			MOD:      cs.MOD,
+			USE:      cs.USE,
+			Sections: cs.Sections,
+		})
+	}
+	return out
 }
 
 // Server is the analysis service. Create with New, expose with
@@ -270,6 +380,9 @@ type Server struct {
 	sessions *sessionStore
 	met      *metrics
 	mux      *http.ServeMux
+	// index is the attached watch-mode indexer view (nil when the
+	// daemon runs without -watch); see index.go.
+	index atomic.Pointer[indexHolder]
 }
 
 // New builds a server with its routes registered.
@@ -287,10 +400,14 @@ func New(cfg Config) *Server {
 	}
 	// The validation hook guards every cache hit; the "cache.entry"
 	// fault point simulates corruption so chaos runs exercise the
-	// evict-and-recompute path.
+	// evict-and-recompute path. Snapshot-backed entries validate
+	// against their own content fold — same contract, no analysis.
 	s.cache.Validate = func(_ string, e *cached) bool {
 		if s.faults.Corrupt("cache.entry") {
 			return false
+		}
+		if e.a == nil {
+			return e.snap.Fingerprint() == e.sum
 		}
 		return fingerprint(e.a) == e.sum
 	}
@@ -310,6 +427,8 @@ func New(cfg Config) *Server {
 	s.route("GET /session/{id}", "/session/{id}", s.handleSessionGet)
 	s.routeHeavy("POST /session/{id}/edit", "/session/{id}/edit", s.handleSessionEdit)
 	s.route("DELETE /session/{id}", "/session/{id}", s.handleSessionDelete)
+	s.route("GET /index/status", "/index/status", s.handleIndexStatus)
+	s.route("GET /index/files", "/index/files", s.handleIndexFiles)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -636,6 +755,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (int, any
 		return 0, nil, apiErr
 	}
 	defer entry.release()
+	if entry.snap != nil {
+		s.met.warmHit()
+	}
 	resp := analyzeResponse{Hash: key, Cached: outcome == cache.Hit, Notes: entry.notes}
 	if req.Query == nil || req.Query.Kind == "" {
 		resp.Report = entry.jsonReport()
@@ -647,13 +769,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) (int, any
 	case "report":
 		resp.Text = entry.textReport()
 	case "gmod":
-		resp.Names, err = entry.a.MOD(q.Proc)
+		resp.Names, err = entry.modNames(q.Proc)
 	case "guse":
-		resp.Names, err = entry.a.USE(q.Proc)
+		resp.Names, err = entry.useNames(q.Proc)
 	case "rmod":
-		resp.Names, err = entry.a.RMOD(q.Proc)
+		resp.Names, err = entry.rmodNames(q.Proc)
 	case "callsites":
-		resp.CallSites = entry.a.CallSites()
+		resp.CallSites = entry.callSites()
 	default:
 		return 0, nil, errBadRequest("unknown query kind %q (want gmod, guse, rmod, callsites, or report)", q.Kind)
 	}
@@ -712,6 +834,9 @@ func (s *Server) runBatch(ctx context.Context, sources []string) []batchEntry {
 		if e, ok := s.cache.Get(key); ok {
 			entries[i].Cached = true
 			entries[i].Report = e.jsonReport()
+			if e.snap != nil {
+				s.met.warmHit()
+			}
 			e.release()
 			continue
 		}
@@ -775,4 +900,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		faults:   s.faults.Counts(),
 	}
 	fmt.Fprint(w, s.met.render(s.cache.Stats(), s.sessions.open(), rs))
+	if v := s.indexView(); v != nil {
+		fmt.Fprint(w, v.MetricsLines())
+	}
 }

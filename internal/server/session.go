@@ -3,11 +3,13 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 
 	"sideeffect"
 	"sideeffect/internal/cache"
 	"sideeffect/internal/report"
+	"sideeffect/internal/store"
 )
 
 // session is one open program handle. Each session owns a
@@ -76,6 +78,68 @@ func (st *sessionStore) open() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.sessions)
+}
+
+// export snapshots every open session's source and counters, plus the
+// id counter, for checkpointing. Broken sessions are skipped — their
+// maintained solution is not trustworthy, so restoring them would
+// resurrect a poisoned handle.
+func (st *sessionStore) export() ([]store.SessionSnapshot, int) {
+	st.mu.Lock()
+	handles := make([]*session, 0, len(st.sessions))
+	for _, s := range st.sessions {
+		handles = append(handles, s)
+	}
+	next := st.next
+	st.mu.Unlock()
+	sort.Slice(handles, func(i, j int) bool { return handles[i].id < handles[j].id })
+	out := make([]store.SessionSnapshot, 0, len(handles))
+	for _, s := range handles {
+		s.mu.Lock()
+		if !s.sess.Broken() {
+			out = append(out, store.SessionSnapshot{
+				ID:          s.id,
+				Source:      s.sess.Source(),
+				Edits:       s.edits,
+				Incremental: s.incremental,
+				Full:        s.full,
+			})
+		}
+		s.mu.Unlock()
+	}
+	return out, next
+}
+
+// advance raises the id counter to at least next, so sessions created
+// after a restore never collide with restored ids.
+func (st *sessionStore) advance(next int) {
+	st.mu.Lock()
+	if next > st.next {
+		st.next = next
+	}
+	st.mu.Unlock()
+}
+
+// restore re-registers a persisted session under its original id.
+// It refuses (returning false) when the table is full or the id is
+// already taken.
+func (st *sessionStore) restore(snap store.SessionSnapshot, sess *sideeffect.Session) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.sessions) >= st.max {
+		return false
+	}
+	if _, taken := st.sessions[snap.ID]; taken || snap.ID == "" {
+		return false
+	}
+	st.sessions[snap.ID] = &session{
+		id:          snap.ID,
+		sess:        sess,
+		edits:       snap.Edits,
+		incremental: snap.Incremental,
+		full:        snap.Full,
+	}
+	return true
 }
 
 // sessionState is the session view returned by the creation, status,

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sideeffect"
+	"sideeffect/internal/gofront"
+	"sideeffect/internal/lint"
+	"sideeffect/internal/prof"
+	"sideeffect/internal/report"
+)
+
+// EntrySnapshot is one content-addressed cache entry rendered to pure
+// data: everything the serving layer answers about an analysis —
+// the JSON report, the text report, per-procedure and per-call-site
+// query answers (all inside the JSON report), the full-rules lint
+// report (filtered per request on the warm path), and the Go
+// frontend's confidence notes — with no live Analysis behind it. A
+// restored daemon serves these byte-identically to a fresh
+// computation, because every field was rendered by the same code a
+// fresh computation renders with.
+type EntrySnapshot struct {
+	// Key is the content-addressed cache key (language-namespaced for
+	// Go sources, exactly as the serving layer computes it).
+	Key string
+	// Lang is "minipl" or "go".
+	Lang string
+	// JSON is the marshaled report.JSONReport. It is persisted as
+	// JSON bytes (not as the struct) so the decode→re-marshal round
+	// trip on the warm path preserves nil-vs-empty slice distinctions
+	// byte for byte.
+	JSON []byte
+	// Text is the rendered text report (Analysis.Report, without the
+	// confidence table — the serving layer appends Conf like it does
+	// for live entries).
+	Text string
+	// Lint is a full run of the diagnostics engine (every rule, default
+	// severities). Warm /lint requests derive any requested
+	// configuration from it with lint.Report.Filter.
+	Lint *lint.Report
+	// Notes and Conf carry the Go frontend's per-function confidence
+	// records and rendered table; empty for MiniPL entries.
+	Notes []gofront.Note
+	Conf  string
+}
+
+// BuildEntry renders a completed analysis into an EntrySnapshot under
+// the given cache key. notes and conf are the Go frontend's
+// confidence data (nil/"" for MiniPL). The analysis is only read.
+func BuildEntry(a *sideeffect.Analysis, key, lang string, notes []gofront.Note, conf string) (*EntrySnapshot, error) {
+	jr := report.BuildJSON(a.Mod, a.Use, a.Aliases, a.SecMod)
+	data, err := json.Marshal(jr)
+	if err != nil {
+		return nil, fmt.Errorf("store: render report: %w", err)
+	}
+	// The lint run uses a throwaway profile so snapshotting a profiled
+	// analysis does not fold lint timings into its recorded stages.
+	rep, err := a.Lint(lint.Config{Prof: prof.New()})
+	if err != nil {
+		return nil, fmt.Errorf("store: render lint: %w", err)
+	}
+	return &EntrySnapshot{
+		Key:   key,
+		Lang:  lang,
+		JSON:  data,
+		Text:  a.Report(),
+		Lint:  rep,
+		Notes: notes,
+		Conf:  conf,
+	}, nil
+}
+
+// Fingerprint folds the snapshot's content into one word. Like the
+// serving layer's live-entry fingerprint it is deliberately cheap —
+// it runs on every cache hit — and exists to catch in-memory
+// corruption of a restored entry (a flipped length, a truncated
+// report), not to be a cryptographic commitment; on-disk integrity is
+// the checksum's job.
+func (e *EntrySnapshot) Fingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) { h ^= x; h *= 1099511628211 }
+	mixStr := func(s string) {
+		mix(uint64(len(s)))
+		for i := 0; i < len(s); i += 64 {
+			mix(uint64(s[i]))
+		}
+	}
+	mixStr(e.Key)
+	mixStr(e.Lang)
+	mix(uint64(len(e.JSON)))
+	for i := 0; i < len(e.JSON); i += 64 {
+		mix(uint64(e.JSON[i]))
+	}
+	mixStr(e.Text)
+	if e.Lint != nil {
+		mix(uint64(len(e.Lint.Diags)))
+		mix(uint64(len(e.Lint.Counts)))
+	}
+	mix(uint64(len(e.Notes)))
+	mixStr(e.Conf)
+	return h
+}

@@ -1,0 +1,71 @@
+package sideeffect
+
+import (
+	"reflect"
+	"testing"
+
+	"sideeffect/internal/lint"
+)
+
+// TestLintFilterMatchesFreshRun is the equivalence contract behind the
+// warm /lint path: deriving a configured report from a persisted
+// full-rules run (lint.Report.Filter) must produce exactly what
+// running the engine fresh with that configuration produces — same
+// diagnostics, same order, same severities, same counts — across
+// every fixture and every configuration shape the HTTP API can
+// express (Enable, Disable, MinSeverity, and combinations).
+func TestLintFilterMatchesFreshRun(t *testing.T) {
+	configs := map[string]lint.Config{
+		"zero":          {},
+		"enable-one":    {Enable: []string{"SE002"}},
+		"enable-many":   {Enable: []string{"SE001", "SE004", "loop-serial"}},
+		"disable-some":  {Disable: []string{"pure-procedure", "SE006"}},
+		"minsev-warn":   {MinSeverity: lint.Warning},
+		"minsev-error":  {MinSeverity: lint.Error},
+		"enable+minsev": {Enable: []string{"SE001", "SE002"}, MinSeverity: lint.Warning},
+		"all-knobs":     {Enable: []string{"SE001", "SE002", "SE003", "SE004"}, Disable: []string{"SE003"}, MinSeverity: lint.Warning},
+	}
+	for _, base := range lintFixtures(t) {
+		src, full := lintFixture(t, base, Options{})
+		a, err := Analyze(src)
+		if err != nil {
+			t.Fatalf("%s: %v", base, err)
+		}
+		for name, cfg := range configs {
+			fresh, err := a.Lint(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: fresh run: %v", base, name, err)
+			}
+			derived, err := full.Filter(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: Filter: %v", base, name, err)
+			}
+			if !reflect.DeepEqual(normalizeReport(derived), normalizeReport(fresh)) {
+				t.Errorf("%s/%s: Filter diverges from fresh run:\n derived: %+v\n fresh:   %+v",
+					base, name, derived, fresh)
+			}
+		}
+	}
+}
+
+// normalizeReport maps empty and nil diagnostic slices together (the
+// wire layer renders both identically; DeepEqual does not).
+func normalizeReport(r *lint.Report) *lint.Report {
+	if len(r.Diags) == 0 {
+		return &lint.Report{Counts: r.Counts}
+	}
+	return r
+}
+
+// TestLintFilterRejectsBadConfig pins that Filter validates
+// configuration exactly like a fresh run (unknown rules error, they
+// don't silently select nothing).
+func TestLintFilterRejectsBadConfig(t *testing.T) {
+	_, full := lintFixture(t, lintFixtures(t)[0], Options{})
+	if _, err := full.Filter(lint.Config{Enable: []string{"SE999"}}); err == nil {
+		t.Error("Filter accepted an unknown rule in Enable")
+	}
+	if _, err := full.Filter(lint.Config{Disable: []string{"nope"}}); err == nil {
+		t.Error("Filter accepted an unknown rule in Disable")
+	}
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Smoke-test watch mode and persistence end to end: build the daemon,
+# point it at a directory tree with -watch and -state-dir, check the
+# indexer pre-warms /analyze, edit the file and watch the index absorb
+# it, SIGTERM the daemon and verify the checkpoint flush, then restart
+# and demand the first query is served warm from the persisted store —
+# byte-identical to the pre-restart answer. CI runs this as the index
+# job; it needs only curl and python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:7831"
+BASE="http://$ADDR"
+LOG="$(mktemp)"
+LOG2="$(mktemp)"
+WATCH="$(mktemp -d)"
+STATE="$(mktemp -d)"
+SRC='program smoke;
+global g, h;
+
+proc leaf(ref x)
+begin
+  x := h
+end;
+
+begin
+  call leaf(g)
+end.
+'
+
+fail() {
+  echo "index_smoke: FAIL: $*" >&2
+  [ -s "$LOG" ] && sed 's/^/  daemon1: /' "$LOG" >&2
+  [ -s "$LOG2" ] && sed 's/^/  daemon2: /' "$LOG2" >&2
+  exit 1
+}
+cleanup() {
+  kill "$DAEMON" 2>/dev/null || true
+  rm -rf "$WATCH" "$STATE"
+}
+
+go build -o /tmp/modand ./cmd/modand
+
+printf '%s\n' "$SRC" >"$WATCH/prog.mpl"
+
+/tmp/modand -addr "$ADDR" -watch "$WATCH" -state-dir "$STATE" \
+  -poll 25ms -debounce 50ms -checkpoint 1h >"$LOG" 2>&1 &
+DAEMON=$!
+trap cleanup EXIT
+
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && fail "daemon did not come up"
+  sleep 0.1
+done
+
+json() { python3 -c "import json,sys; d=json.load(sys.stdin); print(eval(sys.argv[1], {}, {'d': d}))" "$1"; }
+
+# The indexer analyzes the file on its first scan.
+for i in $(seq 1 100); do
+  N="$(curl -fsS "$BASE/index/status" | json "d['analyses']")"
+  [ "${N:-0}" -ge 1 ] && break
+  [ "$i" = 100 ] && fail "indexer never analyzed $WATCH/prog.mpl"
+  sleep 0.1
+done
+
+# The first /analyze for the watched content is already a cache hit.
+REQ="$(python3 -c "import json,sys; print(json.dumps({'source': sys.stdin.read()}))" <<<"$SRC")"
+BEFORE="$(mktemp)"
+curl -fsS -X POST -d "$REQ" "$BASE/analyze" >"$BEFORE"
+json "d['cached']" <"$BEFORE" | grep -q True \
+  || fail "first /analyze of a watched file was not pre-warmed by the indexer"
+WARM="$(curl -fsS "$BASE/metrics" | awk '$1 == "modand_warm_hits_total" {print $2}')"
+[ "${WARM:-0}" -ge 1 ] || fail "modand_warm_hits_total = ${WARM:-missing}, want >= 1"
+
+# An additive edit is absorbed incrementally by the watcher.
+printf '%s\n' "${SRC/x := h/x := h; h := 2}" >"$WATCH/prog.mpl"
+for i in $(seq 1 100); do
+  N="$(curl -fsS "$BASE/index/status" | json "d['incrementalEdits']")"
+  [ "${N:-0}" -ge 1 ] && break
+  [ "$i" = 100 ] && fail "edit did not take the incremental path"
+  sleep 0.1
+done
+curl -fsS "$BASE/index/files" | json "d[0]['mode']" | grep -q incremental \
+  || fail "/index/files does not show the incremental edit"
+
+# Put the original content back so the restart check below queries what
+# is on disk, then flush via SIGTERM.
+printf '%s\n' "$SRC" >"$WATCH/prog.mpl"
+sleep 0.5
+kill -TERM "$DAEMON"
+wait "$DAEMON" || fail "daemon exited non-zero on SIGTERM"
+grep -q "modand: checkpoint:" "$LOG" || fail "SIGTERM did not flush a checkpoint"
+[ -f "$STATE/checkpoint.bin" ] || fail "no checkpoint file in $STATE"
+
+# Restart over the same state: the very first query must be warm and
+# byte-identical to the pre-restart answer.
+/tmp/modand -addr "$ADDR" -watch "$WATCH" -state-dir "$STATE" \
+  -poll 25ms -debounce 50ms -checkpoint 1h >"$LOG2" 2>&1 &
+DAEMON=$!
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && fail "restarted daemon did not come up"
+  sleep 0.1
+done
+grep -q "modand: state: restored" "$LOG2" || fail "restart did not restore the checkpoint"
+
+AFTER="$(mktemp)"
+curl -fsS -X POST -d "$REQ" "$BASE/analyze" >"$AFTER"
+json "d['cached']" <"$AFTER" | grep -q True \
+  || fail "first query after restart was not served from the persisted store"
+cmp -s "$BEFORE" "$AFTER" || fail "warm restart answer differs from the pre-restart answer"
+WARM="$(curl -fsS "$BASE/metrics" | awk '$1 == "modand_warm_hits_total" {print $2}')"
+[ "${WARM:-0}" -ge 1 ] || fail "restarted daemon: modand_warm_hits_total = ${WARM:-missing}, want >= 1"
+
+# Deleting the file removes it from the index — no ghost results.
+rm "$WATCH/prog.mpl"
+for i in $(seq 1 100); do
+  N="$(curl -fsS "$BASE/index/status" | json "d['files']")"
+  [ "${N:-1}" = 0 ] && break
+  [ "$i" = 100 ] && fail "deleted file still listed in the index"
+  sleep 0.1
+done
+
+kill -TERM "$DAEMON"
+wait "$DAEMON" || fail "restarted daemon exited non-zero on SIGTERM"
+grep -q "bye" "$LOG2" || fail "restarted daemon did not log graceful shutdown"
+
+echo "index_smoke: OK"

@@ -34,6 +34,27 @@ type gofrontBenchRecord struct {
 	SolveNsPerOp int64   `json:"solve_ns_per_op"`
 }
 
+// gofrontModulePkg compares one package's lowering confidence between
+// single-package mode and whole-module mode.
+type gofrontModulePkg struct {
+	Pkg            string `json:"pkg"`
+	DegradedBefore int    `json:"degraded_before"`
+	DegradedAfter  int    `json:"degraded_after"`
+}
+
+// gofrontModuleRecord is the whole-module row of BENCH_gofront.json:
+// the requested packages, their import closure size, and how many
+// interface call sites devirtualized instead of degrading.
+type gofrontModuleRecord struct {
+	Packages      []gofrontModulePkg `json:"packages"`
+	ClosureSize   int                `json:"closure_size"`
+	Procs         int                `json:"procs"`
+	CallSites     int                `json:"call_sites"`
+	Devirtualized int                `json:"devirtualized"`
+	LowerNsPerOp  int64              `json:"lower_ns_per_op"`
+	SolveNsPerOp  int64              `json:"solve_ns_per_op"`
+}
+
 // findRepoRoot walks upward from the working directory to the
 // sideeffect module root (identified by its go.mod next to the
 // testdata/gofront corpus).
@@ -157,17 +178,86 @@ func expE18(quick bool) {
 	fmt.Println("Lowering dominates (type checking is the frontend's cost), solve time stays")
 	fmt.Println("microseconds even on the largest package, and fact density is the same order")
 	fmt.Println("across a 50x size range — the linear pipeline carries through the frontend.")
-	if err := writeBenchGofront(records); err != nil {
+
+	modPkgs := []string{"internal/arena", "internal/bitset", "internal/core"}
+	if quick {
+		modPkgs = modPkgs[:2]
+	}
+	module := expE18Module(root, modPkgs)
+
+	fmt.Println()
+	modRows := [][]string{{"package", "degraded (single)", "degraded (module)"}}
+	for _, p := range module.Packages {
+		modRows = append(modRows, []string{
+			p.Pkg, fmt.Sprint(p.DegradedBefore), fmt.Sprint(p.DegradedAfter),
+		})
+	}
+	printTable(modRows)
+	fmt.Println()
+	fmt.Printf("Whole-module mode (closure of %d packages, %d procedures, %d devirtualized\n",
+		module.ClosureSize, module.Procs, module.Devirtualized)
+	fmt.Println("interface sites): cross-package calls bind to real procedures, so the only")
+	fmt.Println("degradations left are genuinely external effects (stdlib, function values,")
+	fmt.Println("open interfaces).")
+
+	if err := writeBenchGofront(records, module); err != nil {
 		fmt.Fprintf(os.Stderr, "E18: %v\n", err)
 	}
 }
 
-func writeBenchGofront(records []gofrontBenchRecord) error {
+// expE18Module runs the before/after comparison: each package lowered
+// alone, then the whole module closure lowered as one shared program.
+func expE18Module(root string, pkgs []string) gofrontModuleRecord {
+	var rec gofrontModuleRecord
+	before := map[string]int{}
+	for _, rel := range pkgs {
+		pkg, err := gofront.LoadDir(filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil {
+			panic(fmt.Sprintf("E18: %s: %v", rel, err))
+		}
+		before[rel] = len(pkg.Degraded())
+	}
+
+	patterns := make([]string, len(pkgs))
+	for i, rel := range pkgs {
+		patterns[i] = filepath.Join(root, filepath.FromSlash(rel))
+	}
+	var r sideeffect.GoResult
+	lowerNs := timeIt(func() {
+		var err error
+		r, err = sideeffect.AnalyzeGoModule(root, patterns, sideeffect.Options{Sequential: true})
+		if err != nil {
+			panic(fmt.Sprintf("E18: module: %v", err))
+		}
+	})
+	defer r.Release()
+	solveNs := timeIt(func() {
+		a := sideeffect.AnalyzeProgramWith(r.Pkg.Prog, sideeffect.Options{Sequential: true})
+		a.Release()
+	})
+
+	after := r.Pkg.DegradedByPackage()
+	for _, rel := range pkgs {
+		rec.Packages = append(rec.Packages, gofrontModulePkg{
+			Pkg: rel, DegradedBefore: before[rel], DegradedAfter: after[rel],
+		})
+	}
+	rec.ClosureSize = len(r.Pkg.Packages)
+	rec.Procs = r.Pkg.Prog.NumProcs()
+	rec.CallSites = len(r.Pkg.Prog.Sites)
+	rec.Devirtualized = r.Pkg.Devirtualized
+	rec.LowerNsPerOp = lowerNs.Nanoseconds()
+	rec.SolveNsPerOp = solveNs.Nanoseconds()
+	return rec
+}
+
+func writeBenchGofront(records []gofrontBenchRecord, module gofrontModuleRecord) error {
 	out, err := json.MarshalIndent(struct {
 		Cores   int                  `json:"cores"`
 		NumCPU  int                  `json:"num_cpu"`
 		Records []gofrontBenchRecord `json:"records"`
-	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), records}, "", "  ")
+		Module  gofrontModuleRecord  `json:"module"`
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), records, module}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sideeffect"
 	"sideeffect/internal/faultinject"
+	"sideeffect/internal/gofront"
 	"sideeffect/internal/lang/parser"
 	"sideeffect/internal/lang/printer"
 	"sideeffect/internal/report"
@@ -30,6 +32,36 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// emitDegraded renders the degraded-function lists of analyzed Go
+// packages: "text" prints one attributable line per function, "json"
+// the deterministic document CI diffs structurally.
+func emitDegraded(format string, results []sideeffect.GoResult, stdout, stderr io.Writer) int {
+	pkgs := make([]*gofront.Package, len(results))
+	for i, r := range results {
+		pkgs[i] = r.Pkg
+		r.Release()
+	}
+	switch format {
+	case "text":
+		for _, p := range pkgs {
+			for _, rec := range p.DegradedRecords() {
+				fmt.Fprintf(stdout, "%s: %s: %s\n", p.Path, rec.Proc, strings.Join(rec.Reasons, "; "))
+			}
+		}
+	case "json":
+		out, err := gofront.DegradedJSON(pkgs)
+		if err != nil {
+			fmt.Fprintf(stderr, "modan: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+	default:
+		fmt.Fprintf(stderr, "modan: -degraded must be text or json, got %q\n", format)
+		return 2
+	}
+	return 0
 }
 
 // run is the testable entry point.
@@ -50,6 +82,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		faults    = fs.Float64("faults", 0, "chaos-testing fault probability per pipeline fault point (0 = off)")
 		faultSeed = fs.Int64("fault-seed", 1, "fault-injection seed; same seed + inputs replays the same faults")
 		lang      = fs.String("lang", "minipl", "input language: minipl (files) or go (package patterns, directories, or .go files)")
+		gomodule  = fs.Bool("module", false, "go mode: analyze the patterns as one whole module — cross-package calls resolve and closed interface calls devirtualize")
+		degraded  = fs.String("degraded", "", "go mode: print the degraded-function list instead of reports, as \"text\" or \"json\"")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modan [flags] <file.mpl... | ->\n")
@@ -102,10 +136,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "modan: -dot, -fmt, and -json apply to MiniPL inputs only\n")
 			return 2
 		}
+		opts.GoModule = *gomodule
 		results, err := sideeffect.AnalyzeGoPackages(fs.Args(), opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "modan: %v\n", err)
 			return 1
+		}
+		if *degraded != "" {
+			return emitDegraded(*degraded, results, stdout, stderr)
 		}
 		for _, r := range results {
 			if len(results) > 1 {
@@ -121,6 +159,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	} else if *lang != "minipl" {
 		fmt.Fprintf(stderr, "modan: -lang must be minipl or go, got %q\n", *lang)
+		return 2
+	}
+	if *gomodule || *degraded != "" {
+		fmt.Fprintf(stderr, "modan: -module and -degraded apply to -lang=go only\n")
 		return 2
 	}
 

@@ -83,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		poll      = fs.Duration("poll", 250*time.Millisecond, "watcher scan interval")
 		debounce  = fs.Duration("debounce", 500*time.Millisecond, "quiet window after the last change before a batch is processed")
 		ckptEvery = fs.Duration("checkpoint", 30*time.Second, "periodic checkpoint interval (requires -state-dir)")
+		goModule  = fs.Bool("go-module", false, "index the watched tree's .go files as one whole module (cross-package calls resolved, closed interfaces devirtualized) instead of per-file packages")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modand [flags]\n")
@@ -157,6 +158,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 			Poll:        *poll,
 			Debounce:    *debounce,
 			MaxSessions: *sessions,
+			GoModule:    *goModule,
 			Opts:        sideeffect.Options{Workers: *jobs},
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stdout, format+"\n", args...)

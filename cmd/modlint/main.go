@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"sideeffect"
+	"sideeffect/internal/gofront"
 	"sideeffect/internal/lint"
 )
 
@@ -50,13 +51,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("modlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		format  = fs.String("format", "text", "output format: text, json, or sarif")
-		rules   = fs.String("rules", "", "comma-separated rules to enable (IDs or names); empty = all")
-		disable = fs.String("disable", "", "comma-separated rules to disable (IDs or names)")
-		minSev  = fs.String("min-severity", "", "drop findings below this severity: info, warning, or error")
-		list    = fs.Bool("list", false, "list the registered rules and exit")
-		jobs    = fs.Int("j", 0, "worker-pool size for multi-file batches (0 = GOMAXPROCS, 1 = sequential)")
-		lang    = fs.String("lang", "minipl", "input language: minipl (files) or go (package patterns, directories, or .go files)")
+		format   = fs.String("format", "text", "output format: text, json, or sarif")
+		rules    = fs.String("rules", "", "comma-separated rules to enable (IDs or names); empty = all")
+		disable  = fs.String("disable", "", "comma-separated rules to disable (IDs or names)")
+		minSev   = fs.String("min-severity", "", "drop findings below this severity: info, warning, or error")
+		list     = fs.Bool("list", false, "list the registered rules and exit")
+		jobs     = fs.Int("j", 0, "worker-pool size for multi-file batches (0 = GOMAXPROCS, 1 = sequential)")
+		lang     = fs.String("lang", "minipl", "input language: minipl (files) or go (package patterns, directories, or .go files)")
+		gomodule = fs.Bool("module", false, "go mode: analyze the patterns as one whole module — cross-package calls resolve and closed interface calls devirtualize")
+		degraded = fs.String("degraded", "text", "go mode: degraded-function listing format on stderr, \"text\" or \"json\"")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modlint [flags] <file.mpl... | ->\n")
@@ -92,8 +95,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	switch *lang {
 	case "minipl":
+		if *gomodule {
+			fmt.Fprintf(stderr, "modlint: -module applies to -lang=go only\n")
+			return 2
+		}
 	case "go":
-		return runGo(fs.Args(), *format, cfg, opts, stdout, stderr)
+		if *degraded != "text" && *degraded != "json" {
+			fmt.Fprintf(stderr, "modlint: -degraded must be text or json, got %q\n", *degraded)
+			return 2
+		}
+		opts.GoModule = *gomodule
+		return runGo(fs.Args(), *format, *degraded, cfg, opts, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "modlint: -lang must be minipl or go, got %q\n", *lang)
 		return 2
@@ -176,8 +188,10 @@ func emit(format string, files []lint.FileReport, stdout, stderr io.Writer) int 
 // runGo is the -lang=go path: targets are package patterns, and each
 // matched package becomes one FileReport keyed by its path. Functions
 // the frontend lowered with degraded confidence are listed on stderr
-// so worst-case findings are attributable.
-func runGo(patterns []string, format string, cfg lint.Config, opts sideeffect.Options, stdout, stderr io.Writer) int {
+// so worst-case findings are attributable — as per-package text lines
+// by default, or as one machine-readable JSON document with
+// -degraded=json.
+func runGo(patterns []string, format, degradedFmt string, cfg lint.Config, opts sideeffect.Options, stdout, stderr io.Writer) int {
 	results, err := sideeffect.AnalyzeGoPackages(patterns, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "modlint: %v\n", err)
@@ -185,6 +199,7 @@ func runGo(patterns []string, format string, cfg lint.Config, opts sideeffect.Op
 	}
 	code := 0
 	var files []lint.FileReport
+	var pkgs []*gofront.Package
 	for _, r := range results {
 		rep, err := r.Analysis.Lint(cfg)
 		if err != nil {
@@ -195,11 +210,22 @@ func runGo(patterns []string, format string, cfg lint.Config, opts sideeffect.Op
 			code = 1
 		}
 		files = append(files, lint.FileReport{File: r.Pkg.Path, Report: rep})
-		if degraded := r.Pkg.Degraded(); len(degraded) > 0 {
-			fmt.Fprintf(stderr, "modlint: %s: degraded confidence (worst-case facts): %s\n",
-				r.Pkg.Path, strings.Join(degraded, ", "))
+		pkgs = append(pkgs, r.Pkg)
+		if degradedFmt == "text" {
+			if degraded := r.Pkg.Degraded(); len(degraded) > 0 {
+				fmt.Fprintf(stderr, "modlint: %s: degraded confidence (worst-case facts): %s\n",
+					r.Pkg.Path, strings.Join(degraded, ", "))
+			}
 		}
 		r.Release()
+	}
+	if degradedFmt == "json" {
+		out, err := gofront.DegradedJSON(pkgs)
+		if err != nil {
+			fmt.Fprintf(stderr, "modlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "%s\n", out)
 	}
 	if c := emit(format, files, stdout, stderr); c != 0 {
 		return c

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"sideeffect/internal/gofront"
 	"sideeffect/internal/lint"
 )
 
@@ -56,7 +57,9 @@ func corpusDirs(t *testing.T) []string {
 	}
 	var dirs []string
 	for _, e := range entries {
-		if e.IsDir() && e.Name() != "golden" {
+		// "golden" holds expectations, "mod" whole-module fixtures with
+		// their own golden test below.
+		if e.IsDir() && e.Name() != "golden" && e.Name() != "mod" {
 			dirs = append(dirs, filepath.Join("testdata", "gofront", e.Name()))
 		}
 	}
@@ -108,6 +111,146 @@ func TestGoFrontCorpusGolden(t *testing.T) {
 			}
 			checkGolden(t, golden("lint.sarif"), sarifOut)
 		})
+	}
+}
+
+// moduleDirs lists the whole-module fixtures under testdata/gofront/mod
+// in name order. Each is a self-contained module with its own go.mod.
+func moduleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "gofront", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("testdata", "gofront", "mod", e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) < 4 {
+		t.Fatalf("module corpus has %d modules, want >= 4", len(dirs))
+	}
+	return dirs
+}
+
+// TestGoFrontModuleGolden pins the whole-module analysis report and
+// lint output for every fixture module: cross-package resolution,
+// closed- and open-world interface dispatch, and field-sensitive
+// struct effects all show up in these goldens.
+func TestGoFrontModuleGolden(t *testing.T) {
+	for _, dir := range moduleDirs(t) {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			r, err := AnalyzeGoModule(dir, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Release()
+
+			golden := func(ext string) string {
+				return filepath.Join("testdata", "gofront", "golden", "mod_"+name+"."+ext)
+			}
+			checkGolden(t, golden("report.txt"), r.GoReport())
+
+			rep, err := r.Analysis.Lint(lint.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			files := []lint.FileReport{{File: r.Pkg.Path, Report: rep}}
+			checkGolden(t, golden("lint.txt"), lint.Text(files))
+			jsonOut, err := lint.JSON(files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, golden("lint.json"), jsonOut)
+			sarifOut, err := lint.SARIF(files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, golden("lint.sarif"), sarifOut)
+		})
+	}
+}
+
+// TestGoFrontModuleFacts asserts the behaviours the module fixtures
+// exist to demonstrate, independent of golden formatting.
+func TestGoFrontModuleFacts(t *testing.T) {
+	byName := map[string]GoResult{}
+	for _, dir := range moduleDirs(t) {
+		r, err := AnalyzeGoModule(dir, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName[filepath.Base(dir)] = r
+		defer r.Release()
+	}
+
+	// Cross-package calls resolve: nothing in crosspkg degrades, and
+	// the cross-package method call still reaches RMOD of the callee.
+	if d := byName["crosspkg"].Pkg.Degraded(); len(d) > 0 {
+		t.Errorf("crosspkg: unexpectedly degraded: %v", d)
+	}
+
+	// Closed-world dispatch devirtualizes (Area and Grow sites) and
+	// leaves the module fully analyzed.
+	if got := byName["ifaceclosed"].Pkg.Devirtualized; got < 2 {
+		t.Errorf("ifaceclosed: Devirtualized = %d, want >= 2", got)
+	}
+	if d := byName["ifaceclosed"].Pkg.Degraded(); len(d) > 0 {
+		t.Errorf("ifaceclosed: unexpectedly degraded: %v", d)
+	}
+
+	// Open dispatch degrades with its own distinct reason for both the
+	// foreign interface and the implementation-free local one.
+	open := byName["ifaceopen"].Pkg
+	for _, proc := range []string{"sink.Drain", "sink.Notify"} {
+		n := open.Note(proc)
+		if n == nil || n.Confidence != gofront.Degraded {
+			t.Fatalf("ifaceopen: %s not degraded", proc)
+		}
+		found := false
+		for _, reason := range n.Reasons {
+			if strings.Contains(reason, "open interface dispatch") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ifaceopen: %s reasons %v lack open-interface reason", proc, n.Reasons)
+		}
+	}
+	if open.Devirtualized != 0 {
+		t.Errorf("ifaceopen: Devirtualized = %d, want 0", open.Devirtualized)
+	}
+
+	// Field sensitivity: Widen mods its ref formal, Area does not, and
+	// the cross-package field write lands on the state global.
+	fields := byName["fields"].Analysis
+	rmod := func(proc, formal string) bool {
+		t.Helper()
+		for _, p := range fields.Prog.Procs {
+			if p.Name != proc {
+				continue
+			}
+			for _, fm := range p.Formals {
+				if fm.Name == formal {
+					return fields.Mod.RMOD.Of(fm)
+				}
+			}
+			t.Fatalf("%s: no formal %q", proc, formal)
+		}
+		t.Fatalf("no procedure %q", proc)
+		return false
+	}
+	if !rmod("app.Widen", "b") {
+		t.Error("fields: RMOD(app.Widen.b) = false, want true")
+	}
+	if rmod("app.Area", "b") {
+		t.Error("fields: RMOD(app.Area.b) = true, want false")
+	}
+	if d := byName["fields"].Pkg.Degraded(); len(d) > 0 {
+		t.Errorf("fields: unexpectedly degraded: %v", d)
 	}
 }
 

@@ -2,8 +2,10 @@ package sideeffect
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"sideeffect/internal/core"
 	"sideeffect/internal/ir"
 )
 
@@ -91,5 +93,105 @@ func TestGoFrontSelfAnalysis(t *testing.T) {
 	}
 	if rep := ar.Pkg.ConfidenceReport(); rep == "" {
 		t.Error("arena: empty confidence report")
+	}
+}
+
+// TestGoFrontModuleSelfAnalysis re-runs the self-analysis in
+// whole-module mode: internal/core plus internal/bitset and
+// internal/arena, with their module-local import closure, lowered as
+// one shared program. Cross-package calls that degraded whole
+// packages in single-package mode now resolve, so internal/core's
+// degraded count collapses from 46 to a pinned low bound — and the
+// report must be byte-identical across every schedule and allocation
+// policy.
+func TestGoFrontModuleSelfAnalysis(t *testing.T) {
+	patterns := []string{
+		filepath.Join("internal", "core"),
+		filepath.Join("internal", "bitset"),
+		filepath.Join("internal", "arena"),
+	}
+	base, err := AnalyzeGoModule(".", patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Release()
+
+	if !base.Pkg.Module {
+		t.Fatal("result is not a whole-module lowering")
+	}
+	if base.Pkg.TypeErrors > 0 {
+		t.Errorf("module type-checked with %d errors, want 0", base.Pkg.TypeErrors)
+	}
+	closure := map[string]bool{}
+	for _, p := range base.Pkg.Packages {
+		closure[p] = true
+	}
+	for _, want := range []string{"internal/core", "internal/bitset", "internal/arena", "internal/ir"} {
+		if !closure[want] {
+			t.Errorf("module closure %v missing %s", base.Pkg.Packages, want)
+		}
+	}
+
+	// The headline precision win: internal/core had 46 degraded
+	// procedures in single-package mode; with the module closure
+	// resolved only the genuinely external effects (stdlib calls,
+	// function values, one open interface) remain.
+	byPkg := base.Pkg.DegradedByPackage()
+	if got := byPkg["internal/core"]; got == 0 || got > 10 {
+		t.Errorf("internal/core degraded count = %d, want 1..10 (was 46 single-package)", got)
+	}
+	// arena's calls into bitset now bind to real procedures; what
+	// remains degraded there is only its sync.Pool function-value
+	// plumbing ("dynamic call"), never a cross-package call.
+	if got := byPkg["internal/arena"]; got > 4 {
+		t.Errorf("internal/arena degraded count = %d, want <= 4", got)
+	}
+	for _, rec := range base.Pkg.DegradedRecords() {
+		for _, reason := range rec.Reasons {
+			if strings.Contains(reason, "cross-package") {
+				t.Errorf("%s still degrades on a cross-package call: %v", rec.Proc, rec.Reasons)
+			}
+		}
+	}
+
+	// The coarse single-package facts must survive the module lowering
+	// (procedure names gain their package-relative prefix).
+	cases := []struct {
+		proc, formal string
+		want         bool
+	}{
+		{"internal/bitset.Set.Add", "s", true},
+		{"internal/bitset.Set.IsSparse", "s", false},
+		{"internal/arena.Arena.Reset", "a", true},
+		{"internal/arena.Arena.Poisoned", "a", false},
+	}
+	for _, c := range cases {
+		fm := findFormal(t, base, c.proc, c.formal)
+		if got := base.Analysis.Mod.RMOD.Of(fm); got != c.want {
+			t.Errorf("RMOD(%s.%s) = %v, want %v", c.proc, c.formal, got, c.want)
+		}
+	}
+
+	// Determinism: the full report (summaries, sections, confidence
+	// table) is byte-identical under the sequential pipeline, a
+	// parallel schedule, and every allocation policy.
+	want := base.GoReport()
+	variants := []Options{
+		{Sequential: true},
+		{Workers: 4},
+		{Alloc: core.AllocHybrid},
+		{Alloc: core.AllocDense},
+		{Sequential: true, Alloc: core.AllocDense},
+	}
+	for _, opts := range variants {
+		r, err := AnalyzeGoModule(".", patterns, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.GoReport()
+		r.Release()
+		if got != want {
+			t.Errorf("report differs under %+v (len %d vs %d)", opts, len(got), len(want))
+		}
 	}
 }

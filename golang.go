@@ -2,6 +2,8 @@ package sideeffect
 
 import (
 	"fmt"
+	"path/filepath"
+	"strings"
 
 	"sideeffect/internal/gofront"
 	"sideeffect/internal/ir"
@@ -20,6 +22,13 @@ type GoResult struct {
 // allocation options as MiniPL batches. Results are sorted by package
 // path and deterministic for a fixed file tree.
 func AnalyzeGoPackages(patterns []string, opts Options) ([]GoResult, error) {
+	if opts.GoModule {
+		r, err := AnalyzeGoModule(moduleRootHint(patterns), patterns, opts)
+		if err != nil {
+			return nil, err
+		}
+		return []GoResult{r}, nil
+	}
 	pkgs, err := gofront.Load(patterns)
 	if err != nil {
 		return nil, err
@@ -34,6 +43,36 @@ func AnalyzeGoPackages(patterns []string, opts Options) ([]GoResult, error) {
 		out[i] = GoResult{Pkg: pkgs[i], Analysis: analyses[i]}
 	}
 	return out, nil
+}
+
+// AnalyzeGoModule analyzes a whole Go module as one shared program:
+// the patterns' packages plus their module-local import closure lower
+// together (the go.mod is found at or above root), so cross-package
+// calls bind to real procedures and interface calls on module-defined
+// interfaces devirtualize to the closed implementation set.
+func AnalyzeGoModule(root string, patterns []string, opts Options) (GoResult, error) {
+	pkg, err := gofront.LoadModule(root, patterns)
+	if err != nil {
+		return GoResult{}, err
+	}
+	return GoResult{Pkg: pkg, Analysis: AnalyzeProgramWith(pkg.Prog, opts)}, nil
+}
+
+// moduleRootHint picks the directory LoadModule starts its go.mod
+// search from, given CLI-style package patterns.
+func moduleRootHint(patterns []string) string {
+	if len(patterns) == 0 {
+		return "."
+	}
+	p := strings.TrimSuffix(patterns[0], "...")
+	p = strings.TrimSuffix(p, "/")
+	if p == "" {
+		return "."
+	}
+	if strings.HasSuffix(p, ".go") {
+		return filepath.Dir(p)
+	}
+	return p
 }
 
 // AnalyzeGoSource lowers and analyzes a single in-memory Go file as

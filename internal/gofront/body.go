@@ -3,6 +3,7 @@ package gofront
 import (
 	"fmt"
 	"go/ast"
+	gotoken "go/token"
 	"go/types"
 
 	"sideeffect/internal/ir"
@@ -134,7 +135,9 @@ func (ps *procState) formalField(f *ast.Field) {
 		if isRefType(ft) {
 			kind = ir.FormalRef
 		}
-		v := lw.b.Formal(ps.proc, ps.unique(name), kind, 0)
+		dims := fieldDims(ft)
+		v := lw.b.Formal(ps.proc, ps.unique(name), kind, len(dims))
+		copy(v.Dims, dims)
 		if obj != nil {
 			ps.vars[obj] = v
 			v.Pos = lw.pos(obj.Pos())
@@ -177,7 +180,7 @@ func (ps *procState) declareLocal(obj types.Object, id *ast.Ident) *ir.Variable 
 	if v, ok := ps.vars[obj]; ok {
 		return v
 	}
-	v := ps.lw.b.Local(ps.proc, ps.unique(obj.Name()))
+	v := ps.lw.b.Local(ps.proc, ps.unique(obj.Name()), fieldDims(obj.Type())...)
 	v.Pos = ps.lw.pos(obj.Pos())
 	ps.vars[obj] = v
 	if ps.lw.addrTaken[obj] {
@@ -188,9 +191,33 @@ func (ps *procState) declareLocal(obj types.Object, id *ast.Ident) *ir.Variable 
 
 // fresh declares a synthetic local (argument temporaries, capture
 // stand-ins, synthetic loop indices).
-func (ps *procState) fresh(prefix string) *ir.Variable {
+func (ps *procState) fresh(prefix string, dims ...int) *ir.Variable {
 	ps.lw.tmpN++
-	return ps.lw.b.Local(ps.proc, fmt.Sprintf("$%s%d", prefix, ps.lw.tmpN))
+	return ps.lw.b.Local(ps.proc, fmt.Sprintf("$%s%d", prefix, ps.lw.tmpN), dims...)
+}
+
+// freshFor declares a synthetic local shaped like formal f, so the
+// call-site binding passes ir.Validate's rank agreement.
+func (ps *procState) freshFor(prefix string, f *ir.Variable) *ir.Variable {
+	return ps.fresh(prefix, f.Dims...)
+}
+
+// refActual adapts v to bind reference formal f. A nil variable, or
+// one whose shape disagrees with the formal (an interface receiver
+// feeding a struct-shaped method formal after devirtualization, a
+// struct value boxed into an interface parameter), is conservatively
+// charged Mod+Use at the caller and replaced by a shape-matched fresh
+// temporary: the callee's effects on the temporary are invisible, the
+// caller-side charge covers them.
+func (ps *procState) refActual(f *ir.Variable, v *ir.Variable) *ir.Variable {
+	if v != nil && v.Rank() == f.Rank() {
+		return v
+	}
+	if v != nil {
+		ps.lw.mod(ps.proc, v)
+		ps.lw.use(ps.proc, v)
+	}
+	return ps.freshFor("tmp", f)
 }
 
 // lookup resolves a variable object through the lexical chain, then
@@ -251,14 +278,17 @@ func (ps *procState) targets(obj types.Object) (vars []*ir.Variable, escape bool
 	return vars, escape
 }
 
-// isExternalVar reports whether obj is another package's package-level
-// variable (reachable state, modeled by $external).
+// isExternalVar reports whether obj is a package-level variable of a
+// package outside the analyzed set (reachable state, modeled by
+// $external). In module mode every module-local package is analyzed,
+// so only genuinely foreign (stdlib, unresolved) variables remain
+// external.
 func isExternalVar(lw *lowerer, obj types.Object) bool {
 	v, ok := obj.(*types.Var)
 	if !ok || v.IsField() {
 		return false
 	}
-	return v.Pkg() != nil && v.Pkg() != lw.tpkg
+	return v.Pkg() != nil && !lw.analyzed[v.Pkg()]
 }
 
 // escapeMod applies the worst-case effect: every global, every
@@ -267,8 +297,8 @@ func isExternalVar(lw *lowerer, obj types.Object) bool {
 func (ps *procState) escapeMod() {
 	lw := ps.lw
 	touch := func(v *ir.Variable) {
-		lw.b.Mod(ps.proc, v)
-		lw.b.Use(ps.proc, v)
+		lw.mod(ps.proc, v)
+		lw.use(ps.proc, v)
 	}
 	touch(lw.ext())
 	for _, g := range lw.allGlobals {
@@ -286,12 +316,26 @@ func (ps *procState) escapeMod() {
 
 // modThrough records a write through a reference hop rooted at obj.
 func (ps *procState) modThrough(obj types.Object) {
+	ps.modThroughField(obj, -1, gotoken.NoPos)
+}
+
+// modThroughField is modThrough refined to one field of the root's
+// struct span: when the written path stays on a single field, each
+// rank-1 target records a constant-subscript access (the Section-6
+// regular sections carry the field interprocedurally) instead of a
+// whole-variable write. Targets of other shapes, and the escape
+// fallback, stay whole.
+func (ps *procState) modThroughField(obj types.Object, field int, pos gotoken.Pos) {
 	vars, escape := ps.targets(obj)
 	if escape {
 		ps.escapeMod()
 	}
 	for _, v := range vars {
-		ps.lw.b.Mod(ps.proc, v)
+		if field >= 0 && v.Rank() == 1 && field < v.Dims[0] {
+			ps.lw.b.Access(ps.proc, v, []ir.Sub{{Kind: ir.SubConst, Const: field}}, true, ps.lw.pos(pos))
+		} else {
+			ps.lw.mod(ps.proc, v)
+		}
 	}
 }
 
@@ -302,7 +346,7 @@ func (ps *procState) useThrough(obj types.Object) {
 		ps.escapeMod()
 	}
 	for _, v := range vars {
-		ps.lw.b.Use(ps.proc, v)
+		ps.lw.use(ps.proc, v)
 	}
 }
 
@@ -310,9 +354,50 @@ func (ps *procState) useThrough(obj types.Object) {
 func (ps *procState) useVar(id *ast.Ident) {
 	obj := ps.lw.objOf(id)
 	if v := ps.lookup(obj); v != nil {
-		ps.lw.b.Use(ps.proc, v)
+		ps.lw.use(ps.proc, v)
 	} else if isExternalVar(ps.lw, obj) {
 		ps.lw.b.Use(ps.proc, ps.lw.ext())
+	}
+}
+
+// rootRef resolves the base object of an access path like rootIdent,
+// with one refinement: a path rooted in a package qualifier (pkg.V,
+// pkg.V.f, *pkg.P) resolves to the qualified variable's object — which
+// the shared globals map knows in module mode — rather than to the
+// qualifier. Non-variable qualified members keep the qualifier's
+// PkgName object so callers can apply the external-state fallback.
+func (ps *procState) rootRef(e ast.Expr) types.Object {
+	var lastSel *ast.SelectorExpr
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := ps.lw.objOf(x)
+			if _, isPkg := obj.(*types.PkgName); isPkg && lastSel != nil {
+				if sobj := ps.lw.objOf(lastSel.Sel); sobj != nil {
+					if _, isVar := sobj.(*types.Var); isVar {
+						return sobj
+					}
+				}
+			}
+			return obj
+		case *ast.SelectorExpr:
+			lastSel = x
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
 	}
 }
 

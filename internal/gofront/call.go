@@ -104,25 +104,57 @@ func (ps *procState) callBinding(obj types.Object) *funcBinding {
 func (ps *procState) selectorCall(sel *ast.SelectorExpr, x *ast.CallExpr) {
 	lw := ps.lw
 	if path := ps.pkgNameOf(sel.X); path != "" {
+		// A qualified call into another analyzed package resolves to
+		// the real procedure (module mode lowers the whole import
+		// graph into one program).
+		if proc, known := lw.methodProc(lw.objOf(sel.Sel)); known {
+			ps.directCall(proc, nil, nil, x)
+			return
+		}
 		ps.degradingPkg(path)
 		ps.unknownCall(x, nil, fmt.Sprintf("calls unanalyzed %q", path))
 		return
 	}
 	if selinfo, ok := lw.info.Selections[sel]; ok && selinfo.Kind() == types.MethodVal {
-		if proc, known := lw.funcs[selinfo.Obj()]; known {
+		if proc, known := lw.methodProc(selinfo.Obj()); known {
 			ps.expr(sel.X)
 			ps.directCall(proc, sel.X, nil, x)
 			return
 		}
-		// Interface dispatch or a method of an embedded foreign type:
+		// Interface dispatch: in module mode, a closed set of
+		// module-local implementations devirtualizes to one may-run
+		// site per implementation.
+		if impls, closed := lw.devirtTargets(selinfo); closed {
+			ps.expr(sel.X)
+			lw.devirt++
+			for _, proc := range impls {
+				ps.directCall(proc, sel.X, nil, x)
+			}
+			return
+		}
+		// An open interface, or a method of an embedded foreign type:
 		// the receiver's storage is reachable by the callee.
 		ps.expr(sel.X)
-		ps.unknownCall(x, sel.X, "dynamic call")
+		ps.unknownCall(x, sel.X, ps.dynamicReason(selinfo))
 		return
 	}
 	// Method expression, foreign field of func type, or missing info.
 	ps.expr(sel.X)
 	ps.unknownCall(x, nil, "dynamic call")
+}
+
+// dynamicReason names the degradation for an unresolved method call:
+// module mode distinguishes open interface dispatch (the closed-world
+// enumeration failed) from other dynamic calls.
+func (ps *procState) dynamicReason(selinfo *types.Selection) string {
+	if ps.lw.module && selinfo != nil && selinfo.Recv() != nil {
+		if _, isTP := selinfo.Recv().(*types.TypeParam); !isTP {
+			if iface, ok := selinfo.Recv().Underlying().(*types.Interface); ok && iface.NumMethods() > 0 {
+				return "open interface dispatch"
+			}
+		}
+	}
+	return "dynamic call"
 }
 
 // builtin lowers the builtin functions with storage effects.
@@ -160,7 +192,11 @@ func (ps *procState) directCall(callee *ir.Procedure, recv ast.Expr, recvVar *ir
 		}
 		switch {
 		case recvVar != nil:
-			actuals = append(actuals, ir.Actual{Mode: formals[0].Kind, Var: recvVar})
+			av := ir.Actual{Mode: formals[0].Kind, Var: recvVar}
+			if av.Mode == ir.FormalRef {
+				av.Var = ps.refActual(formals[0], recvVar)
+			}
+			actuals = append(actuals, av)
 		case recv != nil:
 			actuals = append(actuals, ps.actual(formals[0], recv))
 		default:
@@ -203,7 +239,7 @@ func (ps *procState) directCall(callee *ir.Procedure, recv ast.Expr, recvVar *ir
 			}
 			av := ir.Actual{Mode: vf.Kind, Uses: uses}
 			if vf.Kind == ir.FormalRef {
-				av.Var = ps.fresh("vararg")
+				av.Var = ps.freshFor("vararg", vf)
 			}
 			actuals = append(actuals, av)
 		}
@@ -220,22 +256,22 @@ func (ps *procState) actual(formal *ir.Variable, arg ast.Expr) ir.Actual {
 	ps.expr(arg)
 	uses := ps.usesIn(arg)
 	a := ir.Actual{Mode: formal.Kind, Uses: uses}
-	root := rootIdent(stripAddr(arg))
+	obj := ps.rootRef(stripAddr(arg))
 	var v *ir.Variable
-	if root != nil {
-		obj := ps.lw.objOf(root)
+	if obj != nil {
 		if _, isPkg := obj.(*types.PkgName); !isPkg {
 			v = ps.lookup(obj)
 			if v == nil && isExternalVar(ps.lw, obj) && formal.Kind == ir.FormalRef {
-				// Passing another package's variable by reference:
-				// the callee's writes land outside the package.
+				// Passing an unanalyzed package's variable by
+				// reference: the callee's writes land outside the
+				// analyzed program.
 				ps.lw.b.Mod(ps.proc, ps.lw.ext())
 				ps.lw.b.Use(ps.proc, ps.lw.ext())
 			}
 		}
 	}
-	if v == nil && formal.Kind == ir.FormalRef {
-		v = ps.fresh("tmp")
+	if formal.Kind == ir.FormalRef {
+		v = ps.refActual(formal, v)
 	}
 	a.Var = v
 	return a
@@ -251,7 +287,8 @@ func stripAddr(e ast.Expr) ast.Expr {
 
 // usesIn collects the tracked variables read to evaluate e, in source
 // order (closure literals evaluate to values; their bodies don't run
-// here).
+// here). Ranked variables record a whole-span use access so the
+// section layer sees the read (call-site Uses bypass the wrappers).
 func (ps *procState) usesIn(e ast.Expr) []*ir.Variable {
 	var out []*ir.Variable
 	seen := map[*ir.Variable]bool{}
@@ -265,6 +302,9 @@ func (ps *procState) usesIn(e ast.Expr) []*ir.Variable {
 		}
 		if v := ps.lookup(ps.lw.objOf(id)); v != nil && !seen[v] {
 			seen[v] = true
+			if v.Rank() > 0 {
+				ps.lw.use(ps.proc, v)
+			}
 			out = append(out, v)
 		}
 		return true
@@ -301,13 +341,9 @@ func (ps *procState) refArgEffect(a ast.Expr) {
 	if t != nil && !isRefType(t) && !isAddr {
 		return
 	}
-	root := rootIdent(stripAddr(a))
-	if root == nil {
-		return // literal/fresh storage: unreachable elsewhere
-	}
-	obj := ps.lw.objOf(root)
+	obj := ps.rootRef(stripAddr(a))
 	if obj == nil {
-		return
+		return // literal/fresh storage: unreachable elsewhere
 	}
 	if _, ok := obj.(*types.PkgName); ok {
 		return // pkg.X handled via $external already
@@ -320,8 +356,8 @@ func (ps *procState) refArgEffect(a ast.Expr) {
 		ps.escapeMod()
 	}
 	for _, v := range vars {
-		ps.lw.b.Mod(ps.proc, v)
-		ps.lw.b.Use(ps.proc, v)
+		ps.lw.mod(ps.proc, v)
+		ps.lw.use(ps.proc, v)
 	}
 }
 
@@ -339,7 +375,7 @@ func (ps *procState) closureProc(lit *ast.FuncLit) *ir.Procedure {
 	lw.litProcs[lit] = proc
 	lw.fileOf[proc] = lw.file(lit.Pos())
 	lw.noteIdx[name] = len(lw.notes)
-	lw.notes = append(lw.notes, Note{Proc: name, File: lw.fileOf[proc], Confidence: High})
+	lw.notes = append(lw.notes, Note{Proc: name, Pkg: lw.curLabel, File: lw.fileOf[proc], Confidence: High})
 	// The closure's procState chains to ps so captured variables and
 	// their aliases resolve through the ir lexical nesting.
 	cps := lw.newProcState(proc, ps)
@@ -361,7 +397,7 @@ func (ps *procState) mayRun(lit *ast.FuncLit, proc *ir.Procedure) {
 	for _, f := range proc.Formals {
 		a := ir.Actual{Mode: f.Kind}
 		if f.Kind == ir.FormalRef {
-			a.Var = ps.fresh("cap")
+			a.Var = ps.freshFor("cap", f)
 		}
 		actuals = append(actuals, a)
 	}

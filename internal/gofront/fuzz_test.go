@@ -14,31 +14,38 @@ import (
 // well-formed enough for both solvers to complete.
 func FuzzGoLower(f *testing.F) {
 	// Seed with the fixture corpus — real accepted inputs mutate into
-	// interesting near-valid ones.
+	// interesting near-valid ones. The walk picks up the whole-module
+	// fixtures under mod/ too: individually they are still valid
+	// sources whose cross-module imports exercise the degrade path.
 	root := filepath.Join("..", "..", "testdata", "gofront")
-	entries, err := os.ReadDir(root)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "golden" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if filepath.Ext(p) != ".go" {
+			return nil
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		f.Add(string(b))
+		return nil
+	})
 	if err != nil {
 		f.Fatal(err)
 	}
-	for _, e := range entries {
-		if !e.IsDir() || e.Name() == "golden" {
-			continue
-		}
-		files, err := os.ReadDir(filepath.Join(root, e.Name()))
-		if err != nil {
-			f.Fatal(err)
-		}
-		for _, fe := range files {
-			b, err := os.ReadFile(filepath.Join(root, e.Name(), fe.Name()))
-			if err != nil {
-				f.Fatal(err)
-			}
-			f.Add(string(b))
-		}
-	}
 	// Constructs the corpus does not reach: unsafe, cgo, generics,
 	// channels and select, goto/labels, interfaces, defer/recover,
-	// anonymous structs, shadowing, and syntactically broken input.
+	// anonymous structs, shadowing, and syntactically broken input —
+	// plus interface-heavy and struct-field shapes aimed at the
+	// devirtualization and field-sensitivity code paths.
 	for _, seed := range []string{
 		"package p\nimport \"unsafe\"\nfunc F(p unsafe.Pointer) uintptr { return uintptr(p) }\n",
 		"package p\nimport \"C\"\nfunc F() { C.puts(nil) }\n",
@@ -51,6 +58,14 @@ func FuzzGoLower(f *testing.F) {
 		"package p\nvar x int\nfunc F() { x := 1; { x := 2; _ = x }; _ = x }\n",
 		"package p\nfunc F(",
 		"package p\nfunc F(s ...[]*map[string]chan int) {}\n",
+		"package p\ntype I interface{ M() }\ntype A struct{ n int }\nfunc (a *A) M() { a.n++ }\ntype B struct{}\nfunc (B) M() {}\nfunc F(i I) { i.M() }\nfunc G() { F(&A{}); F(B{}) }\n",
+		"package p\ntype I interface{ M() }\ntype J interface{ I; N() }\ntype T struct{}\nfunc (T) M() {}\nfunc (T) N() {}\nfunc F(j J) { j.M(); j.N() }\n",
+		"package p\ntype E interface{}\nfunc F(e E) E { return e }\n",
+		"package p\ntype S struct{ A, B int }\nfunc F(s *S) { s.A = 1 }\nfunc G(s S) int { return s.B }\nvar Z S\nfunc H() { Z.A = Z.B }\n",
+		"package p\ntype In struct{ X int }\ntype Out struct{ In; Y int }\nfunc F(o *Out) { o.X = 1; o.Y = 2 }\n",
+		"package p\ntype S struct{ A [4]int }\nfunc F(s *S, i int) { s.A[i] = 1 }\n",
+		"package p\ntype S struct{ P *S }\nfunc F(s *S) { s.P.P = s }\n",
+		"package p\ntype T int\nfunc (t *T) M() { *t++ }\nfunc F() { var t T; m := t.M; m() }\n",
 		"\xff\xfe not source at all",
 	} {
 		f.Add(seed)

@@ -39,12 +39,20 @@
 package gofront
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
 	"sideeffect/internal/ir"
 )
+
+// LoweringVersion identifies the lowering semantics. It participates
+// in every content-addressed cache key derived from Go sources, so a
+// persisted result produced by an older lowering (coarser struct
+// tracking, package-boundary degradation) can never be served for the
+// same bytes after the frontend changed what those bytes mean.
+const LoweringVersion = 2
 
 // Confidence grades how faithfully one function was lowered.
 type Confidence int
@@ -88,9 +96,15 @@ func (c *Confidence) UnmarshalJSON(b []byte) error {
 
 // Note is one function's lowering-confidence record.
 type Note struct {
-	// Proc is the ir procedure name ("Reset", "Set.Len", "F$fn1").
+	// Proc is the ir procedure name ("Reset", "Set.Len", "F$fn1"; in
+	// module mode the name is package-qualified, e.g.
+	// "internal/core.Analyze").
 	Proc string `json:"proc"`
-	// File is the base name of the file declaring the function.
+	// Pkg is the module-relative package the function belongs to;
+	// empty in single-package mode.
+	Pkg string `json:"pkg,omitempty"`
+	// File is the base name of the file declaring the function (the
+	// module-relative path in module mode).
 	File string `json:"file,omitempty"`
 	// Confidence is High unless a degradation was recorded.
 	Confidence Confidence `json:"confidence"`
@@ -123,6 +137,17 @@ type Package struct {
 	// TypeErrors counts type-checker diagnostics that were tolerated
 	// during loading (unresolved imports degrade, they do not fail).
 	TypeErrors int
+	// Module is true when this result is a whole-module lowering: one
+	// shared program holding every module-local package, with
+	// cross-package calls resolved and interface calls devirtualized.
+	Module bool
+	// Packages lists the module-relative package directories lowered
+	// into the shared program, in topological (import) order. Empty in
+	// single-package mode.
+	Packages []string
+	// Devirtualized counts the interface call sites resolved to the
+	// closed set of module-local implementations instead of degrading.
+	Devirtualized int
 }
 
 // Note returns the confidence record for the named procedure, or nil.
@@ -145,6 +170,61 @@ func (p *Package) Degraded() []string {
 		}
 	}
 	return out
+}
+
+// DegradedByPackage counts degraded procedures per module-relative
+// package. Single-package results report under the "" key.
+func (p *Package) DegradedByPackage() map[string]int {
+	out := map[string]int{}
+	for _, n := range p.Notes {
+		if n.Confidence == Degraded {
+			out[n.Pkg]++
+		}
+	}
+	return out
+}
+
+// DegradedRecord is the machine-readable form of one degraded
+// function, emitted by the CLIs' -degraded=json mode so CI can diff
+// precision regressions structurally instead of scraping stderr.
+type DegradedRecord struct {
+	Pkg     string   `json:"pkg,omitempty"`
+	Proc    string   `json:"proc"`
+	File    string   `json:"file,omitempty"`
+	Reasons []string `json:"reasons"`
+}
+
+// DegradedRecords renders the degraded notes as records, in procedure
+// ID order.
+func (p *Package) DegradedRecords() []DegradedRecord {
+	var out []DegradedRecord
+	for _, n := range p.Notes {
+		if n.Confidence != Degraded {
+			continue
+		}
+		out = append(out, DegradedRecord{Pkg: n.Pkg, Proc: n.Proc, File: n.File, Reasons: n.Reasons})
+	}
+	return out
+}
+
+// DegradedJSON renders the degraded-function list of several analyzed
+// packages as one deterministic JSON document:
+//
+//	{"degraded": [{"path": ..., "count": N, "functions": [...]}, ...]}
+func DegradedJSON(pkgs []*Package) ([]byte, error) {
+	type pkgRec struct {
+		Path      string           `json:"path"`
+		Count     int              `json:"count"`
+		Functions []DegradedRecord `json:"functions,omitempty"`
+	}
+	doc := struct {
+		Degraded []pkgRec `json:"degraded"`
+	}{Degraded: []pkgRec{}}
+	for _, p := range pkgs {
+		recs := p.DegradedRecords()
+		doc.Degraded = append(doc.Degraded, pkgRec{Path: p.Path, Count: len(recs), Functions: recs})
+	}
+	return json.MarshalIndent(doc, "", "  ")
 }
 
 // ConfidenceReport renders the per-function confidence table appended

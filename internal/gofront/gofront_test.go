@@ -173,25 +173,43 @@ func TestCorpusLowersClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	check := func(name string, pkg *Package, err error) {
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		if pkg.Prog == nil || pkg.Prog.NumProcs() < 2 {
+			t.Errorf("%s: implausibly small program", name)
+			return
+		}
+		if res := core.Analyze(pkg.Prog, core.Mod, core.Options{}); res == nil {
+			t.Errorf("%s: solver rejected lowered IR", name)
+		}
+	}
 	seen := 0
 	for _, e := range entries {
 		if !e.IsDir() || e.Name() == "golden" {
 			continue
 		}
+		if e.Name() == "mod" {
+			// Whole-module fixtures: each subdirectory is its own module
+			// and lowers through LoadModule instead of LoadDir.
+			mods, err := os.ReadDir(filepath.Join(root, "mod"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range mods {
+				if !m.IsDir() {
+					continue
+				}
+				pkg, err := LoadModule(filepath.Join(root, "mod", m.Name()), nil)
+				check("mod/"+m.Name(), pkg, err)
+			}
+			continue
+		}
 		seen++
 		pkg, err := LoadDir(filepath.Join(root, e.Name()))
-		if err != nil {
-			t.Errorf("%s: %v", e.Name(), err)
-			continue
-		}
-		if pkg.Prog == nil || pkg.Prog.NumProcs() < 2 {
-			t.Errorf("%s: implausibly small program", e.Name())
-			continue
-		}
-		res := core.Analyze(pkg.Prog, core.Mod, core.Options{})
-		if res == nil {
-			t.Errorf("%s: solver rejected lowered IR", e.Name())
-		}
+		check(e.Name(), pkg, err)
 	}
 	if seen < 12 {
 		t.Errorf("corpus has %d packages, want >= 12", seen)

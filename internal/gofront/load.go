@@ -173,11 +173,11 @@ func AnalyzeSource(name, src string) (*Package, error) {
 	return analyzeFiles(name, "", []sourceFile{{name: name, src: src}})
 }
 
-// Hash computes the content-addressed package identity: language tag,
-// then each (name, content) pair in slice order.
+// Hash computes the content-addressed package identity: language tag
+// and lowering version, then each (name, content) pair in slice order.
 func Hash(files []sourceFile) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "lang=go\x00")
+	fmt.Fprintf(h, "lang=go\x00v%d\x00", LoweringVersion)
 	for _, f := range files {
 		fmt.Fprintf(h, "%s\x00%d\x00%s", f.name, len(f.src), f.src)
 	}

@@ -5,25 +5,64 @@ import (
 	"go/ast"
 	gotoken "go/token"
 	"go/types"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"sideeffect/internal/ir"
 	"sideeffect/internal/lang/token"
 )
 
-// lowerer lowers one type-checked Go package onto an ir.Program.
+// lowerUnit is one package's contribution to a lowering. Single-package
+// mode lowers exactly one unit; module mode lowers every module-local
+// package as a unit of one shared program, in import order.
+type lowerUnit struct {
+	// label is the module-relative package directory ("" in
+	// single-package mode); it prefixes procedure and global names and
+	// tags the unit's confidence notes.
+	label string
+	tpkg  *types.Package
+	files []*ast.File
+}
+
+// prefix is the qualifier prepended to the unit's procedure and
+// global names.
+func (u *lowerUnit) prefix() string {
+	if u.label == "" {
+		return ""
+	}
+	return u.label + "."
+}
+
+// lowerer lowers one or more type-checked Go packages onto an
+// ir.Program.
 type lowerer struct {
 	path string
 	fset *gotoken.FileSet
 	info *types.Info
 	tpkg *types.Package
 
+	// module is true for whole-module lowerings: cross-package calls
+	// resolve through the shared funcs/globals maps and interface
+	// calls devirtualize against the module's named types.
+	module bool
+	// fileRoot, when set, makes file() return module-relative paths
+	// instead of base names.
+	fileRoot string
+	// analyzed holds every type-checker package being lowered into
+	// this program; a variable belonging to none of them is external
+	// state.
+	analyzed map[*types.Package]bool
+	// curLabel is the label of the unit whose bodies are being
+	// lowered (tags closure notes created on the way).
+	curLabel string
+
 	b *ir.Builder
 
 	// globals maps package-level var objects to their ir globals.
 	globals map[types.Object]*ir.Variable
 	// external is the lazily created $external global standing for all
-	// state outside the analyzed package (other packages' vars, I/O).
+	// state outside the analyzed packages (other packages' vars, I/O).
 	external *ir.Variable
 	// allGlobals lists every ir global in creation order (for the
 	// worst-case escape effect).
@@ -31,7 +70,7 @@ type lowerer struct {
 	// funcs maps package function/method objects to their procedures.
 	funcs map[types.Object]*ir.Procedure
 	// addrTaken records objects whose address is taken anywhere in the
-	// package (computed in a single prepass over all files).
+	// program (computed in a single prepass over all files).
 	addrTaken map[types.Object]bool
 	// importBroken lists import paths that could not be resolved; a
 	// selection into one degrades the using function.
@@ -43,6 +82,14 @@ type lowerer struct {
 	shapes   map[*ir.Procedure]funcShape
 	litProcs map[*ast.FuncLit]*ir.Procedure
 	litRun   map[*ast.FuncLit]bool
+
+	// namedTypes lists the module's named (non-interface, non-generic)
+	// types in deterministic order, the candidate set for interface
+	// devirtualization; devirtMemo caches per (interface, method)
+	// resolutions; devirt counts devirtualized call sites.
+	namedTypes []*types.Named
+	devirtMemo map[string][]*ir.Procedure
+	devirt     int
 
 	notes   []Note
 	noteIdx map[string]int // proc name → index in notes
@@ -63,6 +110,7 @@ func newLowerer(path string, fset *gotoken.FileSet, info *types.Info, tpkg *type
 		shapes:       map[*ir.Procedure]funcShape{},
 		litProcs:     map[*ast.FuncLit]*ir.Procedure{},
 		litRun:       map[*ast.FuncLit]bool{},
+		devirtMemo:   map[string][]*ir.Procedure{},
 		noteIdx:      map[string]int{},
 		fileOf:       map[*ir.Procedure]string{},
 	}
@@ -77,12 +125,18 @@ func (lw *lowerer) pos(p gotoken.Pos) token.Pos {
 	return token.Pos{Line: pp.Line, Col: pp.Column}
 }
 
-// file returns the base file name declaring pos.
+// file returns the base file name declaring pos (the module-relative
+// path when fileRoot is set).
 func (lw *lowerer) file(p gotoken.Pos) string {
 	if !p.IsValid() {
 		return ""
 	}
 	name := lw.fset.Position(p).Filename
+	if lw.fileRoot != "" {
+		if rel, err := filepath.Rel(lw.fileRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
 	if i := strings.LastIndexByte(name, '/'); i >= 0 {
 		name = name[i+1:]
 	}
@@ -96,6 +150,52 @@ func (lw *lowerer) ext() *ir.Variable {
 		lw.allGlobals = append(lw.allGlobals, lw.external)
 	}
 	return lw.external
+}
+
+// mod records that proc modifies all of v. A ranked (struct-span)
+// variable additionally records a whole-span star access, so the
+// regular-section layer never claims a narrower effect than the
+// variable-level fact: the parallelism verdicts trust sections alone
+// for ranked variables.
+func (lw *lowerer) mod(proc *ir.Procedure, v *ir.Variable) {
+	if v.Rank() > 0 {
+		lw.b.Access(proc, v, make([]ir.Sub, v.Rank()), true, token.Pos{})
+		return
+	}
+	lw.b.Mod(proc, v)
+}
+
+// use is the read-side analog of mod.
+func (lw *lowerer) use(proc *ir.Procedure, v *ir.Variable) {
+	if v.Rank() > 0 {
+		lw.b.Access(proc, v, make([]ir.Sub, v.Rank()), false, token.Pos{})
+		return
+	}
+	lw.b.Use(proc, v)
+}
+
+// fieldDims returns the abstract shape of a variable of type t: a
+// struct (or pointer-to-struct) variable becomes a rank-1 "field
+// array" with one abstract location per field, so a write through p.F
+// lowers to a constant-subscript access that the Section-6 regular
+// sections refine and translate interprocedurally. Everything else is
+// a scalar (nil dims).
+func fieldDims(t types.Type) []int {
+	if t == nil {
+		return nil
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		if p.Elem() == nil {
+			return nil
+		}
+		u = p.Elem().Underlying()
+	}
+	s, ok := u.(*types.Struct)
+	if !ok || s.NumFields() == 0 {
+		return nil
+	}
+	return []int{s.NumFields()}
 }
 
 // degrade records a degradation reason against proc.
@@ -152,10 +252,17 @@ func refType(t types.Type, depth int) bool {
 	}
 }
 
-// lower drives the whole-package lowering: globals first, then one
-// procedure per declared function/method, then bodies (so forward and
-// mutual references resolve).
-func (lw *lowerer) lower(files []*ast.File) (prog *ir.Program, notes []Note, err error) {
+// lower drives a single-package lowering.
+func (lw *lowerer) lower(files []*ast.File) (*ir.Program, []Note, error) {
+	return lw.lowerUnits([]*lowerUnit{{tpkg: lw.tpkg, files: files}})
+}
+
+// lowerUnits drives the lowering of one or more packages into one
+// shared program: globals of every unit first, then one procedure per
+// declared function/method across all units, then every signature,
+// then every body (so forward, mutual, and cross-package references
+// resolve to real procedures).
+func (lw *lowerer) lowerUnits(units []*lowerUnit) (prog *ir.Program, notes []Note, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("lowering panic: %v", r)
@@ -163,20 +270,31 @@ func (lw *lowerer) lower(files []*ast.File) (prog *ir.Program, notes []Note, err
 	}()
 	lw.b = ir.NewBuilder(lw.path)
 	main := lw.b.Main()
+	lw.analyzed = map[*types.Package]bool{}
+	for _, u := range units {
+		if u.tpkg != nil {
+			lw.analyzed[u.tpkg] = true
+		}
+	}
+	if lw.module {
+		lw.collectNamedTypes(units)
+	}
 
-	// Prepass: record every &lvalue root in the package, so locals are
-	// known address-taken before any body is lowered.
-	for _, f := range files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == gotoken.AND {
-				if id := rootIdent(u.X); id != nil {
-					if obj := lw.objOf(id); obj != nil {
-						lw.addrTaken[obj] = true
+	// Prepass: record every &lvalue root in every package, so locals
+	// are known address-taken before any body is lowered.
+	for _, u := range units {
+		for _, f := range u.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == gotoken.AND {
+					if id := rootIdent(ue.X); id != nil {
+						if obj := lw.objOf(id); obj != nil {
+							lw.addrTaken[obj] = true
+						}
 					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 
 	// Package-level vars become globals, in declaration order.
@@ -185,32 +303,34 @@ func (lw *lowerer) lower(files []*ast.File) (prog *ir.Program, notes []Note, err
 		exprs []ast.Expr
 	}
 	var inits []initSpec
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != gotoken.VAR {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
+	for _, u := range units {
+		for _, f := range u.files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != gotoken.VAR {
 					continue
 				}
-				var objs []types.Object
-				for _, name := range vs.Names {
-					obj := lw.info.Defs[name]
-					if name.Name == "_" || obj == nil {
-						objs = append(objs, nil)
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
 						continue
 					}
-					g := lw.b.Global(name.Name)
-					g.Pos = lw.pos(name.Pos())
-					lw.globals[obj] = g
-					lw.allGlobals = append(lw.allGlobals, g)
-					objs = append(objs, obj)
-				}
-				if len(vs.Values) > 0 {
-					inits = append(inits, initSpec{names: objs, exprs: vs.Values})
+					var objs []types.Object
+					for _, name := range vs.Names {
+						obj := lw.info.Defs[name]
+						if name.Name == "_" || obj == nil {
+							objs = append(objs, nil)
+							continue
+						}
+						g := lw.b.Global(u.prefix()+name.Name, fieldDims(obj.Type())...)
+						g.Pos = lw.pos(name.Pos())
+						lw.globals[obj] = g
+						lw.allGlobals = append(lw.allGlobals, g)
+						objs = append(objs, obj)
+					}
+					if len(vs.Values) > 0 {
+						inits = append(inits, initSpec{names: objs, exprs: vs.Values})
+					}
 				}
 			}
 		}
@@ -218,55 +338,61 @@ func (lw *lowerer) lower(files []*ast.File) (prog *ir.Program, notes []Note, err
 
 	// Declare one procedure per function and method declaration.
 	type bodyWork struct {
-		decl *ast.FuncDecl
-		proc *ir.Procedure
+		decl  *ast.FuncDecl
+		proc  *ir.Procedure
+		label string
 	}
 	var work []bodyWork
 	nameCount := map[string]int{}
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				if ok { // body-less declaration (assembly, linkname)
+	for _, u := range units {
+		for _, f := range u.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					// Body-less declarations (assembly, linkname) and
+					// non-function decls carry no effects of their own.
 					continue
 				}
-				continue
+				name := u.prefix() + procName(fd)
+				nameCount[name]++
+				if nameCount[name] > 1 {
+					name = fmt.Sprintf("%s#%d", name, nameCount[name])
+				}
+				proc := lw.b.Proc(name, nil)
+				proc.Pos = lw.pos(fd.Pos())
+				lw.fileOf[proc] = lw.file(fd.Pos())
+				if obj := lw.info.Defs[fd.Name]; obj != nil {
+					lw.funcs[obj] = proc
+				}
+				lw.noteIdx[name] = len(lw.notes)
+				lw.notes = append(lw.notes, Note{Proc: name, Pkg: u.label, File: lw.fileOf[proc], Confidence: High})
+				work = append(work, bodyWork{decl: fd, proc: proc, label: u.label})
 			}
-			name := procName(fd)
-			nameCount[name]++
-			if nameCount[name] > 1 {
-				name = fmt.Sprintf("%s#%d", name, nameCount[name])
-			}
-			proc := lw.b.Proc(name, nil)
-			proc.Pos = lw.pos(fd.Pos())
-			lw.fileOf[proc] = lw.file(fd.Pos())
-			if obj := lw.info.Defs[fd.Name]; obj != nil {
-				lw.funcs[obj] = proc
-			}
-			lw.noteIdx[name] = len(lw.notes)
-			lw.notes = append(lw.notes, Note{Proc: name, File: lw.fileOf[proc], Confidence: High})
-			work = append(work, bodyWork{decl: fd, proc: proc})
 		}
 	}
 
 	// Declare every signature, then lower bodies in declaration order
-	// (forward and mutual calls need final arities).
+	// (forward, mutual, and cross-package calls need final arities).
 	states := make([]*procState, len(work))
 	for i, w := range work {
 		states[i] = lw.newProcState(w.proc, nil)
 		states[i].declareSignature(w.decl.Recv, w.decl.Type)
 	}
 	for i, w := range work {
+		lw.curLabel = w.label
 		states[i].lowerBody(w.decl.Body)
 	}
+	lw.curLabel = ""
 
 	// Package-variable initializers run in $main: the initialized
 	// globals are modified, the read variables used, and calls inside
-	// initializer expressions contribute their external effects.
+	// initializer expressions contribute their external effects. Units
+	// are processed in import order, matching Go's initialization
+	// order across packages.
 	for _, is := range inits {
 		for _, obj := range is.names {
 			if g := lw.globals[obj]; g != nil {
-				lw.b.Mod(main, g)
+				lw.mod(main, g)
 			}
 		}
 		for _, e := range is.exprs {
@@ -282,6 +408,119 @@ func (lw *lowerer) lower(files []*ast.File) (prog *ir.Program, notes []Note, err
 	return prog, lw.notes, nil
 }
 
+// collectNamedTypes gathers the module's named, non-interface,
+// non-generic types in deterministic order — the closed candidate set
+// interface devirtualization enumerates.
+func (lw *lowerer) collectNamedTypes(units []*lowerUnit) {
+	var keys []string
+	byKey := map[string]*types.Named{}
+	for _, u := range units {
+		if u.tpkg == nil {
+			continue
+		}
+		scope := u.tpkg.Scope()
+		for _, nm := range scope.Names() {
+			tn, ok := scope.Lookup(nm).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			key := u.tpkg.Path() + "." + nm
+			if _, dup := byKey[key]; !dup {
+				byKey[key] = named
+				keys = append(keys, key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		lw.namedTypes = append(lw.namedTypes, byKey[k])
+	}
+}
+
+// devirtTargets resolves an interface method call to the procedures of
+// every module-local implementing type. closed is false — meaning the
+// call must degrade — when devirtualization is off (single-package
+// mode), when the interface type is defined outside the module (its
+// implementations are not enumerable here), when no module type
+// implements it, or when some implementation's method is not a lowered
+// procedure (an embedded foreign method). The closed-world assumption
+// — interface values hold module-defined types — is a documented limit
+// of module mode.
+func (lw *lowerer) devirtTargets(selinfo *types.Selection) (procs []*ir.Procedure, closed bool) {
+	if !lw.module {
+		return nil, false
+	}
+	recv := selinfo.Recv()
+	if recv == nil {
+		return nil, false
+	}
+	if _, isTP := recv.(*types.TypeParam); isTP {
+		return nil, false // constraint dispatch: the witness type is the caller's
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return nil, false
+	}
+	if named, ok := recv.(*types.Named); ok {
+		pkg := named.Obj().Pkg()
+		if pkg == nil || !lw.analyzed[pkg] {
+			return nil, false // universe (error) or foreign interface
+		}
+	}
+	m, ok := selinfo.Obj().(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	key := types.TypeString(recv, nil) + "\x00" + m.Name()
+	if got, hit := lw.devirtMemo[key]; hit {
+		return got, got != nil
+	}
+	memo := func(ps []*ir.Procedure) ([]*ir.Procedure, bool) {
+		lw.devirtMemo[key] = ps
+		return ps, ps != nil
+	}
+	for _, named := range lw.namedTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		msel := types.NewMethodSet(ptr).Lookup(m.Pkg(), m.Name())
+		if msel == nil {
+			return memo(nil)
+		}
+		proc, known := lw.methodProc(msel.Obj())
+		if !known {
+			return memo(nil)
+		}
+		procs = append(procs, proc)
+	}
+	if len(procs) == 0 {
+		return memo(nil)
+	}
+	return memo(procs)
+}
+
+// methodProc resolves a function or method object to its lowered
+// procedure, unwrapping generic instantiations to their origin.
+func (lw *lowerer) methodProc(obj types.Object) (*ir.Procedure, bool) {
+	if p, ok := lw.funcs[obj]; ok {
+		return p, true
+	}
+	if f, ok := obj.(*types.Func); ok {
+		if p, ok := lw.funcs[f.Origin()]; ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
 // initEffects conservatively charges a package-variable initializer
 // expression to $main: every referenced global is used, and any call
 // is treated as external (initializers run before analysis scope).
@@ -290,7 +529,7 @@ func (lw *lowerer) initEffects(main *ir.Procedure, e ast.Expr) {
 		switch x := n.(type) {
 		case *ast.Ident:
 			if g := lw.globals[lw.objOf(x)]; g != nil {
-				lw.b.Use(main, g)
+				lw.use(main, g)
 			}
 		case *ast.CallExpr:
 			if !lw.isTypeConv(x) && builtinName(lw, x) == "" {

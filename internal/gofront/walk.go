@@ -161,16 +161,15 @@ func (ps *procState) preEdge(lhs, rhs ast.Expr, tuple bool) {
 }
 
 // rootEdge adds an edge to the root variable of an lvalue-ish path,
-// or an unknown edge when the path has no variable root.
+// or an unknown edge when the path has no variable root. Package-
+// qualified roots resolve to the qualified variable (an analyzed
+// package's global in module mode, external state otherwise).
 func (ps *procState) rootEdge(add func(types.Object), e ast.Expr) {
-	if id := rootIdent(e); id != nil {
-		if o := ps.lw.objOf(id); o != nil {
-			if _, ok := o.(*types.Var); ok {
-				add(o)
-				return
-			}
-			return // const/func root reaches nothing mutable
+	if o := ps.rootRef(e); o != nil {
+		if _, ok := o.(*types.Var); ok {
+			add(o)
 		}
+		return // const/func/pkg root reaches nothing trackable
 	}
 	add(nil)
 }
@@ -469,6 +468,15 @@ func (ps *procState) expr(e ast.Expr) {
 func (ps *procState) selector(x *ast.SelectorExpr, callee bool) {
 	lw := ps.lw
 	if path := ps.pkgNameOf(x.X); path != "" {
+		// Module mode resolves another analyzed package's global to its
+		// shared-program variable; only then does the reference degrade
+		// to external state.
+		if g := lw.globals[lw.objOf(x.Sel)]; g != nil {
+			if !callee {
+				lw.use(ps.proc, g)
+			}
+			return
+		}
 		ps.degradingPkg(path)
 		if !callee {
 			if obj := lw.objOf(x.Sel); obj != nil {
@@ -485,7 +493,7 @@ func (ps *procState) selector(x *ast.SelectorExpr, callee bool) {
 	if selinfo, ok := lw.info.Selections[x]; ok && !callee && selinfo.Kind() == types.MethodVal {
 		// Method value escaping as data: whoever receives it may run
 		// it against this receiver.
-		ps.mayRunMethod(x, selinfo.Obj())
+		ps.mayRunMethod(x, selinfo)
 		return
 	}
 	if t := ps.typeOf(x.X); t != nil {
@@ -496,37 +504,56 @@ func (ps *procState) selector(x *ast.SelectorExpr, callee bool) {
 }
 
 // mayRunMethod charges an escaping bound method value x.M: a may-run
-// call site when M is a package method, otherwise the unknown-callee
-// effect on the receiver's storage.
-func (ps *procState) mayRunMethod(x *ast.SelectorExpr, method types.Object) {
+// call site when M resolves to an analyzed method (directly, or via a
+// closed interface devirtualized to every module-local
+// implementation), otherwise the unknown-callee effect on the
+// receiver's storage.
+func (ps *procState) mayRunMethod(x *ast.SelectorExpr, selinfo *types.Selection) {
 	lw := ps.lw
-	proc, known := lw.funcs[method]
-	if !known {
-		ps.refArgEffect(x.X)
-		lw.b.Mod(ps.proc, lw.ext())
-		lw.b.Use(ps.proc, lw.ext())
-		lw.degrade(ps.proc, "dynamic call")
+	if proc, known := lw.methodProc(selinfo.Obj()); known {
+		ps.mayRunMethodSite(proc, x)
 		return
 	}
-	var recvVar *ir.Variable
-	if id := rootIdent(x.X); id != nil {
-		recvVar = ps.lookup(lw.objOf(id))
+	if impls, closed := lw.devirtTargets(selinfo); closed {
+		lw.devirt++
+		for _, proc := range impls {
+			ps.mayRunMethodSite(proc, x)
+		}
+		return
 	}
-	if recvVar == nil {
-		recvVar = ps.fresh("tmp")
+	ps.refArgEffect(x.X)
+	lw.b.Mod(ps.proc, lw.ext())
+	lw.b.Use(ps.proc, lw.ext())
+	lw.degrade(ps.proc, ps.dynamicReason(selinfo))
+}
+
+// mayRunMethodSite plants one may-run call site binding the receiver
+// path's root as the receiver actual and stand-ins for the rest.
+func (ps *procState) mayRunMethodSite(proc *ir.Procedure, x *ast.SelectorExpr) {
+	lw := ps.lw
+	var recvVar *ir.Variable
+	if obj := ps.rootRef(x.X); obj != nil {
+		if _, isPkg := obj.(*types.PkgName); !isPkg {
+			recvVar = ps.lookup(obj)
+		}
 	}
 	var actuals []ir.Actual
 	for i, f := range proc.Formals {
 		a := ir.Actual{Mode: f.Kind}
 		if i == 0 {
 			if f.Kind == ir.FormalRef {
-				a.Var = recvVar
+				a.Var = ps.refActual(f, recvVar)
 			} else {
 				a.Var = recvVar
-				a.Uses = []*ir.Variable{recvVar}
+				if recvVar != nil {
+					if recvVar.Rank() > 0 {
+						lw.use(ps.proc, recvVar)
+					}
+					a.Uses = []*ir.Variable{recvVar}
+				}
 			}
 		} else if f.Kind == ir.FormalRef {
-			a.Var = ps.fresh("cap")
+			a.Var = ps.freshFor("cap", f)
 		}
 		actuals = append(actuals, a)
 	}
@@ -574,15 +601,10 @@ func (ps *procState) indexHops(base ast.Expr) bool {
 // hopEffect records a read (or write, when mod) of the storage behind
 // a reference hop rooted in path.
 func (ps *procState) hopEffect(path ast.Expr, mod bool) {
-	id := rootIdent(path)
-	if id == nil {
+	obj := ps.rootRef(path)
+	if obj == nil {
 		// No variable root (call result, literal): the storage may be
 		// anything reachable — worst case.
-		ps.escapeMod()
-		return
-	}
-	obj := ps.lw.objOf(id)
-	if obj == nil {
 		ps.escapeMod()
 		return
 	}
@@ -605,7 +627,7 @@ func (ps *procState) hopEffect(path ast.Expr, mod bool) {
 // formal, whose direct binding is a caller-invisible copy); a write
 // across a reference hop modifies the storage reachable from the root.
 func (ps *procState) write(e ast.Expr) {
-	root, hop, external := ps.writePath(e)
+	root, hop, external, field := ps.writePath(e)
 	if external {
 		ps.lw.b.Mod(ps.proc, ps.lw.ext())
 		return
@@ -619,7 +641,7 @@ func (ps *procState) write(e ast.Expr) {
 	obj := ps.lw.objOf(root)
 	if hop {
 		ps.useVar(root)
-		ps.modThrough(obj)
+		ps.modThroughField(obj, field, e.Pos())
 		return
 	}
 	if root.Name == "_" {
@@ -627,7 +649,12 @@ func (ps *procState) write(e ast.Expr) {
 	}
 	if v := ps.lookup(obj); v != nil {
 		if v.Kind != ir.FormalRef {
-			ps.lw.b.Mod(ps.proc, v)
+			if field >= 0 && v.Rank() == 1 && field < v.Dims[0] {
+				ps.lw.b.Access(ps.proc, v,
+					[]ir.Sub{{Kind: ir.SubConst, Const: field}}, true, ps.lw.pos(e.Pos()))
+			} else {
+				ps.lw.mod(ps.proc, v)
+			}
 		}
 	} else if isExternalVar(ps.lw, obj) {
 		ps.lw.b.Mod(ps.proc, ps.lw.ext())
@@ -635,21 +662,40 @@ func (ps *procState) write(e ast.Expr) {
 }
 
 // writePath walks an lvalue to its root, deciding whether the path
-// crosses a reference hop and whether it leaves the package.
-func (ps *procState) writePath(e ast.Expr) (root *ast.Ident, hop, external bool) {
+// crosses a reference hop and whether it leaves the package. field is
+// the struct-field index of the selection step adjacent to the root
+// (-1 when the write is not attributable to a single field of the
+// root's span): x.f = v or (*p).f = v keep the field; any indexing,
+// slicing, assertion, or interior dereference between the field and
+// the root widens back to the whole variable.
+func (ps *procState) writePath(e ast.Expr) (root *ast.Ident, hop, external bool, field int) {
+	field = -1
 	for {
 		switch x := e.(type) {
 		case *ast.Ident:
-			return x, hop, false
+			return x, hop, false, field
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.StarExpr:
+			if _, direct := unparen(x.X).(*ast.Ident); !direct {
+				field = -1
+			}
 			hop = true
 			e = x.X
 		case *ast.SelectorExpr:
 			if path := ps.pkgNameOf(x.X); path != "" {
+				// A qualified write: module mode resolves the global,
+				// otherwise it is external state.
+				if ps.lw.globals[ps.lw.objOf(x.Sel)] != nil {
+					return x.Sel, hop, false, field
+				}
 				ps.degradingPkg(path)
-				return nil, hop, true
+				return nil, hop, true, -1
+			}
+			if idx, ok := ps.fieldIndex(x); ok {
+				field = idx
+			} else {
+				field = -1
 			}
 			if t := ps.typeOf(x.X); t == nil {
 				hop = true
@@ -662,19 +708,38 @@ func (ps *procState) writePath(e ast.Expr) (root *ast.Ident, hop, external bool)
 			if ps.indexHops(x.X) {
 				hop = true
 			}
+			field = -1
 			e = x.X
 		case *ast.IndexListExpr:
+			field = -1
 			e = x.X
 		case *ast.TypeAssertExpr:
 			hop = true
+			field = -1
 			e = x.X
 		case *ast.SliceExpr:
 			hop = true
+			field = -1
 			e = x.X
 		default:
-			return nil, true, false
+			return nil, true, false, -1
 		}
 	}
+}
+
+// fieldIndex resolves a selector to a field index within the base's
+// struct span. An embedded promotion writes through the first hop's
+// field, which Index()[0] names.
+func (ps *procState) fieldIndex(x *ast.SelectorExpr) (int, bool) {
+	sel, ok := ps.lw.info.Selections[x]
+	if !ok || sel.Kind() != types.FieldVal {
+		return 0, false
+	}
+	idx := sel.Index()
+	if len(idx) == 0 {
+		return 0, false
+	}
+	return idx[0], true
 }
 
 // ---------------------------------------------------------------------
@@ -713,7 +778,7 @@ func (ps *procState) rangeLoop(x *ast.RangeStmt) {
 	for _, e := range []ast.Expr{x.Key, x.Value} {
 		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
 			if v := ps.lookup(ps.lw.objOf(id)); v != nil {
-				ps.lw.b.Mod(ps.proc, v)
+				ps.lw.mod(ps.proc, v)
 				if index == nil {
 					index = v
 				}
@@ -729,7 +794,7 @@ func (ps *procState) recordLoop(index *ir.Variable, before int, pos gotoken.Pos)
 	if len(ps.sites) == before {
 		return
 	}
-	if index == nil || index.Kind == ir.FormalRef {
+	if index == nil || index.Kind == ir.FormalRef || index.Rank() != 0 {
 		ps.loopN++
 		index = ps.lw.b.Local(ps.proc, fmt.Sprintf("$idx%d", ps.loopN))
 	}

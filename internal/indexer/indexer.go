@@ -14,6 +14,7 @@
 package indexer
 
 import (
+	"fmt"
 	"io/fs"
 	"path/filepath"
 	"sort"
@@ -23,6 +24,7 @@ import (
 
 	"sideeffect"
 	"sideeffect/internal/cache"
+	"sideeffect/internal/gofront"
 	"sideeffect/internal/store"
 )
 
@@ -51,6 +53,14 @@ type Config struct {
 	// classify edits as incremental; least recently edited files fall
 	// back to full reanalysis when evicted.
 	MaxSessions int
+	// GoModule switches the Go frontend to whole-module indexing: a
+	// batch touching any .go file triggers one shared-program analysis
+	// of the module rooted at Root (cross-package calls resolved,
+	// closed interfaces devirtualized) instead of per-file
+	// single-package lowerings. The result is installed under a key
+	// derived from the module's content hash, so an unchanged module is
+	// warm across restarts.
+	GoModule bool
 	// Opts configures the analyses the indexer runs. Profiling is
 	// forced off: indexer work must never move the server's per-stage
 	// timers, which meter request-path computation only.
@@ -287,10 +297,12 @@ func (ix *Indexer) scanInto(pending *batch) int {
 
 // keyFor computes the server cache's content address for src under
 // lang — the same derivation the HTTP handlers use, so an installed
-// entry is found by the matching request.
+// entry is found by the matching request. Go keys fold in the
+// lowering version: results persisted by an older frontend are never
+// served for bytes the new lowering interprets differently.
 func keyFor(lang, src string) string {
 	if lang == "go" {
-		return cache.Key("go\x00" + src)
+		return cache.Key(fmt.Sprintf("go\x00v%d\x00", gofront.LoweringVersion) + src)
 	}
 	return cache.Key(src)
 }

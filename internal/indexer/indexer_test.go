@@ -364,3 +364,101 @@ func TestRevertIsWarm(t *testing.T) {
 		t.Errorf("revert re-analyzed: %+v", st)
 	}
 }
+
+// writeModule lays out a minimal two-package Go module under dir.
+func writeModule(t *testing.T, dir string) {
+	t.Helper()
+	for _, sub := range []string{"util", "app"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/w\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "util", "u.go"),
+		"package util\n\ntype C struct{ n int }\n\nfunc (c *C) Add(v int) { c.n += v }\n")
+	writeFile(t, filepath.Join(dir, "app", "a.go"),
+		"package app\n\nimport \"example.com/w/util\"\n\nvar G util.C\n\nfunc Rec(v int) { G.Add(v) }\n")
+}
+
+// TestModuleMode pins the go-module watcher: the whole module is
+// analyzed as one batch under the synthetic "(module)" state, a file
+// edit re-analyzes the module exactly once, and a revert to indexed
+// content is warm.
+func TestModuleMode(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir)
+	ft := newFakeTarget()
+	cfg := fastConfig(dir)
+	cfg.GoModule = true
+	ix := startIndexer(t, cfg, ft)
+
+	waitFor(t, "cold module analysis", func() bool { return ix.Stats().Analyses == 1 })
+	files := ix.Files().([]fileView)
+	var mod *fileView
+	for i := range files {
+		if files[i].Path == moduleStatePath {
+			mod = &files[i]
+		}
+	}
+	if mod == nil {
+		t.Fatalf("no %q entry in %+v", moduleStatePath, files)
+	}
+	if mod.Lang != "go-module" || mod.Mode != "cold" || mod.Procs == 0 {
+		t.Errorf("module state = %+v, want go-module/cold with procs", *mod)
+	}
+	if !ft.HasEntry(mod.Key) {
+		t.Error("module snapshot not installed under its content key")
+	}
+
+	// An edit to any module file re-analyzes the whole module once.
+	edited := "package util\n\ntype C struct{ n int }\n\nfunc (c *C) Add(v int) { c.n += v }\n\nfunc (c *C) Get() int { return c.n }\n"
+	writeFile(t, filepath.Join(dir, "util", "u.go"), edited)
+	waitFor(t, "module re-analysis", func() bool { return ix.Stats().Analyses == 2 })
+
+	// Reverting restores the previous module hash: warm, no analysis.
+	writeFile(t, filepath.Join(dir, "util", "u.go"),
+		"package util\n\ntype C struct{ n int }\n\nfunc (c *C) Add(v int) { c.n += v }\n")
+	waitFor(t, "module revert warm", func() bool { return ix.Stats().Warm == 1 })
+	if st := ix.Stats(); st.Analyses != 2 {
+		t.Errorf("revert re-analyzed the module: %+v", st)
+	}
+}
+
+// TestModuleModeRestore pins the restart path: the synthetic module
+// entry survives RestoreState and the first scans (it is not a disk
+// file, so the deletion sweep must not discard it), and an unchanged
+// tree runs no analysis at all.
+func TestModuleModeRestore(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir)
+	ft := newFakeTarget()
+	cfg := fastConfig(dir)
+	cfg.GoModule = true
+	first := startIndexer(t, cfg, ft)
+	waitFor(t, "cold module analysis", func() bool { return first.Stats().Analyses == 1 })
+	first.Stop()
+	state := first.ExportState()
+
+	second := New(cfg, ft)
+	if n := second.RestoreState(state); n != 3 {
+		t.Fatalf("RestoreState primed %d entries, want 3 (2 files + module)", n)
+	}
+	second.Start()
+	t.Cleanup(second.Stop)
+	waitFor(t, "a few scans", func() bool { return second.Stats().Scans >= 5 })
+	if st := second.Stats(); st.Analyses != 0 {
+		t.Errorf("restored watcher ran %d analyses on an unchanged tree, want 0", st.Analyses)
+	}
+	found := false
+	for _, f := range second.Files().([]fileView) {
+		if f.Path == moduleStatePath {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("synthetic module entry lost across restore + scan")
+	}
+	if st := second.ExportState(); len(st.Files) != 3 {
+		t.Errorf("re-exported state has %d entries, want 3", len(st.Files))
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"sideeffect"
+	"sideeffect/internal/cache"
+	"sideeffect/internal/gofront"
 	"sideeffect/internal/store"
 )
 
@@ -57,7 +59,77 @@ func (ix *Indexer) process(b *batch) {
 	}
 	ix.stats.Files = len(ix.files)
 	ix.mu.Unlock()
+
+	// Module mode: any Go change in the batch re-derives the one
+	// whole-module result (content addressing makes an unchanged
+	// module warm, e.g. after a revert or a touch).
+	if ix.cfg.GoModule && b.touchesGo(ix.exts) {
+		ix.analyzeModule()
+	}
 	ix.logf("indexer: batch: %d changed, %d deleted", len(b.changed), len(b.deleted))
+}
+
+// touchesGo reports whether the batch contains any Go file event.
+func (b *batch) touchesGo(exts map[string]string) bool {
+	for path := range b.changed {
+		if exts[filepath.Ext(path)] == "go" {
+			return true
+		}
+	}
+	for path := range b.deleted {
+		if exts[filepath.Ext(path)] == "go" {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleStatePath is the synthetic processed-view row carrying the
+// whole-module result; it is not a file on disk (real rows are
+// extension-addressed relative paths, which this can never be).
+const moduleStatePath = "(module)"
+
+// analyzeModule runs — or recognizes as warm — the whole-module Go
+// analysis and installs it under a key derived from the module's
+// content hash.
+func (ix *Indexer) analyzeModule() {
+	ix.mu.Lock()
+	old := ix.files[moduleStatePath]
+	ix.mu.Unlock()
+	st := &fileState{path: moduleStatePath, lang: "go-module", status: "ok"}
+	defer ix.setState(moduleStatePath, st)
+	pkg, err := gofront.LoadModule(ix.cfg.Root, nil)
+	if err != nil {
+		ix.fail(st, err)
+		return
+	}
+	st.key = cache.Key("go-module\x00" + pkg.Hash)
+	if ix.target.HasEntry(st.key) {
+		st.mode = "warm"
+		if old != nil {
+			st.procs = old.procs
+		}
+		ix.bumpWarm()
+		return
+	}
+	a := sideeffect.AnalyzeProgramWith(pkg.Prog, ix.cfg.Opts)
+	defer a.Release()
+	snap, err := store.BuildEntry(a, st.key, "go-module", pkg.Notes, pkg.ConfidenceReport())
+	if err != nil {
+		ix.fail(st, err)
+		return
+	}
+	if err := ix.target.InstallSnapshot(snap); err != nil {
+		ix.fail(st, err)
+		return
+	}
+	mode := "full"
+	if old == nil {
+		mode = "cold"
+	}
+	st.mode = mode
+	st.procs = len(a.Procedures())
+	ix.bumpAnalysis(mode)
 }
 
 // processFile absorbs one created or modified file.
@@ -114,7 +186,13 @@ func (ix *Indexer) processFile(path string, deletedKeys map[string]string, delet
 	case "minipl":
 		ix.analyzeMiniPL(path, src, key, old != nil, st)
 	case "go":
-		ix.analyzeGo(path, src, key, old != nil, st)
+		if ix.cfg.GoModule {
+			// Folded into the batch's one whole-module pass; the row
+			// just tracks the file's fingerprint.
+			st.mode = "module"
+		} else {
+			ix.analyzeGo(path, src, key, old != nil, st)
+		}
 	}
 	ix.setState(path, st)
 }

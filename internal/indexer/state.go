@@ -23,7 +23,11 @@ func (ix *Indexer) RestoreState(st *store.IndexState) int {
 	defer ix.mu.Unlock()
 	n := 0
 	for _, f := range st.Files {
-		if lang, ok := ix.exts["."+extOf(f.Path)]; !ok || lang != f.Lang {
+		if f.Path == moduleStatePath && f.Lang == "go-module" {
+			if !ix.cfg.GoModule {
+				continue // module mode is off in this run
+			}
+		} else if lang, ok := ix.exts["."+extOf(f.Path)]; !ok || lang != f.Lang {
 			continue // that frontend is not enabled in this run
 		}
 		ix.files[f.Path] = &fileState{
@@ -34,8 +38,12 @@ func (ix *Indexer) RestoreState(st *store.IndexState) int {
 		}
 		// Priming seen means a stat-identical file raises no event at
 		// all on the first scan; a changed file differs from this
-		// fingerprint and is re-processed.
-		ix.seen[f.Path] = statFP{size: f.Size, modTimeNs: f.ModTimeNs}
+		// fingerprint and is re-processed. The synthetic module entry
+		// is not a disk file: priming it into seen would make the
+		// first scan's deletion sweep discard it.
+		if f.Path != moduleStatePath {
+			ix.seen[f.Path] = statFP{size: f.Size, modTimeNs: f.ModTimeNs}
+		}
 		n++
 	}
 	ix.stats.Files = len(ix.files)

@@ -674,6 +674,17 @@ func (s *Server) analyzeCached(ctx context.Context, src string) (*cached, string
 	return entry, key, outcome, nil
 }
 
+// goCacheKey derives the cache address of a single-file Go analysis.
+// The namespace folds in the frontend's lowering version, so an entry
+// persisted by an older lowering (coarser struct tracking, no module
+// resolution) is never served for the same bytes after the frontend
+// changed what those bytes mean. Whole-module entries live in a
+// separate "go-module" namespace derived from the module content hash
+// (see internal/indexer), which folds the version in the same way.
+func goCacheKey(src string) string {
+	return cache.Key(fmt.Sprintf("go\x00v%d\x00", gofront.LoweringVersion) + src)
+}
+
 // analyzeCachedLang dispatches by input language: "" and "minipl" use
 // the MiniPL path (and its cache namespace); "go" lowers the source as
 // a single-file Go package under a language-prefixed cache key, so the
@@ -687,7 +698,7 @@ func (s *Server) analyzeCachedLang(ctx context.Context, lang, src string) (*cach
 	default:
 		return nil, "", 0, errBadRequest("unknown lang %q (want minipl or go)", lang)
 	}
-	key := cache.Key("go\x00" + src)
+	key := goCacheKey(src)
 	entry, outcome, err := s.cache.Do(key, func() (*cached, error) {
 		start := time.Now()
 		popts := s.opts

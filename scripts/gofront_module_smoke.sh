@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Smoke-test whole-module Go analysis end to end: run the module
+# self-analysis over internal/{core,bitset,arena} via modan, and fail
+# if internal/core's degraded count regresses above the pinned bound.
+# Single-package mode leaves core with 46 degraded functions; module
+# mode must keep it at <= 10 (currently 8: irreducible stdlib calls,
+# function values, and one open interface dispatch). CI runs this as
+# part of the gofront-module job; it needs only python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail() { echo "gofront_module_smoke: FAIL: $*" >&2; exit 1; }
+
+# Pinned bound for internal/core's module-mode degraded count. Raise
+# only with a precision-regression justification in the PR.
+CORE_BOUND=10
+
+go build -o /tmp/modan ./cmd/modan
+
+# The JSON degraded report over the module closure (on stdout).
+out="$(/tmp/modan -lang=go -module -degraded=json \
+  ./internal/core ./internal/bitset ./internal/arena 2>/dev/null)" ||
+  fail "modan -module exited non-zero: $out"
+
+core_count="$(python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+count = sum(1 for pkg in doc["degraded"]
+            for fn in pkg.get("functions", [])
+            if fn.get("pkg") == "internal/core")
+print(count)
+' <<<"$out")" || fail "degraded output is not valid JSON: $out"
+
+[ "$core_count" -gt 0 ] ||
+  fail "internal/core degraded count is 0 — stdlib calls cannot all resolve; the reader is broken"
+[ "$core_count" -le "$CORE_BOUND" ] ||
+  fail "internal/core degraded count $core_count exceeds pinned bound $CORE_BOUND"
+
+# The open-interface reason must be distinct from plain dynamic-call
+# degradation (closed-world devirtualization's visible limit).
+grep -q "open interface dispatch" <<<"$out" ||
+  fail "no 'open interface dispatch' reason in module degraded output"
+
+# -module and -degraded are go-frontend flags: MiniPL mode must reject
+# them with a usage error (exit 2).
+/tmp/modan -module testdata/lint/clean.mpl >/dev/null 2>&1 && code=0 || code=$?
+[ "$code" = 2 ] || fail "-module without -lang=go exited $code, want 2"
+
+echo "gofront_module_smoke: OK (internal/core degraded: $core_count <= $CORE_BOUND)"

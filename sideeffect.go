@@ -57,6 +57,12 @@ type Options struct {
 	// sequential run, allocation counts) in Analysis.Stages and tags
 	// each stage's execution with a pprof "stage" label.
 	Profile bool
+	// GoModule, when true, makes AnalyzeGoPackages treat its patterns
+	// as one whole Go module: every matched package plus its
+	// module-local import closure lowers into a single shared program
+	// with cross-package calls resolved and closed interface calls
+	// devirtualized (see gofront.LoadModule). MiniPL inputs ignore it.
+	GoModule bool
 	// Faults, when non-nil, injects deterministic seed-driven faults at
 	// the pipeline's stage boundaries for chaos testing (see
 	// internal/faultinject). Only the context-aware entry points

@@ -1,0 +1,23 @@
+// Package app calls into util: in module mode every call below binds
+// to a real procedure and the package stays at high confidence.
+package app
+
+import "example.com/crosspkg/util"
+
+// Grand is module state written through a cross-package method call.
+var Grand util.Counter
+
+// Tally mixes method calls on local state with a plain cross-package
+// call.
+func Tally(xs []int) int {
+	c := &util.Counter{}
+	for _, x := range xs {
+		c.Add(x)
+	}
+	return c.Total() + util.Sum(xs)
+}
+
+// Record mutates the package global via the callee's receiver.
+func Record(v int) {
+	Grand.Add(v)
+}

@@ -1,0 +1,3 @@
+module example.com/crosspkg
+
+go 1.21

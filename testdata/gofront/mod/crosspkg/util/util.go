@@ -1,0 +1,28 @@
+// Package util is the callee side of the cross-package fixture: its
+// methods and functions are resolved, not degraded, when the module
+// is analyzed as a whole.
+package util
+
+// Counter accumulates values.
+type Counter struct {
+	total int
+	hits  int
+}
+
+// Add records one value.
+func (c *Counter) Add(v int) {
+	c.total += v
+	c.hits++
+}
+
+// Total reads the accumulated sum.
+func (c *Counter) Total() int { return c.total }
+
+// Sum is a pure helper called across the package boundary.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

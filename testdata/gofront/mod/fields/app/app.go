@@ -1,0 +1,32 @@
+// Package app exercises field-sensitive struct effects: writes
+// through p.F mod only that field's abstract location, locally and
+// across the package boundary.
+package app
+
+import "example.com/fields/state"
+
+// Box is a two-field value struct.
+type Box struct {
+	W, H int
+}
+
+// Widen writes one field through the pointer: MOD refines to b(0).
+func Widen(b *Box, d int) {
+	b.W += d
+}
+
+// Rename writes another package's global field-precisely.
+func Rename(name string) {
+	state.Current.Name = name
+}
+
+// Configure calls across the package boundary; the call site's MOD
+// narrows to the Level field of state.Current.
+func Configure(n int) {
+	state.SetLevel(n)
+}
+
+// Area reads both fields and modifies nothing.
+func Area(b *Box) int {
+	return b.W * b.H
+}

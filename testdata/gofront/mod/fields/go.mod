@@ -1,0 +1,3 @@
+module example.com/fields
+
+go 1.21

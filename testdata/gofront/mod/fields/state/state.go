@@ -1,0 +1,18 @@
+// Package state holds a struct-typed global other packages write one
+// field at a time.
+package state
+
+// Config is the mutable module configuration.
+type Config struct {
+	Verbose bool
+	Level   int
+	Name    string
+}
+
+// Current is written field-precisely from package app.
+var Current Config
+
+// SetLevel touches only field 1 of Current.
+func SetLevel(n int) {
+	Current.Level = n
+}

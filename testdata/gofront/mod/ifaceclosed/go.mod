@@ -1,0 +1,3 @@
+module example.com/ifaceclosed
+
+go 1.21

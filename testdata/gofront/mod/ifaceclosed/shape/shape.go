@@ -1,0 +1,52 @@
+// Package shape defines an interface whose every implementation lives
+// in this module, so calls through it devirtualize to the closed set
+// instead of degrading.
+package shape
+
+// Shape is the module-local interface.
+type Shape interface {
+	Area() float64
+	Grow(f float64)
+}
+
+// Circle implements Shape with a pointer-receiver mutator.
+type Circle struct {
+	R float64
+}
+
+// Area is effect-free.
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+// Grow scales the receiver in place.
+func (c *Circle) Grow(f float64) { c.R *= f }
+
+// Rect is the second implementation.
+type Rect struct {
+	W, H float64
+}
+
+// Area is effect-free.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Grow scales both fields in place.
+func (r *Rect) Grow(f float64) {
+	r.W *= f
+	r.H *= f
+}
+
+// Total calls through the interface: the site binds to Circle.Area
+// and Rect.Area, so Total stays high-confidence and effect-free.
+func Total(shapes []Shape) float64 {
+	t := 0.0
+	for _, s := range shapes {
+		t += s.Area()
+	}
+	return t
+}
+
+// GrowAll dispatches a mutating method through the interface.
+func GrowAll(shapes []Shape, f float64) {
+	for _, s := range shapes {
+		s.Grow(f)
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/ifaceopen
+
+go 1.21

@@ -1,0 +1,23 @@
+// Package sink dispatches through interfaces the module cannot close:
+// one defined in the standard library, one with no module-local
+// implementation. Both calls degrade with the open-interface reason —
+// distinct from the generic "dynamic call" of single-package mode.
+package sink
+
+import "io"
+
+// Drain calls through io.Writer, an interface defined outside the
+// module; its implementations are not enumerable here.
+func Drain(w io.Writer, p []byte) {
+	w.Write(p)
+}
+
+// Logger has no implementation anywhere in this module.
+type Logger interface {
+	Log(msg string)
+}
+
+// Notify stays open: nothing implements Logger.
+func Notify(l Logger, msg string) {
+	l.Log(msg)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// memSample is the shared memory block every BENCH_*.json envelope
+// carries, taken once at emission time so downstream tooling can
+// correlate a run's timing rows with the process footprint that
+// produced them. HeapAlloc and Sys come from runtime.MemStats; PeakRSS
+// is the kernel's high-water mark (VmHWM), best-effort and zero on
+// platforms without /proc.
+type memSample struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	PeakRSSBytes   uint64 `json:"peak_rss_bytes,omitempty"`
+}
+
+// sampleMem reads the current process memory state. It does not force
+// a collection: the point is the footprint the benchmark actually ran
+// with, not the minimum live set.
+func sampleMem() memSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memSample{
+		HeapAllocBytes: ms.HeapAlloc,
+		SysBytes:       ms.Sys,
+		PeakRSSBytes:   peakRSS(),
+	}
+}
+
+// peakRSS returns the process's peak resident set in bytes (VmHWM from
+// /proc/self/status), or 0 where unavailable.
+func peakRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) == 0 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -53,8 +53,9 @@ func writeBenchCore(records []allocBenchRecord) error {
 	out, err := json.MarshalIndent(struct {
 		Cores   int                `json:"cores"`
 		NumCPU  int                `json:"num_cpu"`
+		Mem     memSample          `json:"mem"`
 		Records []allocBenchRecord `json:"records"`
-	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), records}, "", "  ")
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), sampleMem(), records}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -36,8 +36,9 @@ func writeBenchBatch(records []batchBenchRecord) error {
 	out, err := json.MarshalIndent(struct {
 		Cores   int                `json:"cores"`
 		NumCPU  int                `json:"num_cpu"`
+		Mem     memSample          `json:"mem"`
 		Records []batchBenchRecord `json:"records"`
-	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), records}, "", "  ")
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), sampleMem(), records}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -42,9 +42,10 @@ func writeBenchChaos(records []chaosBenchRecord) error {
 	doc := struct {
 		Cores   int                `json:"cores"`
 		NumCPU  int                `json:"num_cpu"`
+		Mem     memSample          `json:"mem"`
 		Seed    int64              `json:"seed"`
 		Records []chaosBenchRecord `json:"records"`
-	}{Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Seed: 1, Records: records}
+	}{Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Mem: sampleMem(), Seed: 1, Records: records}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

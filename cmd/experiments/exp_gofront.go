@@ -255,9 +255,10 @@ func writeBenchGofront(records []gofrontBenchRecord, module gofrontModuleRecord)
 	out, err := json.MarshalIndent(struct {
 		Cores   int                  `json:"cores"`
 		NumCPU  int                  `json:"num_cpu"`
+		Mem     memSample            `json:"mem"`
 		Records []gofrontBenchRecord `json:"records"`
 		Module  gofrontModuleRecord  `json:"module"`
-	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), records, module}, "", "  ")
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), sampleMem(), records, module}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -40,8 +40,9 @@ func writeBenchIndex(records []indexBenchRecord) error {
 	out, err := json.MarshalIndent(struct {
 		Cores   int                `json:"cores"`
 		NumCPU  int                `json:"num_cpu"`
+		Mem     memSample          `json:"mem"`
 		Records []indexBenchRecord `json:"records"`
-	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), records}, "", "  ")
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), sampleMem(), records}, "", "  ")
 	if err != nil {
 		return err
 	}

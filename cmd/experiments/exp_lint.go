@@ -34,9 +34,10 @@ func writeBenchLint(records []lintBenchRecord) error {
 	out, err := json.MarshalIndent(struct {
 		Cores   int               `json:"cores"`
 		NumCPU  int               `json:"num_cpu"`
+		Mem     memSample         `json:"mem"`
 		Workers int               `json:"workers"`
 		Records []lintBenchRecord `json:"records"`
-	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), 1, records}, "", "  ")
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), sampleMem(), 1, records}, "", "  ")
 	if err != nil {
 		return err
 	}

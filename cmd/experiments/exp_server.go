@@ -43,6 +43,7 @@ func mergeBenchServer(records []serverBenchRecord) error {
 	var doc struct {
 		Cores   int                 `json:"cores"`
 		NumCPU  int                 `json:"num_cpu"`
+		Mem     memSample           `json:"mem"`
 		Records []serverBenchRecord `json:"records"`
 	}
 	if data, err := os.ReadFile("BENCH_server.json"); err == nil {
@@ -50,6 +51,7 @@ func mergeBenchServer(records []serverBenchRecord) error {
 	}
 	doc.Cores = runtime.GOMAXPROCS(0)
 	doc.NumCPU = runtime.NumCPU()
+	doc.Mem = sampleMem()
 	for _, rec := range records {
 		kept := doc.Records[:0]
 		for _, r := range doc.Records {

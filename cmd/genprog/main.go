@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"sideeffect/internal/ir"
 	"sideeffect/internal/workload"
 )
 
@@ -37,12 +38,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		avgCalls = fs.Float64("calls", 2, "random: average extra call sites per procedure")
 		depth    = fs.Int("depth", 0, "random: maximum lexical nesting depth d_P")
 		cycles   = fs.Float64("cycles", 0.3, "random: probability an extra call may create recursion")
+		out      = fs.String("o", "", "write to file instead of stdout (streamed; never holds the full text)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	var src string
+	var prog *ir.Program
 	switch *family {
 	case "random":
 		cfg := workload.DefaultConfig(*procs, *seed)
@@ -56,23 +58,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cfg.MaxDepth = *depth
 			cfg.NestFraction = 0.5
 		}
-		src = workload.Emit(workload.Random(cfg))
+		prog = workload.Random(cfg)
 	case "chain":
-		src = workload.Emit(workload.Chain(*n))
+		prog = workload.Chain(*n)
 	case "cycle":
-		src = workload.Emit(workload.Cycle(*n))
+		prog = workload.Cycle(*n)
 	case "fanout":
-		src = workload.Emit(workload.Fanout(*n))
+		prog = workload.Fanout(*n)
 	case "tower":
-		src = workload.Emit(workload.NestedTower(*n))
+		prog = workload.NestedTower(*n)
 	case "divide":
-		src = workload.Emit(workload.DivideConquer())
+		prog = workload.DivideConquer()
 	case "paper":
-		src = workload.Emit(workload.PaperExample())
+		prog = workload.PaperExample()
 	default:
 		fmt.Fprintf(stderr, "genprog: unknown family %q\n", *family)
 		return 2
 	}
-	fmt.Fprint(stdout, src)
+
+	// The text is streamed through EmitTo in both directions, so the
+	// peak footprint is the program model, not the source — a
+	// million-site program writes to disk without materializing.
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "genprog: %v\n", err)
+			return 1
+		}
+		emitErr := workload.EmitTo(f, prog)
+		if closeErr := f.Close(); emitErr == nil {
+			emitErr = closeErr
+		}
+		if emitErr != nil {
+			fmt.Fprintf(stderr, "genprog: %v\n", emitErr)
+			return 1
+		}
+		return 0
+	}
+	if err := workload.EmitTo(stdout, prog); err != nil {
+		fmt.Fprintf(stderr, "genprog: emit: %v\n", err)
+		return 1
+	}
 	return 0
 }

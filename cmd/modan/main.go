@@ -108,6 +108,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	// profileLines prints the stage table plus the condensed-solver
+	// work line under -profile.
+	profileLines := func(w io.Writer, a *sideeffect.Analysis) {
+		if a.Stages != nil {
+			fmt.Fprint(w, a.Stages.Table())
+		}
+		g := a.GMODWork()
+		fmt.Fprintf(w, "gmod: %d bit-vector steps, %d components, %d shared rows, %d materialized rows\n",
+			g.BitVectorSteps(), g.Components, g.SharedRowHits, g.CondensedRows)
+	}
+
 	// render honors the part-selection flags; with none set it prints
 	// the full report. Shared by the single-file and batch paths.
 	render := func(w io.Writer, a *sideeffect.Analysis) {
@@ -151,8 +162,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			}
 			render(stdout, r.Analysis)
 			fmt.Fprintf(stdout, "\n%s", r.Pkg.ConfidenceReport())
-			if *profile && r.Analysis.Stages != nil {
-				fmt.Fprint(stdout, r.Analysis.Stages.Table())
+			if *profile {
+				profileLines(stdout, r.Analysis)
 			}
 			r.Release()
 		}
@@ -233,12 +244,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if a.Stages != nil {
 			jr.Stages = a.Stages.Snapshot()
 		}
-		out, err := jr.Render()
-		if err != nil {
+		if err := report.WriteJSON(stdout, jr); err != nil {
 			fmt.Fprintf(stderr, "modan: %v\n", err)
 			return 1
 		}
-		fmt.Fprint(stdout, out)
 		return 0
 	}
 
@@ -256,8 +265,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	render(stdout, a)
-	if *profile && a.Stages != nil {
-		fmt.Fprint(stdout, a.Stages.Table())
+	if *profile {
+		profileLines(stdout, a)
 	}
 	return 0
 }

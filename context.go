@@ -106,7 +106,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, opts Options) 
 	w := opts.workers()
 	var st *core.Structure
 	a.Stages.Do("structure", func() { st = core.BuildStructure(prog) })
-	co := core.Options{Alloc: opts.Alloc, Prof: a.Stages, Structure: st, Faults: opts.Faults}
+	co := core.Options{Alloc: opts.Alloc, Prof: a.Stages, Structure: st, Faults: opts.Faults, DisableCondensation: opts.DisableCondensation}
 	var modErr, useErr error
 	err = batch.RunCtx(ctx, w, []func(){
 		func() { a.Mod, modErr = core.AnalyzeCtx(ctx, prog, core.Mod, co) },

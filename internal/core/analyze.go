@@ -68,6 +68,11 @@ type Options struct {
 	// or mismatched Structure is ignored and the skeleton is built
 	// internally.
 	Structure *Structure
+	// DisableCondensation forces the per-node Figure-2 GMOD search
+	// instead of the SCC-condensed storage layer. The solution is
+	// identical; this exists as the differential baseline for tests
+	// and experiments.
+	DisableCondensation bool
 	// Faults, when non-nil, injects deterministic faults at every
 	// stage boundary (sites "core.mod.gmod", "core.use.rmod", …) for
 	// chaos testing. Injected panics propagate after the arena is
@@ -157,7 +162,9 @@ func AnalyzeCtx(ctx context.Context, prog *ir.Program, kind Kind, opts Options) 
 	ok = ok && step("facts", func() { r.Facts = computeFacts(prog, kind, al) })
 	ok = ok && step("rmod", func() { r.RMOD = solveRMOD(st.Beta, r.Facts, st.BetaSCC) })
 	ok = ok && step("imod+", func() { r.IMODPlus = computeIMODPlus(r.Facts, r.RMOD, al) })
-	ok = ok && step("gmod", func() { r.GMOD, r.GMODStats = solveGMODMultiLevel(st, r.Facts, r.IMODPlus, al) })
+	ok = ok && step("gmod", func() {
+		r.GMOD, r.GMODStats = solveGMODMultiLevel(st, r.Facts, r.IMODPlus, al, opts.DisableCondensation)
+	})
 	ok = ok && step("dmod", func() { r.DMOD = computeDMOD(prog, r.RMOD, r.GMOD, r.Facts, al) })
 	if !ok {
 		// The aborted result never escaped: every set carved so far is

@@ -19,11 +19,28 @@ type GMODStats struct {
 	EdgeUnions, NodeUnions int
 	// Components is the number of SCCs closed.
 	Components int
+	// CondensedRows is the number of full-width escape rows the
+	// SCC-condensed solver materialized (chain roots); SharedRowHits is
+	// the number of components that resolved to a pure alias of a
+	// successor's row — zero private storage. Both stay zero on the
+	// per-node (uncondensed) path.
+	CondensedRows, SharedRowHits int
 }
 
 // BitVectorSteps returns the total bit-vector operations, the unit of
 // Theorem 2's O(E_C + N_C) bound.
 func (s GMODStats) BitVectorSteps() int { return s.EdgeUnions + s.NodeUnions + s.Visits }
+
+// Accumulate folds o's counters into s; the multi-level driver and the
+// observability layers sum per-level (or per-problem) stats with it.
+func (s *GMODStats) Accumulate(o GMODStats) {
+	s.Visits += o.Visits
+	s.EdgeUnions += o.EdgeUnions
+	s.NodeUnions += o.NodeUnions
+	s.Components += o.Components
+	s.CondensedRows += o.CondensedRows
+	s.SharedRowHits += o.SharedRowHits
+}
 
 // gmodFrame is one explicit DFS frame: node and next-successor index.
 type gmodFrame struct{ v, ei int }

@@ -3,7 +3,6 @@ package core
 import (
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/callgraph"
-	"sideeffect/internal/graph"
 )
 
 // SolveGMODMultiLevel solves the global side-effect problem for
@@ -29,15 +28,23 @@ import (
 // the one whose correctness follows directly from Theorem 1.)
 //
 // For d_P = 0 the result coincides with a single FindGMOD run.
+//
+// The pass over each level runs on the SCC-condensed storage layer
+// (internal/core/condensed.go) whenever the level's scoping premise
+// holds — always, for programs that pass ir.Program.Validate — and
+// falls back to the per-node Figure-2 search otherwise. The solution
+// is identical either way; only the storage and the work counters
+// differ.
 func SolveGMODMultiLevel(cg *callgraph.CallGraph, facts *Facts, imodPlus []*bitset.Set) ([]*bitset.Set, []GMODStats) {
-	return solveGMODMultiLevel(structureForGMOD(cg), facts, imodPlus, newSetAlloc(AllocHybrid, cg.Prog.NumVars()))
+	return solveGMODMultiLevel(structureForGMOD(cg), facts, imodPlus, newSetAlloc(AllocHybrid, cg.Prog.NumVars()), false)
 }
 
 // solveGMODMultiLevel is the allocator-threaded driver behind
 // SolveGMODMultiLevel; Analyze calls it with the analysis's policy.
 // The per-level subgraphs and scope classes come precomputed on st —
 // they are kind-independent, so a MOD+USE pair shares one copy.
-func solveGMODMultiLevel(st *Structure, facts *Facts, imodPlus []*bitset.Set, al setAlloc) ([]*bitset.Set, []GMODStats) {
+// noCondense forces the per-node solver (the differential baseline).
+func solveGMODMultiLevel(st *Structure, facts *Facts, imodPlus []*bitset.Set, al setAlloc, noCondense bool) ([]*bitset.Set, []GMODStats) {
 	prog := st.Prog
 	dP := prog.MaxLevel()
 
@@ -47,10 +54,27 @@ func solveGMODMultiLevel(st *Structure, facts *Facts, imodPlus []*bitset.Set, al
 	for i := range result {
 		result[i] = al.gmodResult(imodPlus[i])
 	}
-	// runLevel executes one findgmod pass and folds its per-node sets
-	// into result. Under a pooled policy the pass runs on a recycled
-	// solver; under the dense baseline it clones every set.
-	runLevel := func(g *graph.Graph, seeds, locals []*bitset.Set, roots ...int) GMODStats {
+	// runLevel executes one findgmod pass and folds its solution into
+	// result. The condensed layer computes one escape set per
+	// strongly-connected component and recovers each node's row as
+	// seed ∪ Esc(comp); checkScope is set on the flat full-seed pass,
+	// where the mask-free premise rests on IR validation rather than
+	// on the driver's class restriction, and a violation (hand-built,
+	// never-validated IR) falls through to the per-node search. Under
+	// a pooled policy that fallback runs on a recycled solver; under
+	// the dense baseline it clones every set.
+	runLevel := func(lvl int, seeds, locals []*bitset.Set, checkScope bool, roots ...int) GMODStats {
+		g := st.Levels[lvl]
+		if !noCondense {
+			et, stats, ok := solveCondensed(g, st.levelSCC(lvl), seeds, locals, prog.Vars, checkScope)
+			if ok {
+				comp := et.scc.Comp
+				for i := range result {
+					et.escInto(comp[i], result[i])
+				}
+				return stats
+			}
+		}
 		if al.pooled() {
 			run, stats := FindGMODScratch(g, seeds, locals, roots...)
 			for i, s := range run.Sets {
@@ -67,7 +91,7 @@ func solveGMODMultiLevel(st *Structure, facts *Facts, imodPlus []*bitset.Set, al
 	}
 
 	if dP == 0 {
-		stats := runLevel(st.Levels[0], imodPlus, facts.Local, prog.Main.ID)
+		stats := runLevel(0, imodPlus, facts.Local, true, prog.Main.ID)
 		return result, []GMODStats{stats}
 	}
 
@@ -76,14 +100,16 @@ func solveGMODMultiLevel(st *Structure, facts *Facts, imodPlus []*bitset.Set, al
 		// Problem lvl: st.Levels[lvl] has dropped the edges that invoke
 		// a procedure declared at a level shallower than lvl; the seeds
 		// restrict IMOD+ to the variables whose lifetime that problem
-		// tracks (scope class lvl).
+		// tracks (scope class lvl), which is also what makes the
+		// condensed pass's premise structural: every callee on a
+		// surviving edge declares its names at class ≥ lvl+1.
 		seeds := make([]*bitset.Set, prog.NumProcs())
 		for _, p := range prog.Procs {
 			s := al.tempCopy(imodPlus[p.ID])
 			s.IntersectWith(st.ClassVars[lvl])
 			seeds[p.ID] = s
 		}
-		allStats = append(allStats, runLevel(st.Levels[lvl], seeds, facts.Local, prog.Main.ID))
+		allStats = append(allStats, runLevel(lvl, seeds, facts.Local, false, prog.Main.ID))
 		for i := range seeds {
 			al.tempDone(seeds[i])
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"sideeffect/internal/binding"
 	"sideeffect/internal/bitset"
 	"sideeffect/internal/callgraph"
@@ -33,6 +35,12 @@ type Structure struct {
 	// ClassVars[l] is the set of variables of scope class l. Nil for
 	// flat programs, whose single FindGMOD pass needs no class split.
 	ClassVars []*bitset.Set
+
+	// sccs caches the strongly-connected components of each level's
+	// subgraph for the condensed GMOD solver, computed lazily (a MOD +
+	// USE pair sharing one Structure decomposes each level once).
+	sccs     []*graph.SCCInfo
+	sccsOnce []sync.Once
 }
 
 // BuildStructure computes the shared skeleton of prog's analysis.
@@ -58,6 +66,8 @@ func (st *Structure) fillLevels() {
 	prog := st.Prog
 	dP := prog.MaxLevel()
 	st.Levels = make([]*graph.Graph, dP+1)
+	st.sccs = make([]*graph.SCCInfo, dP+1)
+	st.sccsOnce = make([]sync.Once, dP+1)
 	st.Levels[0] = st.CG.G
 	if dP == 0 {
 		return
@@ -83,4 +93,14 @@ func (st *Structure) fillLevels() {
 		// procedures; no call chain can modify them on behalf of a
 		// caller, and they are covered by the IMOD+ base.
 	}
+}
+
+// levelSCC returns the SCC decomposition of the level-lvl subgraph,
+// computing it on first use. The slots are allocated by fillLevels (at
+// construction, before the Structure is shared), so concurrent MOD and
+// USE analyses may race only into the sync.Once, which decomposes each
+// level exactly once.
+func (st *Structure) levelSCC(lvl int) *graph.SCCInfo {
+	st.sccsOnce[lvl].Do(func() { st.sccs[lvl] = st.Levels[lvl].SCC() })
+	return st.sccs[lvl]
 }

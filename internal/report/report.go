@@ -5,7 +5,8 @@
 package report
 
 import (
-	"fmt"
+	"bufio"
+	"io"
 	"sort"
 	"strings"
 	"unicode/utf8"
@@ -29,168 +30,66 @@ func setString(prog *ir.Program, s *bitset.Set) string {
 	return "{" + strings.Join(VarNames(prog, s), ", ") + "}"
 }
 
+// runeLen measures a cell in runes; table columns align on it.
+func runeLen(s string) int { return utf8.RuneCountInString(s) }
+
 // Table renders aligned columns: rows of cells, first row treated as
 // the header.
 func Table(rows [][]string) string {
 	if len(rows) == 0 {
 		return ""
 	}
-	width := utf8.RuneCountInString
-	widths := make([]int, 0)
-	for _, r := range rows {
-		for i, c := range r {
-			if i == len(widths) {
-				widths = append(widths, 0)
-			}
-			if width(c) > widths[i] {
-				widths[i] = width(c)
-			}
-		}
-	}
 	var b strings.Builder
-	writeRow := func(r []string) {
-		for i, c := range r {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(c)
-			if i < len(r)-1 {
-				b.WriteString(strings.Repeat(" ", widths[i]-width(c)))
+	bw := bufio.NewWriter(&b)
+	writeTable(bw, func(yield func([]string) bool) {
+		for _, r := range rows {
+			if !yield(r) {
+				return
 			}
 		}
-		b.WriteByte('\n')
-	}
-	writeRow(rows[0])
-	sep := make([]string, len(rows[0]))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	writeRow(sep)
-	for _, r := range rows[1:] {
-		writeRow(r)
+	})
+	bw.Flush()
+	return b.String()
+}
+
+// capture collects a streaming writer's output as a string; the
+// writers never fail on an in-memory sink.
+func capture(f func(w io.Writer) error) string {
+	var b strings.Builder
+	if err := f(&b); err != nil {
+		panic(err) // unreachable: strings.Builder cannot error
 	}
 	return b.String()
 }
 
 // Summaries renders the per-procedure GMOD/GUSE table.
 func Summaries(mod, use *core.Result) string {
-	prog := mod.Prog
-	rows := [][]string{{"procedure", "GMOD", "GUSE"}}
-	for _, p := range prog.Procs {
-		rows = append(rows, []string{
-			p.Name,
-			setString(prog, mod.GMOD[p.ID]),
-			setString(prog, use.GMOD[p.ID]),
-		})
-	}
-	return Table(rows)
+	return capture(func(w io.Writer) error { return WriteSummaries(w, mod, use) })
 }
 
 // RMODTable renders the reference-formal-parameter solution.
 func RMODTable(mod *core.Result) string {
-	prog := mod.Prog
-	rows := [][]string{{"procedure", "RMOD"}}
-	for _, p := range prog.Procs {
-		var fs []string
-		for _, f := range p.Formals {
-			if mod.RMOD.Of(f) {
-				fs = append(fs, f.Name)
-			}
-		}
-		if len(p.Formals) == 0 {
-			continue
-		}
-		rows = append(rows, []string{p.Name, "{" + strings.Join(fs, ", ") + "}"})
-	}
-	return Table(rows)
+	return capture(func(w io.Writer) error { return WriteRMODTable(w, mod) })
 }
 
 // CallSites renders the per-call-site MOD and USE sets (after alias
 // factoring when aliases is non-nil).
 func CallSites(mod, use *core.Result, aliases *alias.Analysis) string {
-	prog := mod.Prog
-	modSets, useSets := mod.DMOD, use.DMOD
-	if aliases != nil {
-		modSets = aliases.Factor(mod.DMOD)
-		useSets = aliases.Factor(use.DMOD)
-	}
-	rows := [][]string{{"call site", "at", "MOD", "USE"}}
-	for _, cs := range prog.Sites {
-		rows = append(rows, []string{
-			fmt.Sprintf("%s → %s", cs.Caller.Name, cs.Callee.Name),
-			cs.Pos.String(),
-			setString(prog, modSets[cs.ID]),
-			setString(prog, useSets[cs.ID]),
-		})
-	}
-	return Table(rows)
+	return capture(func(w io.Writer) error { return WriteCallSites(w, mod, use, aliases) })
 }
 
 // Sections renders the regular-section refinement per call site: for
 // each array affected by the call, the subregion descriptor.
 func Sections(sec *section.Result) string {
-	prog := sec.Prog
-	rows := [][]string{{"call site", "array sections (" + sec.Kind.String() + ")"}}
-	for _, cs := range prog.Sites {
-		at := sec.AtCall(cs)
-		if len(at) == 0 {
-			continue
-		}
-		ids := make([]int, 0, len(at))
-		for id := range at {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		var parts []string
-		for _, id := range ids {
-			parts = append(parts, at[id].Format(prog.Vars[id].Name, prog.Vars))
-		}
-		rows = append(rows, []string{
-			fmt.Sprintf("%s → %s", cs.Caller.Name, cs.Callee.Name),
-			strings.Join(parts, ", "),
-		})
-	}
-	return Table(rows)
+	return capture(func(w io.Writer) error { return WriteSections(w, sec) })
 }
 
 // Aliases renders the alias pairs per procedure.
 func Aliases(a *alias.Analysis) string {
-	prog := a.Prog
-	rows := [][]string{{"procedure", "alias pairs"}}
-	for _, p := range prog.Procs {
-		prs := a.Pairs(p)
-		if len(prs) == 0 {
-			continue
-		}
-		var parts []string
-		for _, pr := range prs {
-			parts = append(parts, fmt.Sprintf("⟨%s, %s⟩", prog.Vars[pr.X], prog.Vars[pr.Y]))
-		}
-		rows = append(rows, []string{p.Name, strings.Join(parts, " ")})
-	}
-	if len(rows) == 1 {
-		return "(no alias pairs)\n"
-	}
-	return Table(rows)
+	return capture(func(w io.Writer) error { return WriteAliases(w, a) })
 }
 
 // Full renders the complete report for a program.
 func Full(mod, use *core.Result, aliases *alias.Analysis, secMod *section.Result) string {
-	var b strings.Builder
-	prog := mod.Prog
-	fmt.Fprintf(&b, "program %s: %d procedures, %d call sites, %d variables (%d global)\n\n",
-		prog.Name, prog.NumProcs(), prog.NumSites(), prog.NumVars(), len(prog.Globals()))
-	b.WriteString("== Interprocedural summaries ==\n")
-	b.WriteString(Summaries(mod, use))
-	b.WriteString("\n== Reference formal parameters (RMOD) ==\n")
-	b.WriteString(RMODTable(mod))
-	b.WriteString("\n== Alias pairs ==\n")
-	b.WriteString(Aliases(aliases))
-	b.WriteString("\n== Call sites ==\n")
-	b.WriteString(CallSites(mod, use, aliases))
-	if secMod != nil {
-		b.WriteString("\n== Regular sections (MOD) ==\n")
-		b.WriteString(Sections(secMod))
-	}
-	return b.String()
+	return capture(func(w io.Writer) error { return WriteFull(w, mod, use, aliases, secMod) })
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sideeffect/internal/cache"
+	"sideeffect/internal/core"
 	"sideeffect/internal/prof"
 )
 
@@ -80,6 +81,12 @@ type metrics struct {
 	// stageSecs accumulates profiled pipeline wall time per stage
 	// name, across every cache-miss analysis.
 	stageSecs map[string]float64
+	// condensedRows and sharedRowHits accumulate the condensed GMOD
+	// solver's storage counters across every analysis this process ran:
+	// dense escape rows materialized vs components served as a pure
+	// alias of a successor's row.
+	condensedRows int64
+	sharedRowHits int64
 	// failures counts structured error responses by error code,
 	// panics counts handler panics isolated by the route plumbing, and
 	// degraded counts analyses served by the sequential fallback.
@@ -157,6 +164,15 @@ func (m *metrics) observeStages(stages []prof.StageStat) {
 	for _, st := range stages {
 		m.stageSecs[st.Name] += float64(st.NS) / 1e9
 	}
+	m.mu.Unlock()
+}
+
+// observeGMODWork folds one analysis's condensed-solver counters into
+// the storage metrics.
+func (m *metrics) observeGMODWork(s core.GMODStats) {
+	m.mu.Lock()
+	m.condensedRows += int64(s.CondensedRows)
+	m.sharedRowHits += int64(s.SharedRowHits)
 	m.mu.Unlock()
 }
 
@@ -333,6 +349,13 @@ func (m *metrics) render(cs cache.Stats, sessionsOpen int, rs robustnessStats) s
 	for _, st := range stages {
 		fmt.Fprintf(&b, "modand_stage_seconds_total{stage=%q} %g\n", st, m.stageSecs[st])
 	}
+
+	b.WriteString("# HELP modand_condensed_rows_total Dense escape rows materialized by the SCC-condensed GMOD solver.\n")
+	b.WriteString("# TYPE modand_condensed_rows_total counter\n")
+	fmt.Fprintf(&b, "modand_condensed_rows_total %d\n", m.condensedRows)
+	b.WriteString("# HELP modand_shared_row_hits_total Call-graph components whose escape set aliased a successor's row (zero private storage).\n")
+	b.WriteString("# TYPE modand_shared_row_hits_total counter\n")
+	fmt.Fprintf(&b, "modand_shared_row_hits_total %d\n", m.sharedRowHits)
 
 	b.WriteString("# HELP modand_analysis_seconds Wall time of analysis computations (cache misses, session work).\n")
 	b.WriteString("# TYPE modand_analysis_seconds histogram\n")

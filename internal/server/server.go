@@ -666,6 +666,7 @@ func (s *Server) analyzeCached(ctx context.Context, src string) (*cached, string
 		}
 		s.met.observeAnalysis(time.Since(start).Seconds())
 		s.met.observeStages(a.Stages.Snapshot())
+		s.met.observeGMODWork(a.GMODWork())
 		return newCached(a), nil
 	})
 	if err != nil {
@@ -709,6 +710,7 @@ func (s *Server) analyzeCachedLang(ctx context.Context, lang, src string) (*cach
 		}
 		s.met.observeAnalysis(time.Since(start).Seconds())
 		s.met.observeStages(res.Analysis.Stages.Snapshot())
+		s.met.observeGMODWork(res.Analysis.GMODWork())
 		return newCachedGo(res), nil
 	})
 	if err != nil {
@@ -869,6 +871,7 @@ func (s *Server) runBatch(ctx context.Context, sources []string) []batchEntry {
 			e := newCached(res.Analysis)
 			fresh[key] = e
 			s.cache.Put(key, e)
+			s.met.observeGMODWork(res.Analysis.GMODWork())
 			if res.Degraded {
 				s.met.degradedRetry()
 			}

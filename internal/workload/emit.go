@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"strings"
 
 	"sideeffect/internal/ir"
@@ -17,7 +19,23 @@ import (
 // locals are renamed to globally unique names (f_<proc>_<ordinal>,
 // t_<proc>_<n>); globals keep their names.
 func Emit(prog *ir.Program) string {
-	e := &emitter{prog: prog, names: make([]string, prog.NumVars())}
+	var b strings.Builder
+	if err := EmitTo(&b, prog); err != nil {
+		// strings.Builder never errors; unreachable.
+		panic(err)
+	}
+	return b.String()
+}
+
+// EmitTo streams the rendered source to w instead of materializing it
+// in memory, byte-for-byte identical to Emit. Output is buffered, so a
+// bare *os.File is fine; the buffer is flushed before returning. The
+// resident cost is the program model plus the name table — a
+// million-site program emits in one pass without ever holding its
+// multi-hundred-megabyte text.
+func EmitTo(w io.Writer, prog *ir.Program) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	e := &emitter{prog: prog, w: bw, names: make([]string, prog.NumVars())}
 	for _, v := range prog.Vars {
 		switch {
 		case v.Kind == ir.Global:
@@ -56,22 +74,22 @@ func Emit(prog *ir.Program) string {
 	e.printf("begin\n")
 	e.body(prog.Main, 1)
 	e.printf("end.\n")
-	return e.b.String()
+	return bw.Flush()
 }
 
 type emitter struct {
 	prog  *ir.Program
-	b     strings.Builder
+	w     *bufio.Writer
 	names []string
 }
 
 func (e *emitter) printf(format string, args ...any) {
-	fmt.Fprintf(&e.b, format, args...)
+	fmt.Fprintf(e.w, format, args...)
 }
 
 func (e *emitter) indent(n int) {
 	for i := 0; i < n; i++ {
-		e.b.WriteString("  ")
+		e.w.WriteString("  ")
 	}
 }
 

@@ -10,6 +10,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"sideeffect/internal/ir"
 	"sideeffect/internal/lang/token"
@@ -96,23 +97,28 @@ func Random(cfg Config) *ir.Program {
 		arrays = append(arrays, b.Global(fmt.Sprintf("ga%d", i), 100))
 	}
 
-	// Procedure skeletons with nesting.
+	// Procedure skeletons with nesting. The eligible-parent list is
+	// maintained incrementally (append-only, creation order — exactly
+	// the order the old per-procedure rescan produced), so skeleton
+	// generation is O(Procs) instead of O(Procs²).
 	procs := make([]*ir.Procedure, 0, cfg.Procs)
+	topLevel := make([]*ir.Procedure, 0, cfg.Procs)
+	var eligParents []*ir.Procedure
 	for i := 0; i < cfg.Procs; i++ {
 		var parent *ir.Procedure
 		if cfg.MaxDepth > 0 && len(procs) > 0 && r.Float64() < cfg.NestFraction {
 			// Pick an eligible parent (level < MaxDepth).
-			cands := make([]*ir.Procedure, 0, len(procs))
-			for _, p := range procs {
-				if p.Level < cfg.MaxDepth {
-					cands = append(cands, p)
-				}
-			}
-			if len(cands) > 0 {
-				parent = cands[r.Intn(len(cands))]
+			if len(eligParents) > 0 {
+				parent = eligParents[r.Intn(len(eligParents))]
 			}
 		}
 		p := b.Proc(fmt.Sprintf("p%d", i), parent)
+		if parent == nil {
+			topLevel = append(topLevel, p)
+		}
+		if p.Level < cfg.MaxDepth {
+			eligParents = append(eligParents, p)
+		}
 		nf := poissonish(r, cfg.AvgFormals)
 		for j := 0; j < nf; j++ {
 			kind := ir.FormalRef
@@ -233,39 +239,80 @@ func Random(cfg Config) *ir.Program {
 		b.Call(caller, p, makeArgs(caller, p), token.Pos{})
 	}
 
-	// callable(q from p): MiniPL visibility — top-level procedures,
-	// children of p, and children of p's ancestors (which includes the
-	// ancestors themselves and their siblings).
-	callable := func(p *ir.Procedure) []*ir.Procedure {
-		var out []*ir.Procedure
-		for _, q := range procs {
-			if q.Parent == nil {
-				out = append(out, q)
-				continue
-			}
-			for a := p; a != nil; a = a.Parent {
-				if q.Parent == a {
-					out = append(out, q)
-					break
-				}
+	// The procedures callable from p under MiniPL visibility are the
+	// top-level procedures, the children of p, and the children of p's
+	// ancestors (which includes the ancestors themselves and their
+	// siblings) — the union, in creation order, of at most
+	// nesting-depth+1 ID-sorted lists (topLevel and the Nested slices
+	// along p's parent chain). Rather than materializing that union per
+	// caller (the old O(N) rescan that made large flat sweeps
+	// quadratic), candidates are drawn by rank: callableLists collects
+	// the lists, callableLen their total, and callableAt selects the
+	// k-th candidate in ID order — directly for the flat single-list
+	// case, by binary search on the ID value otherwise. The candidate
+	// sequence is identical to the rescan's, so generated programs are
+	// unchanged for every seed.
+	listsBuf := make([][]*ir.Procedure, 0, cfg.MaxDepth+2)
+	callableLists := func(p *ir.Procedure) [][]*ir.Procedure {
+		lists := listsBuf[:0]
+		if len(topLevel) > 0 {
+			lists = append(lists, topLevel)
+		}
+		for a := p; a != nil; a = a.Parent {
+			if len(a.Nested) > 0 {
+				lists = append(lists, a.Nested)
 			}
 		}
-		return out
+		return lists
+	}
+	callableLen := func(lists [][]*ir.Procedure) int {
+		n := 0
+		for _, l := range lists {
+			n += len(l)
+		}
+		return n
+	}
+	callableAt := func(lists [][]*ir.Procedure, k int) *ir.Procedure {
+		if len(lists) == 1 {
+			return lists[0][k]
+		}
+		// Smallest ID with k+1 candidates at or below it.
+		lo, hi := 0, len(procs)+1
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			le := 0
+			for _, l := range lists {
+				le += sort.Search(len(l), func(i int) bool { return l[i].ID > mid })
+			}
+			if le >= k+1 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		for _, l := range lists {
+			i := sort.Search(len(l), func(i int) bool { return l[i].ID >= lo })
+			if i < len(l) && l[i].ID == lo {
+				return l[i]
+			}
+		}
+		panic("workload: callable rank out of range")
 	}
 
 	// Extra calls.
 	allCallers := append([]*ir.Procedure{b.Main()}, procs...)
 	for _, p := range allCallers {
 		k := poissonish(r, cfg.AvgCalls)
-		cands := callable(p)
-		if len(cands) == 0 {
+		lists := callableLists(p)
+		n := callableLen(lists)
+		if n == 0 {
 			continue
 		}
 		for i := 0; i < k; i++ {
-			q := cands[r.Intn(len(cands))]
-			if r.Float64() >= cfg.CycleFraction && q.ID <= p.ID && len(cands) > 1 {
+			q := callableAt(lists, r.Intn(n))
+			if r.Float64() >= cfg.CycleFraction && q.ID <= p.ID && n > 1 {
 				// Bias away from back edges unless cycles are wanted.
-				q = cands[r.Intn(len(cands))]
+				q = callableAt(lists, r.Intn(n))
 			}
 			b.Call(p, q, makeArgs(p, q), token.Pos{})
 		}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Smoke-test giant-graph scalability: run experiment E20 in quick mode
+# (N up to 4096) against the checked-in BENCH_scale.json baseline and
+# fail on a >2x ns/proc regression at any common size. E20 itself
+# verifies the condensed solver byte-for-byte against the per-node
+# solver at every quick size, so this also gates correctness. The
+# baseline is copied aside first because the run rewrites
+# BENCH_scale.json, and the checked-in file is restored afterward so
+# the working tree stays clean. CI runs this as the scale-smoke job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail() { echo "scale_smoke: FAIL: $*" >&2; exit 1; }
+
+[ -f BENCH_scale.json ] || fail "checked-in BENCH_scale.json baseline missing"
+
+tmpdir="$(mktemp -d)"
+cp BENCH_scale.json "$tmpdir/baseline.json"
+restore() { cp "$tmpdir/baseline.json" BENCH_scale.json; rm -rf "$tmpdir"; }
+trap restore EXIT
+
+go run ./cmd/experiments -run E20 -quick -scale-baseline "$tmpdir/baseline.json" ||
+	fail "E20 quick run failed (regression >2x ns/proc vs baseline, or condensed/per-node mismatch)"
+
+echo "scale_smoke: PASS"

@@ -57,6 +57,11 @@ type Options struct {
 	// sequential run, allocation counts) in Analysis.Stages and tags
 	// each stage's execution with a pprof "stage" label.
 	Profile bool
+	// DisableCondensation forces the per-node Figure-2 GMOD search
+	// instead of the SCC-condensed storage layer (see
+	// core.Options.DisableCondensation). Results are identical; this is
+	// the differential baseline for tests and experiments.
+	DisableCondensation bool
 	// GoModule, when true, makes AnalyzeGoPackages treat its patterns
 	// as one whole Go module: every matched package plus its
 	// module-local import closure lowers into a single shared program
@@ -107,6 +112,23 @@ type Analysis struct {
 	// Options.Profile; nil otherwise. Stage names are hierarchical:
 	// "mod.gmod", "use.rmod", "sections.mod.formals", "factor.mod", …
 	Stages *prof.Profile
+}
+
+// GMODWork sums the findgmod work counters of both problems across
+// every nesting level: the Theorem-2 step counts plus the
+// condensed-storage counters (CondensedRows materialized, zero-copy
+// SharedRowHits). modan -profile and the modand metrics read it.
+func (a *Analysis) GMODWork() core.GMODStats {
+	var t core.GMODStats
+	for _, r := range []*core.Result{a.Mod, a.Use} {
+		if r == nil {
+			continue
+		}
+		for _, s := range r.GMODStats {
+			t.Accumulate(s)
+		}
+	}
+	return t
 }
 
 // Analyze parses, checks, and analyzes MiniPL source text, running
@@ -162,7 +184,7 @@ func AnalyzeProgramWith(prog *ir.Program, opts Options) *Analysis {
 	// the Structure is read-only) share the skeleton.
 	var st *core.Structure
 	a.Stages.Do("structure", func() { st = core.BuildStructure(prog) })
-	co := core.Options{Alloc: opts.Alloc, Prof: a.Stages, Structure: st}
+	co := core.Options{Alloc: opts.Alloc, Prof: a.Stages, Structure: st, DisableCondensation: opts.DisableCondensation}
 	batch.Run(w, []func(){
 		func() { a.Mod = core.Analyze(prog, core.Mod, co) },
 		func() { a.Use = core.Analyze(prog, core.Use, co) },

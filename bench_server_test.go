@@ -48,15 +48,22 @@ type benchServerRecord struct {
 func mergeBenchServer(tb testing.TB, rec benchServerRecord) {
 	tb.Helper()
 	var doc struct {
-		Cores   int                 `json:"cores"`
-		NumCPU  int                 `json:"num_cpu"`
-		Records []benchServerRecord `json:"records"`
+		Cores          int                 `json:"cores"`
+		NumCPU         int                 `json:"num_cpu"`
+		Oversubscribed bool                `json:"oversubscribed"`
+		Records        []benchServerRecord `json:"records"`
 	}
 	if data, err := os.ReadFile("BENCH_server.json"); err == nil {
 		_ = json.Unmarshal(data, &doc)
 	}
 	doc.Cores = runtime.GOMAXPROCS(0)
 	doc.NumCPU = runtime.NumCPU()
+	doc.Oversubscribed = doc.Cores > doc.NumCPU
+	for _, r := range doc.Records {
+		if r.Workers > doc.NumCPU {
+			doc.Oversubscribed = true
+		}
+	}
 	kept := doc.Records[:0]
 	for _, r := range doc.Records {
 		if r.Name != rec.Name {

@@ -1,0 +1,761 @@
+package sideeffect_test
+
+// The in-process cluster harness: N modand shard replicas on loopback
+// listeners fronted by one cluster.Coordinator, all inside this test
+// binary — no docker, no subprocesses — so routing determinism,
+// failover, and job durability run under -race in tier-1.
+//
+// The tests here are the cluster's acceptance surface:
+//
+//   - TestClusterDifferentialByteIdentity: every /analyze query kind
+//     and /lint through 1-, 2-, 4-, and 8-shard clusters returns
+//     byte-identical bodies to a single direct server, across both
+//     frontends, at equal cache temperature.
+//   - TestClusterFailoverChaos: a shard dies and restarts mid-soak
+//     under fault injection; every 2xx answer is still correct, the
+//     error rate stays bounded, and goroutines/arenas drain.
+//   - TestClusterJobJournalReplay: the coordinator restarts mid-job
+//     and the journal replay completes every unit exactly once.
+//   - TestClusterJobStream: /jobs/{id}/stream yields each unit once
+//     plus one terminal line.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sideeffect/internal/arena"
+	"sideeffect/internal/cluster"
+	"sideeffect/internal/server"
+	"sideeffect/internal/store"
+	"sideeffect/internal/workload"
+)
+
+// testShard is one replica bound to a fixed loopback address. The
+// address survives kill/restart cycles, so the coordinator's member
+// URL stays valid across a crash — exactly the failure the chaos test
+// rehearses.
+type testShard struct {
+	id   string
+	addr string
+	cfg  server.Config
+
+	mu  sync.Mutex
+	srv *http.Server
+}
+
+func newTestShard(t *testing.T, id string, cfg server.Config) *testShard {
+	t.Helper()
+	cfg.ShardID = id
+	s := &testShard{id: id, cfg: cfg}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.addr = ln.Addr().String()
+	s.serve(ln)
+	return s
+}
+
+func (s *testShard) serve(ln net.Listener) {
+	srv := &http.Server{Handler: server.New(s.cfg).Handler()}
+	s.mu.Lock()
+	s.srv = srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+}
+
+func (s *testShard) url() string { return "http://" + s.addr }
+
+// kill closes the listener and every open connection, simulating a
+// crashed replica.
+func (s *testShard) kill() {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// restart rebinds the same address with a fresh, cold-cache server —
+// the replacement replica an operator (or supervisor) would start.
+func (s *testShard) restart(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", s.addr)
+		if err == nil {
+			s.serve(ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", s.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// testCluster wires n shards behind a coordinator and fronts the
+// coordinator with an httptest server.
+type testCluster struct {
+	shards []*testShard
+	coord  *cluster.Coordinator
+	front  *httptest.Server
+}
+
+// clusterConfig returns coordinator settings tightened for tests: fast
+// probes and retries, a fixed jitter seed.
+func clusterConfig() cluster.Config {
+	return cluster.Config{
+		HealthEvery:   25 * time.Millisecond,
+		HealthTimeout: 2 * time.Second,
+		RetryBase:     2 * time.Millisecond,
+		RetryMax:      50 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+func startTestCluster(t *testing.T, n int, shardCfg server.Config, ccfg cluster.Config) *testCluster {
+	t.Helper()
+	coord, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{coord: coord}
+	for i := 1; i <= n; i++ {
+		sh := newTestShard(t, fmt.Sprintf("s%d", i), shardCfg)
+		tc.shards = append(tc.shards, sh)
+		if err := coord.AddShard(sh.id, sh.url()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord.Start()
+	tc.front = httptest.NewServer(coord.Handler())
+	if !coord.WaitHealthy(n, 15*time.Second) {
+		tc.close()
+		t.Fatalf("%d shards never all probed healthy", n)
+	}
+	return tc
+}
+
+func (tc *testCluster) close() {
+	if tc.front != nil {
+		tc.front.Close()
+	}
+	tc.coord.Stop()
+	for _, sh := range tc.shards {
+		sh.kill()
+	}
+}
+
+// postRaw issues one POST and returns status, body bytes, and the
+// response headers (X-Modand-Shard identifies the serving replica).
+func postRaw(t *testing.T, base, path string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s%s: %v", base, path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes(), resp.Header
+}
+
+// clusterRequest is one request in the differential corpus.
+type clusterRequest struct {
+	name string
+	path string
+	body map[string]any
+}
+
+const clusterMiniPLSrc = `
+program d;
+global g;
+
+proc p(ref x)
+begin
+  x := 1
+end;
+
+begin
+  call p(g)
+end.
+`
+
+const clusterGoSrcA = `package a
+
+var G int
+
+func F(p *int) {
+	*p = 1
+	G = 2
+}
+
+func H() { F(&G) }
+`
+
+const clusterGoSrcB = `package b
+
+type T struct{ X, Y int }
+
+func Set(t *T) { t.X = 1 }
+
+func Get(t *T) int { return t.Y }
+`
+
+// differentialCorpus covers every /analyze query kind and /lint in
+// both output formats, over generated and handcrafted MiniPL plus Go
+// sources. The request ORDER is part of the corpus: cache temperature
+// evolves per source, and the reference server must see the same
+// sequence as the cluster for bodies to match byte for byte.
+func differentialCorpus() []clusterRequest {
+	var reqs []clusterRequest
+	analyze := func(tag, lang, src string, query map[string]any) {
+		body := map[string]any{"source": src}
+		if lang != "" {
+			body["lang"] = lang
+		}
+		if query != nil {
+			body["query"] = query
+		}
+		reqs = append(reqs, clusterRequest{name: tag, path: "/analyze", body: body})
+	}
+	lint := func(tag, lang, src, format string) {
+		body := map[string]any{"source": src}
+		if lang != "" {
+			body["lang"] = lang
+		}
+		if format != "" {
+			body["format"] = format
+		}
+		reqs = append(reqs, clusterRequest{name: tag, path: "/lint", body: body})
+	}
+
+	// Generated MiniPL: three distinct programs so the keyspace spreads
+	// over shards. Every generated procedure is named p<i>, so proc
+	// queries can target p1.
+	for _, seed := range []int64{21, 22, 23} {
+		src := workload.Emit(workload.Random(workload.DefaultConfig(5, seed)))
+		tag := fmt.Sprintf("minipl-gen%d", seed)
+		analyze(tag+"-full", "", src, nil)
+		analyze(tag+"-report", "", src, map[string]any{"kind": "report"})
+		analyze(tag+"-gmod", "minipl", src, map[string]any{"kind": "gmod", "proc": "p1"})
+		analyze(tag+"-guse", "minipl", src, map[string]any{"kind": "guse", "proc": "p1"})
+		analyze(tag+"-rmod", "minipl", src, map[string]any{"kind": "rmod", "proc": "p1"})
+		analyze(tag+"-callsites", "", src, map[string]any{"kind": "callsites"})
+		lint(tag+"-lint", "", src, "")
+	}
+	// Handcrafted MiniPL with a known procedure and a ref-parameter
+	// global mod.
+	analyze("minipl-hand-full", "minipl", clusterMiniPLSrc, nil)
+	analyze("minipl-hand-gmod", "", clusterMiniPLSrc, map[string]any{"kind": "gmod", "proc": "p"})
+	analyze("minipl-hand-rmod", "", clusterMiniPLSrc, map[string]any{"kind": "rmod", "proc": "p"})
+	lint("minipl-hand-lint-text", "", clusterMiniPLSrc, "text")
+
+	// Go frontend.
+	for i, src := range []string{clusterGoSrcA, clusterGoSrcB} {
+		tag := fmt.Sprintf("go-%d", i)
+		analyze(tag+"-full", "go", src, nil)
+		analyze(tag+"-report", "go", src, map[string]any{"kind": "report"})
+		analyze(tag+"-callsites", "go", src, map[string]any{"kind": "callsites"})
+		lint(tag+"-lint", "go", src, "")
+	}
+	return reqs
+}
+
+// TestClusterDifferentialByteIdentity is the headline differential:
+// for every corpus request, the body served through an N-shard cluster
+// must equal — byte for byte — the body a single direct modand server
+// returns, both cold and warm. Sharding must be invisible to clients.
+func TestClusterDifferentialByteIdentity(t *testing.T) {
+	corpus := differentialCorpus()
+	for _, n := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards-%d", n), func(t *testing.T) {
+			// Fresh reference and fresh cluster: both start cold, and
+			// both see the identical request sequence.
+			ref := httptest.NewServer(server.New(server.Config{}).Handler())
+			defer ref.Close()
+			tc := startTestCluster(t, n, server.Config{}, clusterConfig())
+			defer tc.close()
+
+			shardsSeen := make(map[string]bool)
+			for _, rq := range corpus {
+				for pass := 0; pass < 2; pass++ {
+					temp := [2]string{"cold", "warm"}[pass]
+					wantCode, want, _ := postRaw(t, ref.URL, rq.path, rq.body)
+					gotCode, got, hdr := postRaw(t, tc.front.URL, rq.path, rq.body)
+					if gotCode != wantCode {
+						t.Fatalf("%s %s: cluster status %d, direct %d\ncluster: %s\ndirect:  %s",
+							rq.name, temp, gotCode, wantCode, got, want)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("%s %s: routed body differs from direct\ncluster: %s\ndirect:  %s",
+							rq.name, temp, got, want)
+					}
+					if wantCode != http.StatusOK {
+						t.Fatalf("%s: corpus request failed on the direct server: %d %s",
+							rq.name, wantCode, want)
+					}
+					shardsSeen[hdr.Get("X-Modand-Shard")] = true
+				}
+			}
+			// With 4+ shards the corpus must actually spread; one shard
+			// serving everything would mean the test proved nothing
+			// about routing.
+			if n >= 4 && len(shardsSeen) < 2 {
+				t.Errorf("all %d corpus requests landed on one shard (%v); routing untested", len(corpus), shardsSeen)
+			}
+		})
+	}
+}
+
+// TestClusterFailoverChaos soaks a 3-shard fault-injected cluster with
+// concurrent clients while one shard is killed and later restarted on
+// the same address. The invariants: no 2xx response ever carries a
+// wrong body, the client-visible error rate stays bounded (retries and
+// failover absorb the crash), the killed shard rejoins via health
+// probes, and goroutines and arenas drain afterwards.
+func TestClusterFailoverChaos(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	arenasBefore := arena.Stats()
+
+	ccfg := clusterConfig()
+	ccfg.MaxAttempts = 5
+	tc := startTestCluster(t, 3, server.Config{FaultRate: 0.02, FaultSeed: 7}, ccfg)
+	closed := false
+	defer func() {
+		if !closed {
+			tc.close()
+		}
+	}()
+
+	// Expected bodies come from a clean reference server: for each
+	// source, the cold (first-contact) and warm (cache-hit) body. A
+	// soak response may legitimately be either — failover and restart
+	// reset cache temperature per shard — but never anything else.
+	srcs := make([]string, 6)
+	type expect struct{ cold, warm string }
+	want := make(map[string]expect, len(srcs))
+	ref := httptest.NewServer(server.New(server.Config{}).Handler())
+	for i := range srcs {
+		srcs[i] = workload.Emit(workload.Random(workload.DefaultConfig(5, int64(100+i))))
+		code, cold, _ := postRaw(t, ref.URL, "/analyze", map[string]any{"source": srcs[i]})
+		if code != http.StatusOK {
+			t.Fatalf("reference analyze %d: status %d: %s", i, code, cold)
+		}
+		_, warm, _ := postRaw(t, ref.URL, "/analyze", map[string]any{"source": srcs[i]})
+		want[srcs[i]] = expect{cold: string(cold), warm: string(warm)}
+	}
+	ref.Close()
+
+	var (
+		mu          sync.Mutex
+		total, errs int
+		firstWrong  string
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			client := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := srcs[rng.Intn(len(srcs))]
+				data, _ := json.Marshal(map[string]any{"source": src})
+				resp, err := client.Post(tc.front.URL+"/analyze", "application/json", bytes.NewReader(data))
+				mu.Lock()
+				total++
+				if err != nil {
+					errs++
+					mu.Unlock()
+					continue
+				}
+				mu.Unlock()
+				var buf bytes.Buffer
+				_, rerr := buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				switch {
+				case rerr != nil || resp.StatusCode != http.StatusOK:
+					errs++
+				case buf.String() != want[src].cold && buf.String() != want[src].warm:
+					errs++ // count it, but a wrong 2xx is fatal below
+					if firstWrong == "" {
+						firstWrong = fmt.Sprintf("status 200 with wrong body for source %.40q:\n%s", src, buf.String())
+					}
+				}
+				mu.Unlock()
+			}
+		}(int64(w + 1))
+	}
+
+	// The crash: kill shard s2 mid-soak, let the fleet absorb it, then
+	// bring a cold replacement up on the same address.
+	time.Sleep(300 * time.Millisecond)
+	tc.shards[1].kill()
+	time.Sleep(400 * time.Millisecond)
+	tc.shards[1].restart(t)
+	if !tc.coord.WaitHealthy(3, 15*time.Second) {
+		t.Error("restarted shard never probed healthy again")
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if firstWrong != "" {
+		t.Fatalf("wrong answer during failover: %s", firstWrong)
+	}
+	if total < 50 {
+		t.Fatalf("soak made only %d requests; too few to mean anything", total)
+	}
+	if errs > total/5 {
+		t.Errorf("error rate %d/%d exceeds 20%%: failover is not absorbing the crash", errs, total)
+	}
+	t.Logf("soak: %d requests, %d errors, shard s2 killed and rejoined", total, errs)
+
+	// Drain: tear the whole cluster down and require goroutines back to
+	// baseline and arena discipline intact.
+	tc.close()
+	closed = true
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > goroutinesBefore+3 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+			goroutinesBefore, n, buf[:runtime.Stack(buf, true)])
+	}
+	arenasAfter := arena.Stats()
+	if d := arenasAfter.PoisonedReuse - arenasBefore.PoisonedReuse; d != 0 {
+		t.Errorf("%d poisoned arenas re-entered circulation during the soak", d)
+	}
+}
+
+// TestClusterJobJournalReplay is the coordinator-crash story over the
+// real HTTP surface: submit a job, stop the coordinator mid-job, build
+// a new one over the same journal directory (shards stay up, as they
+// would in production), and require the replay to finish every unit
+// with zero errors and exactly one journal result record per unit.
+func TestClusterJobJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	shardCfg := server.Config{}
+	shards := []*testShard{
+		newTestShard(t, "s1", shardCfg),
+		newTestShard(t, "s2", shardCfg),
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.kill()
+		}
+	}()
+
+	newCoord := func() (*cluster.Coordinator, *httptest.Server) {
+		ccfg := clusterConfig()
+		ccfg.JournalDir = dir
+		ccfg.JobWorkers = 1 // serialize units so the stop lands mid-job
+		c, err := cluster.New(ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shards {
+			if err := c.AddShard(sh.id, sh.url()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Start()
+		if !c.WaitHealthy(len(shards), 15*time.Second) {
+			t.Fatal("shards never probed healthy")
+		}
+		return c, httptest.NewServer(c.Handler())
+	}
+
+	// Units big enough that a single worker takes real time per unit.
+	sources := make([]string, 16)
+	for i := range sources {
+		sources[i] = workload.Emit(workload.Random(workload.DefaultConfig(40, int64(500+i))))
+	}
+
+	c1, front1 := newCoord()
+	var sub struct {
+		ID    string `json:"id"`
+		Units int    `json:"units"`
+	}
+	code, body, _ := postRaw(t, front1.URL, "/jobs", map[string]any{"sources": sources})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Units != len(sources) {
+		t.Fatalf("job has %d units, want %d", sub.Units, len(sources))
+	}
+
+	// Let the job make partial progress, then stop the coordinator with
+	// units still pending (and very likely one in flight).
+	poll := func(base string) (done, errCount int, complete bool) {
+		resp, err := http.Get(base + "/jobs/" + sub.ID + "?units=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Done     int  `json:"done"`
+			Errors   int  `json:"errors"`
+			Complete bool `json:"complete"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Done, v.Errors, v.Complete
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var doneBefore int
+	for {
+		done, _, complete := poll(front1.URL)
+		if complete {
+			t.Fatal("job completed before the coordinator could be stopped; enlarge the workload")
+		}
+		if done >= 3 {
+			doneBefore = done
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job made no progress (%d done)", done)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	front1.Close()
+	c1.Stop()
+
+	// Restart: a new coordinator over the same journal directory must
+	// rehydrate the job and finish the pending units.
+	c2, front2 := newCoord()
+	defer func() { front2.Close(); c2.Stop() }()
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		done, errCount, complete := poll(front2.URL)
+		if complete {
+			if errCount != 0 {
+				t.Fatalf("job completed with %d errors after replay", errCount)
+			}
+			if done != len(sources) {
+				t.Fatalf("job complete with %d/%d units done", done, len(sources))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed after replay (%d/%d)", done, len(sources))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if doneBefore >= len(sources) {
+		t.Fatalf("doneBefore=%d means the pre-restart job was already finished", doneBefore)
+	}
+
+	// Exactly-once, proven at the journal: one result record per unit,
+	// no unit recorded twice even though the restart re-dispatched the
+	// pending tail.
+	front2.Close()
+	c2.Stop()
+	j, raw, err := store.OpenJournal(dir + "/jobs.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	perUnit := make(map[int]int)
+	for _, data := range raw {
+		var rec struct {
+			Type string `json:"type"`
+			Job  string `json:"job"`
+			Unit int    `json:"unit"`
+		}
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type == "result" && rec.Job == sub.ID {
+			perUnit[rec.Unit]++
+		}
+	}
+	if len(perUnit) != len(sources) {
+		t.Fatalf("journal holds results for %d units, want %d", len(perUnit), len(sources))
+	}
+	for unit, n := range perUnit {
+		if n != 1 {
+			t.Errorf("unit %d journaled %d results, want exactly 1", unit, n)
+		}
+	}
+}
+
+// TestClusterJobStream reads the NDJSON stream: every unit appears
+// exactly once, bodies ride along, and the terminal line carries the
+// total.
+func TestClusterJobStream(t *testing.T) {
+	tc := startTestCluster(t, 2, server.Config{}, clusterConfig())
+	defer tc.close()
+
+	sources := make([]string, 6)
+	for i := range sources {
+		sources[i] = workload.Emit(workload.Random(workload.DefaultConfig(4, int64(900+i))))
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	code, body, _ := postRaw(t, tc.front.URL, "/jobs", map[string]any{"sources": sources})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(tc.front.URL + "/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	seen := make(map[int]int)
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Index  *int            `json:"index"`
+			Status string          `json:"status"`
+			Body   json.RawMessage `json:"body"`
+			Done   bool            `json:"done"`
+			Total  int             `json:"total"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		if ev.Done {
+			sawDone = true
+			if ev.Total != len(sources) {
+				t.Errorf("terminal line total = %d, want %d", ev.Total, len(sources))
+			}
+			break
+		}
+		// Every unit line must carry an explicit index — including unit
+		// 0; non-Go consumers cannot fill in missing zero values.
+		if ev.Index == nil {
+			t.Fatalf("unit line missing index: %s", line)
+		}
+		seen[*ev.Index]++
+		if ev.Status != "done" || len(ev.Body) == 0 {
+			t.Errorf("unit %d streamed status %q with %d body bytes", *ev.Index, ev.Status, len(ev.Body))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a terminal done line")
+	}
+	if len(seen) != len(sources) {
+		t.Fatalf("stream carried %d distinct units, want %d", len(seen), len(sources))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("unit %d streamed %d times", idx, n)
+		}
+	}
+}
+
+// TestClusterStatusAndMetrics pins the operational surface: the status
+// document names every member with health and traffic counts, and the
+// metrics exposition carries the cluster family including the CPU
+// gauges the oversubscription check reads.
+func TestClusterStatusAndMetrics(t *testing.T) {
+	tc := startTestCluster(t, 2, server.Config{}, clusterConfig())
+	defer tc.close()
+
+	src := workload.Emit(workload.Random(workload.DefaultConfig(4, 77)))
+	if code, body, _ := postRaw(t, tc.front.URL, "/analyze", map[string]any{"source": src}); code != http.StatusOK {
+		t.Fatalf("analyze: %d %s", code, body)
+	}
+
+	resp, err := http.Get(tc.front.URL + "/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Shards []struct {
+			ID       string `json:"id"`
+			URL      string `json:"url"`
+			Healthy  bool   `json:"healthy"`
+			Requests int64  `json:"requests"`
+		} `json:"shards"`
+		HealthyShards int `json:"healthyShards"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Shards) != 2 || status.HealthyShards != 2 {
+		t.Fatalf("status = %+v", status)
+	}
+	var requests int64
+	for _, sh := range status.Shards {
+		if !sh.Healthy || sh.URL == "" {
+			t.Errorf("shard %s: healthy=%v url=%q", sh.ID, sh.Healthy, sh.URL)
+		}
+		requests += sh.Requests
+	}
+	if requests < 1 {
+		t.Error("no shard recorded the routed request")
+	}
+
+	mresp, err := http.Get(tc.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"modand_cluster_routed_total",
+		"modand_cluster_shard_healthy",
+		"modand_cluster_num_cpu",
+		"modand_cluster_gomaxprocs",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}

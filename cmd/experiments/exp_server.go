@@ -41,10 +41,11 @@ type serverBenchRecord struct {
 // (the benchmark harness contributes its own rows to the same file).
 func mergeBenchServer(records []serverBenchRecord) error {
 	var doc struct {
-		Cores   int                 `json:"cores"`
-		NumCPU  int                 `json:"num_cpu"`
-		Mem     memSample           `json:"mem"`
-		Records []serverBenchRecord `json:"records"`
+		Cores          int                 `json:"cores"`
+		NumCPU         int                 `json:"num_cpu"`
+		Oversubscribed bool                `json:"oversubscribed"`
+		Mem            memSample           `json:"mem"`
+		Records        []serverBenchRecord `json:"records"`
 	}
 	if data, err := os.ReadFile("BENCH_server.json"); err == nil {
 		_ = json.Unmarshal(data, &doc)
@@ -52,6 +53,14 @@ func mergeBenchServer(records []serverBenchRecord) error {
 	doc.Cores = runtime.GOMAXPROCS(0)
 	doc.NumCPU = runtime.NumCPU()
 	doc.Mem = sampleMem()
+	// Worker pools wider than the physical core count mean the qps and
+	// latency rows measure scheduling, not parallel speedup.
+	doc.Oversubscribed = doc.Cores > doc.NumCPU
+	for _, rec := range records {
+		if rec.Workers > doc.NumCPU {
+			doc.Oversubscribed = true
+		}
+	}
 	for _, rec := range records {
 		kept := doc.Records[:0]
 		for _, r := range doc.Records {

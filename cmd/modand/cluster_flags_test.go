@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postJSON posts body to url and decodes the response into out,
+// returning the status code.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, buf.String(), err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonClusterFlags boots two shard daemons and a coordinator
+// daemon over real TCP — one shard on the static -shards list, one
+// joining late through -join — and checks that routed answers are
+// byte-identical to a direct shard answer and that /cluster/status
+// sees both members.
+func TestDaemonClusterFlags(t *testing.T) {
+	shard1, down1, exit1, _ := startDaemon(t, "-shard-id", "s1")
+	defer func() { close(down1); <-exit1 }()
+	addr1 := strings.TrimPrefix(shard1, "http://")
+
+	coordBase, downC, exitC, coutBuf := startDaemon(t,
+		"-coordinator", "-shards", "s1="+addr1)
+	defer func() { close(downC); <-exitC }()
+
+	// Late joiner: a shard that announces itself via -join.
+	shard2, down2, exit2, _ := startDaemon(t, "-shard-id", "s2", "-join", coordBase)
+	defer func() { close(down2); <-exit2 }()
+	_ = shard2
+
+	// Wait until the coordinator sees both members.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(coordBase + "/cluster/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status struct {
+			Shards []struct {
+				ID      string `json:"id"`
+				Healthy bool   `json:"healthy"`
+			} `json:"shards"`
+			HealthyShards int `json:"healthyShards"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(status.Shards) == 2 && status.HealthyShards == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never saw both shards healthy: %+v\ncoordinator log:\n%s",
+				status, coutBuf.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The routed answer must be byte-identical to the direct one at
+	// equal cache temperature: issue each request twice and compare
+	// like with like.
+	req := map[string]string{"source": daemonSrc}
+	get := func(base string) (cold, warm string) {
+		for i := 0; i < 2; i++ {
+			data, _ := json.Marshal(req)
+			resp, err := http.Post(base+"/analyze", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST %s/analyze: status %d: %s", base, resp.StatusCode, buf.String())
+			}
+			if i == 0 {
+				cold = buf.String()
+			} else {
+				warm = buf.String()
+			}
+		}
+		return cold, warm
+	}
+	// A reference standalone daemon provides the expected bodies.
+	refBase, downR, exitR, _ := startDaemon(t)
+	defer func() { close(downR); <-exitR }()
+	wantCold, wantWarm := get(refBase)
+	gotCold, gotWarm := get(coordBase)
+	if gotCold != wantCold {
+		t.Errorf("routed cold /analyze body differs from direct:\n got %s\nwant %s", gotCold, wantCold)
+	}
+	if gotWarm != wantWarm {
+		t.Errorf("routed warm /analyze body differs from direct:\n got %s\nwant %s", gotWarm, wantWarm)
+	}
+
+	// The async job tier answers through the same daemon surface.
+	var sub struct {
+		ID    string `json:"id"`
+		Units int    `json:"units"`
+	}
+	sources := make([]string, 5)
+	for i := range sources {
+		sources[i] = daemonSrc + strings.Repeat("\n", i)
+	}
+	if code := postJSON(t, coordBase+"/jobs", map[string]any{"sources": sources}, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", code)
+	}
+	if sub.Units != len(sources) {
+		t.Fatalf("job has %d units, want %d", sub.Units, len(sources))
+	}
+	jobDeadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s?units=0", coordBase, sub.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			Done     int  `json:"done"`
+			Errors   int  `json:"errors"`
+			Complete bool `json:"complete"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Complete {
+			if view.Errors != 0 {
+				t.Fatalf("job completed with %d errors", view.Errors)
+			}
+			break
+		}
+		if time.Now().After(jobDeadline) {
+			t.Fatalf("job %s never completed (%d/%d)", sub.ID, view.Done, len(sources))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorFlagValidation pins the flag-compatibility rules.
+func TestCoordinatorFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-shards", "a=b"}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("-shards without -coordinator exited %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-coordinator", "-watch", "."}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("-coordinator -watch exited %d, want 2", code)
+	}
+}

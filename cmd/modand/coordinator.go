@@ -1,0 +1,167 @@
+// Coordinator mode: modand -coordinator fronts a fleet of modand
+// shard replicas instead of analyzing locally. Requests are routed by
+// content hash (internal/cluster), the async /jobs tier fans corpora
+// out to the fleet, and -state-dir makes the job queue durable across
+// coordinator restarts.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sideeffect/internal/cluster"
+)
+
+// coordOptions is the flag subset the coordinator path consumes.
+type coordOptions struct {
+	addr     string
+	shards   string
+	stateDir string
+	timeout  time.Duration
+	maxBytes int64
+	workers  int
+	drain    time.Duration
+}
+
+// parseShards decodes the -shards list: comma-separated id=url
+// entries; a bare URL gets a positional shard-N id.
+func parseShards(list string) ([][2]string, error) {
+	var out [][2]string
+	for i, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url := fmt.Sprintf("shard-%d", i+1), entry
+		if eq := strings.Index(entry, "="); eq >= 0 && !strings.Contains(entry[:eq], "/") {
+			id, url = entry[:eq], entry[eq+1:]
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			url = "http://" + url
+		}
+		out = append(out, [2]string{id, url})
+	}
+	return out, nil
+}
+
+// runCoordinator is the -coordinator entry point: build the cluster
+// coordinator, register the static -shards list, serve its handler,
+// and drain gracefully on SIGINT/SIGTERM. Late joiners arrive through
+// POST /cluster/join (the shard-side -join flag).
+func runCoordinator(opts coordOptions, stdout, stderr io.Writer, ready chan<- string, shutdown <-chan struct{}) int {
+	cfg := cluster.Config{
+		Timeout:         opts.timeout,
+		MaxRequestBytes: opts.maxBytes,
+		JobWorkers:      opts.workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	}
+	if opts.stateDir != "" {
+		if err := os.MkdirAll(opts.stateDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "modand: state: %v\n", err)
+			return 1
+		}
+		cfg.JournalDir = opts.stateDir
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "modand: coordinator: %v\n", err)
+		return 1
+	}
+	members, err := parseShards(opts.shards)
+	if err != nil {
+		fmt.Fprintf(stderr, "modand: coordinator: %v\n", err)
+		return 1
+	}
+	for _, m := range members {
+		if err := coord.AddShard(m[0], m[1]); err != nil {
+			fmt.Fprintf(stderr, "modand: coordinator: %v\n", err)
+			return 1
+		}
+	}
+	coord.Start()
+	defer coord.Stop()
+
+	httpSrv := &http.Server{
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "modand: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "modand: coordinator listening on http://%s (%d static shards)\n", ln.Addr(), len(members))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "modand: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "modand: %v, draining for up to %v\n", s, opts.drain)
+	case <-shutdown:
+		fmt.Fprintf(stdout, "modand: shutdown requested, draining for up to %v\n", opts.drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "modand: drain incomplete: %v\n", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "modand: %v\n", err)
+		return 1
+	}
+	// coord.Stop (deferred) journals nothing further: in-flight job
+	// units either completed durably or stay pending for the next run.
+	fmt.Fprintln(stdout, "modand: coordinator bye")
+	return 0
+}
+
+// joinCluster announces a shard to the coordinator with retries (the
+// coordinator may come up after its shards).
+func joinCluster(coordURL, id, selfURL string, stdout, stderr io.Writer) {
+	body, _ := json.Marshal(map[string]string{"id": id, "url": selfURL})
+	url := strings.TrimRight(coordURL, "/") + "/cluster/join"
+	for attempt := 0; attempt < 60; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				fmt.Fprintf(stdout, "modand: joined cluster at %s as %s\n", coordURL, id)
+				return
+			case http.StatusConflict:
+				// Already registered under this ID (e.g. a fast restart
+				// before the coordinator noticed): routing is unchanged,
+				// so treat it as success.
+				fmt.Fprintf(stdout, "modand: already a member of %s as %s\n", coordURL, id)
+				return
+			}
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	fmt.Fprintf(stderr, "modand: giving up joining %s as %s\n", coordURL, id)
+}

@@ -84,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		debounce  = fs.Duration("debounce", 500*time.Millisecond, "quiet window after the last change before a batch is processed")
 		ckptEvery = fs.Duration("checkpoint", 30*time.Second, "periodic checkpoint interval (requires -state-dir)")
 		goModule  = fs.Bool("go-module", false, "index the watched tree's .go files as one whole module (cross-package calls resolved, closed interfaces devirtualized) instead of per-file packages")
+		coord     = fs.Bool("coordinator", false, "run as the cluster coordinator: route requests to -shards by content hash instead of analyzing locally")
+		shards    = fs.String("shards", "", "coordinator mode: comma-separated shard list, id=http://host:port entries (bare URLs get shard-N ids)")
+		join      = fs.String("join", "", "shard mode: coordinator base URL to self-register with on startup (POST /cluster/join)")
+		shardID   = fs.String("shard-id", "", "this replica's stable cluster identity (default: the bound listen address); the ID, not the URL, feeds the rendezvous hash")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: modand [flags]\n")
@@ -97,7 +101,49 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		return 2
 	}
 
+	if *coord {
+		if *watch != "" || *join != "" {
+			fmt.Fprintln(stderr, "modand: -coordinator is incompatible with -watch and -join")
+			return 2
+		}
+		return runCoordinator(coordOptions{
+			addr:     *addr,
+			shards:   *shards,
+			stateDir: *stateDir,
+			timeout:  *timeout,
+			maxBytes: *maxBytes,
+			workers:  *jobs,
+			drain:    *drain,
+		}, stdout, stderr, ready, shutdown)
+	}
+	if *shards != "" {
+		fmt.Fprintln(stderr, "modand: -shards requires -coordinator")
+		return 2
+	}
+
+	// Bind before building the server: the shard's default cluster
+	// identity is its bound address, which an ephemeral :0 listen only
+	// yields after the fact.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "modand: %v\n", err)
+		return 1
+	}
+	id := *shardID
+	if id == "" && *join != "" {
+		id = ln.Addr().String()
+	}
+	// The listener is handed to http.Server below; close it ourselves
+	// only on the error paths before that hand-off.
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			ln.Close()
+		}
+	}()
+
 	srv := server.New(server.Config{
+		ShardID:         id,
 		Workers:         *jobs,
 		CacheEntries:    *cacheN,
 		MaxRequestBytes: *maxBytes,
@@ -221,18 +267,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(stderr, "modand: %v\n", err)
-		return 1
-	}
 	fmt.Fprintf(stdout, "modand: listening on http://%s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
 	serveErr := make(chan error, 1)
+	handedOff = true
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// Cluster membership: announce this shard to the coordinator. The
+	// coordinator may still be booting, so registration retries in the
+	// background; the daemon serves either way (the prober will find it
+	// healthy the moment it joins).
+	if *join != "" {
+		go joinCluster(*join, id, "http://"+ln.Addr().String(), stdout, stderr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Coordinator. The zero value gets production defaults
+// from withDefaults.
+type Config struct {
+	// VNodes is the router's per-shard virtual-node count (default
+	// DefaultVNodes).
+	VNodes int
+	// MaxAttempts bounds the forward path's total tries per request
+	// across all shard candidates (default 4). A request always gets at
+	// least one try per registered shard, so a key can fail over all
+	// the way around the ring even when MaxAttempts is smaller than the
+	// fleet.
+	MaxAttempts int
+	// RetryBase is the first retry's backoff; each further retry
+	// doubles it, with jitter, capped at RetryMax (defaults 10ms / 1s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HealthEvery is the prober's scan interval (default 500ms);
+	// HealthTimeout bounds one probe (default 1s).
+	HealthEvery   time.Duration
+	HealthTimeout time.Duration
+	// PerShardInFlight bounds the requests the coordinator lets one
+	// shard compute at once — the PR 5 admission machinery applied per
+	// shard from the router's side (default 64, -1 = unlimited). The
+	// shard's own MaxInFlight/MaxQueue still applies behind it; a full
+	// router-side gate fails over to the next candidate instead of
+	// queueing.
+	PerShardInFlight int
+	// Timeout bounds one proxied request end to end, retries included
+	// (default 60s).
+	Timeout time.Duration
+	// MaxRequestBytes bounds proxied request bodies (default 8 MiB —
+	// the coordinator fronts batch and corpus submissions, so it
+	// accepts more than one shard does for /analyze).
+	MaxRequestBytes int64
+	// JournalDir, when non-empty, makes the job tier durable: the work
+	// queue journal lives at JournalDir/jobs.journal and is replayed on
+	// construction, so jobs survive coordinator restarts.
+	JournalDir string
+	// JobWorkers bounds concurrently dispatched job units (default 8).
+	JobWorkers int
+	// MaxJobSources bounds one job submission (default 100000).
+	MaxJobSources int
+	// Seed drives retry jitter; equal seeds and request sequences back
+	// off identically (handy for deterministic tests; 0 = seed 1).
+	Seed int64
+	// Client overrides the proxy HTTP client (tests; default pooled).
+	Client *http.Client
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Second
+	}
+	if c.HealthEvery <= 0 {
+		c.HealthEvery = 500 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.PerShardInFlight == 0 {
+		c.PerShardInFlight = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 8
+	}
+	if c.MaxJobSources <= 0 {
+		c.MaxJobSources = 100000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// shardState is one replica as the coordinator sees it: its address,
+// prober-maintained health, router-side admission gate, and counters.
+type shardState struct {
+	id string
+	// url is the shard's base URL (no trailing slash). It is atomic
+	// because a re-join (UpsertShard) can re-point a live shard at a
+	// new port while forwards and probes are reading it.
+	url     atomic.Pointer[string]
+	healthy atomic.Bool
+	slots   chan struct{} // nil = unlimited
+	// counters for /cluster/status.
+	requests atomic.Int64
+	failures atomic.Int64
+	rejected atomic.Int64 // 429s received from the shard
+}
+
+func (s *shardState) baseURL() string {
+	if p := s.url.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (s *shardState) setURL(url string) { s.url.Store(&url) }
+
+// tryAcquire takes a router-side admission slot without blocking.
+func (s *shardState) tryAcquire() bool {
+	if s.slots == nil {
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *shardState) release() {
+	if s.slots != nil {
+		<-s.slots
+	}
+}
+
+func (s *shardState) inFlight() int {
+	if s.slots == nil {
+		return -1
+	}
+	return len(s.slots)
+}
+
+// Coordinator fronts N modand shards: it terminates the public HTTP
+// surface, routes every content-addressed request to its shard with
+// health-checked failover, and runs the async job tier. Create with
+// New, register shards with AddShard (or POST /cluster/join), call
+// Start, expose Handler, and Stop on shutdown.
+type Coordinator struct {
+	cfg    Config
+	router *Router
+	client *http.Client
+	met    *metrics
+	mux    *http.ServeMux
+	jobs   *jobManager
+
+	mu     sync.RWMutex
+	shards map[string]*shardState
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a coordinator and, when cfg.JournalDir is set, replays
+// the job journal (jobs interrupted by the previous run resume when
+// Start is called).
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:    cfg,
+		router: NewRouter(cfg.VNodes),
+		client: cfg.Client,
+		met:    newMetrics(),
+		shards: make(map[string]*shardState),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		stop:   make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	journalPath := ""
+	if cfg.JournalDir != "" {
+		journalPath = filepath.Join(cfg.JournalDir, "jobs.journal")
+	}
+	jobs, err := newJobManager(journalPath, c.runUnit)
+	if err != nil {
+		return nil, err
+	}
+	c.jobs = jobs
+	c.mux = http.NewServeMux()
+	c.route("POST /analyze", "/analyze", c.handleProxy)
+	c.route("POST /lint", "/lint", c.handleProxy)
+	c.route("POST /batch", "/batch", c.handleBatch)
+	c.route("POST /jobs", "/jobs", c.handleJobSubmit)
+	c.route("GET /jobs/{id}", "/jobs/{id}", c.handleJobGet)
+	c.mux.HandleFunc("GET /jobs/{id}/stream", c.handleJobStream)
+	c.route("GET /cluster/status", "/cluster/status", c.handleStatus)
+	c.route("POST /cluster/join", "/cluster/join", c.handleJoin)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "role": "coordinator", "shards": c.router.Len()})
+	})
+	return c, nil
+}
+
+// logf emits one operational log line.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// AddShard registers a replica under a stable ID. The ID — not the
+// URL — feeds the rendezvous hash, so a shard that restarts on a new
+// port keeps its keyspace slice when re-joined under the same ID.
+func (c *Coordinator) AddShard(id, url string) error {
+	for len(url) > 0 && url[len(url)-1] == '/' {
+		url = url[:len(url)-1]
+	}
+	if url == "" {
+		return fmt.Errorf("cluster: shard %q: empty url", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.router.Add(id); err != nil {
+		return err
+	}
+	st := &shardState{id: id}
+	st.setURL(url)
+	if n := c.cfg.PerShardInFlight; n > 0 {
+		st.slots = make(chan struct{}, n)
+	}
+	st.healthy.Store(true) // optimistic until the first probe
+	c.shards[id] = st
+	c.logf("cluster: shard %s joined at %s (%d shards)", id, url, c.router.Len())
+	return nil
+}
+
+// UpsertShard registers a replica, or — when the ID is already a
+// member — re-points it at a new URL: the restart-on-a-new-port path.
+// The rendezvous hash keys on the ID alone, so a re-pointed shard
+// keeps exactly its old keyspace slice (and whatever survives in its
+// cache stays useful).
+func (c *Coordinator) UpsertShard(id, url string) error {
+	for len(url) > 0 && url[len(url)-1] == '/' {
+		url = url[:len(url)-1]
+	}
+	c.mu.Lock()
+	st, ok := c.shards[id]
+	if ok && url != "" {
+		st.setURL(url)
+		st.healthy.Store(true)
+		c.mu.Unlock()
+		c.logf("cluster: shard %s re-joined at %s", id, url)
+		return nil
+	}
+	c.mu.Unlock()
+	return c.AddShard(id, url)
+}
+
+// RemoveShard unregisters a replica.
+func (c *Coordinator) RemoveShard(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.router.Remove(id)
+	delete(c.shards, id)
+}
+
+// Start launches the health prober and the job-tier dispatch workers
+// (which immediately resume any units replayed from the journal).
+func (c *Coordinator) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.probeAll()
+	c.wg.Add(1)
+	go c.prober()
+	c.jobs.start(c.cfg.JobWorkers)
+}
+
+// Stop halts the prober and job workers and closes the journal.
+// In-flight proxied requests are the HTTP server's to drain; job units
+// cut off mid-dispatch stay pending in the journal for the next run.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	started := c.started
+	c.started = false
+	c.mu.Unlock()
+	if started {
+		close(c.stop)
+		c.wg.Wait()
+	}
+	c.jobs.stop()
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// prober re-checks every shard's /healthz on a fixed cadence.
+func (c *Coordinator) prober() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	c.mu.RLock()
+	list := make([]*shardState, 0, len(c.shards))
+	for _, st := range c.shards {
+		list = append(list, st)
+	}
+	c.mu.RUnlock()
+	for _, st := range list {
+		healthy := c.probe(st)
+		if was := st.healthy.Swap(healthy); was != healthy {
+			if healthy {
+				c.logf("cluster: shard %s recovered", st.id)
+			} else {
+				c.logf("cluster: shard %s unhealthy", st.id)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) probe(st *shardState) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.baseURL()+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// fwdResult is one proxied response, carried verbatim.
+type fwdResult struct {
+	status      int
+	contentType string
+	header      http.Header
+	body        []byte
+	shard       string
+	attempts    int
+	failover    bool
+}
+
+// errNoShards reports a forward that found no registered shards.
+var errNoShards = errors.New("cluster: no shards registered")
+
+// candidates returns the shard states to try for key, preference
+// order, healthy members first. Unhealthy shards stay in the tail:
+// when everything is marked down (a prober blip, or the fleet really
+// is down) the router still tries rather than refusing outright.
+func (c *Coordinator) candidates(key string) []*shardState {
+	ranked := c.router.Rank(key)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	healthy := make([]*shardState, 0, len(ranked))
+	var down []*shardState
+	for _, id := range ranked {
+		st, ok := c.shards[id]
+		if !ok {
+			continue
+		}
+		if st.healthy.Load() {
+			healthy = append(healthy, st)
+		} else {
+			down = append(down, st)
+		}
+	}
+	return append(healthy, down...)
+}
+
+// backoff sleeps the jittered exponential delay for a retry attempt,
+// honoring a shard-supplied Retry-After floor. Returns false if ctx
+// expired while waiting.
+func (c *Coordinator) backoff(ctx context.Context, attempt int, floor time.Duration) bool {
+	d := c.cfg.RetryBase << uint(attempt)
+	if d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	c.rngMu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.rngMu.Unlock()
+	d += jitter
+	if floor > d {
+		d = floor
+		if d > c.cfg.RetryMax {
+			d = c.cfg.RetryMax
+		}
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// retryAfter parses a 429's Retry-After header (seconds form only —
+// that is what the shards emit).
+func retryAfter(h http.Header) time.Duration {
+	if s := h.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// forward routes one request body to key's shard, failing over through
+// the preference order with bounded, jittered retries. The returned
+// response is the serving shard's, byte for byte. Retryable outcomes
+// are network errors (the shard is marked down immediately — the
+// prober will restore it), router-side admission-full, shard 429s
+// (honoring Retry-After), and 5xx statuses; everything else is the
+// answer. When every attempt fails the last shard response (if any) is
+// passed through; with none, the caller synthesizes a 503.
+func (c *Coordinator) forward(ctx context.Context, key, method, uri, contentType string, body []byte) (*fwdResult, error) {
+	start := time.Now()
+	cands := c.candidates(key)
+	if len(cands) == 0 {
+		return nil, errNoShards
+	}
+	maxAttempts := c.cfg.MaxAttempts
+	if maxAttempts < len(cands) {
+		maxAttempts = len(cands)
+	}
+	var last *fwdResult
+	var lastErr error
+	var floor time.Duration
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		st := cands[attempt%len(cands)]
+		if attempt > 0 {
+			c.met.retry()
+			if !c.backoff(ctx, attempt-1, floor) {
+				break
+			}
+			floor = 0
+		}
+		if !st.tryAcquire() {
+			c.met.shedOne()
+			lastErr = fmt.Errorf("cluster: shard %s at router-side capacity", st.id)
+			continue
+		}
+		res, err := c.doOnce(ctx, st, method, uri, contentType, body)
+		st.release()
+		if err != nil {
+			st.failures.Add(1)
+			st.healthy.Store(false)
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		switch {
+		case res.status == http.StatusTooManyRequests:
+			st.rejected.Add(1)
+			floor = retryAfter(res.header)
+			last = res
+			continue
+		case res.status >= 500:
+			last = res
+			continue
+		}
+		st.requests.Add(1)
+		res.attempts = attempt + 1
+		res.failover = st != cands[0]
+		c.met.route(st.id, res.failover, time.Since(start).Seconds())
+		return res, nil
+	}
+	if last != nil {
+		// Exhausted retries: the shard's own structured error is more
+		// truthful than anything the router could synthesize.
+		c.met.route(last.shard, true, time.Since(start).Seconds())
+		return last, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no attempt completed")
+	}
+	return nil, lastErr
+}
+
+// doOnce issues one proxied request to one shard.
+func (c *Coordinator) doOnce(ctx context.Context, st *shardState, method, uri, contentType string, body []byte) (*fwdResult, error) {
+	req, err := http.NewRequestWithContext(ctx, method, st.baseURL()+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &fwdResult{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        data,
+		shard:       st.id,
+		header:      resp.Header,
+	}, nil
+}

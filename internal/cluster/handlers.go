@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// apiError mirrors the shard servers' structured error payload so
+// coordinator-originated failures look exactly like shard failures to
+// clients.
+type apiError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, label string, e *apiError) {
+	writeJSON(w, e.Status, map[string]*apiError{"error": e})
+	c.met.request(label, e.Status)
+}
+
+// route registers fn with the shared plumbing: request-size limit,
+// per-request timeout, and request counting by endpoint label.
+func (c *Coordinator) route(pattern, label string, fn func(w http.ResponseWriter, r *http.Request) (int, *apiError)) {
+	c.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxRequestBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.Timeout)
+		defer cancel()
+		status, apiErr := fn(w, r.WithContext(ctx))
+		if apiErr != nil {
+			c.writeError(w, label, apiErr)
+			return
+		}
+		c.met.request(label, status)
+	})
+}
+
+// routedRequest is the slice of /analyze and /lint bodies the router
+// needs: the content key's ingredients. Unknown fields pass through to
+// the shard untouched.
+type routedRequest struct {
+	Source string `json:"source"`
+	Lang   string `json:"lang"`
+}
+
+// handleProxy serves POST /analyze and POST /lint: decode just enough
+// to derive the content key, then forward the original body bytes to
+// the key's shard and relay its response verbatim — byte-identical to
+// asking that shard (or a single-node modand) directly.
+func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) (int, *apiError) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return 0, &apiError{Status: http.StatusRequestEntityTooLarge, Code: "too_large",
+			Message: fmt.Sprintf("request body exceeds the %d-byte limit", c.cfg.MaxRequestBytes)}
+	}
+	var req routedRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("invalid JSON body: %v", err)}
+	}
+	if req.Source == "" {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: "missing \"source\""}
+	}
+	lang := req.Lang
+	if lang == "" {
+		lang = r.URL.Query().Get("lang")
+	}
+	key := ContentKey(lang, req.Source)
+	res, err := c.forward(r.Context(), key, http.MethodPost, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		c.met.noShardOne()
+		return 0, &apiError{Status: http.StatusServiceUnavailable, Code: "no_shard_available",
+			Message: fmt.Sprintf("no shard could serve this request: %v", err)}
+	}
+	c.relay(w, res)
+	return res.status, nil
+}
+
+// relay writes a shard's response through verbatim, tagging the
+// serving shard and attempt count in headers (the body is untouched).
+func (c *Coordinator) relay(w http.ResponseWriter, res *fwdResult) {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Modand-Shard", res.shard)
+	w.Header().Set("X-Modand-Attempts", fmt.Sprint(res.attempts))
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// batchRequest and batchShape mirror the shard server's /batch wire
+// forms closely enough to split and merge them.
+type batchRequest struct {
+	Sources []string `json:"sources"`
+}
+
+// handleBatch serves POST /batch by splitting the sources across their
+// owning shards, forwarding per-shard sub-batches concurrently, and
+// merging the per-source results back into submission order.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) (int, *apiError) {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("invalid JSON body: %v", err)}
+	}
+	if len(req.Sources) == 0 {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: "missing \"sources\""}
+	}
+	if c.router.Len() == 0 {
+		return 0, &apiError{Status: http.StatusServiceUnavailable, Code: "no_shard_available",
+			Message: "no shards registered"}
+	}
+
+	// Group source indexes by owning shard.
+	groups := make(map[string][]int)
+	for i, src := range req.Sources {
+		owner := c.router.Pick(ContentKey("", src))
+		groups[owner] = append(groups[owner], i)
+	}
+
+	type groupOut struct {
+		indexes []int
+		results []json.RawMessage
+		err     error
+	}
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	outs := make([]groupOut, len(ids))
+	done := make(chan int, len(ids))
+	for gi, id := range ids {
+		go func(gi int, id string) {
+			defer func() { done <- gi }()
+			idxs := groups[id]
+			sub := batchRequest{Sources: make([]string, len(idxs))}
+			for k, i := range idxs {
+				sub.Sources[k] = req.Sources[i]
+			}
+			body, err := json.Marshal(sub)
+			if err != nil {
+				outs[gi] = groupOut{indexes: idxs, err: err}
+				return
+			}
+			// Route the sub-batch by its first source's key: the whole
+			// group shares an owner by construction.
+			key := ContentKey("", sub.Sources[0])
+			res, err := c.forward(r.Context(), key, http.MethodPost, "/batch", "application/json", body)
+			if err != nil {
+				outs[gi] = groupOut{indexes: idxs, err: err}
+				return
+			}
+			if res.status != http.StatusOK {
+				outs[gi] = groupOut{indexes: idxs, err: fmt.Errorf("shard %s: status %d: %s", res.shard, res.status, res.body)}
+				return
+			}
+			var parsed struct {
+				Results []json.RawMessage `json:"results"`
+			}
+			if err := json.Unmarshal(res.body, &parsed); err != nil || len(parsed.Results) != len(idxs) {
+				outs[gi] = groupOut{indexes: idxs, err: fmt.Errorf("shard %s: malformed batch response", res.shard)}
+				return
+			}
+			outs[gi] = groupOut{indexes: idxs, results: parsed.Results}
+		}(gi, id)
+	}
+	for range ids {
+		<-done
+	}
+
+	merged := make([]json.RawMessage, len(req.Sources))
+	for _, out := range outs {
+		for k, i := range out.indexes {
+			if out.err != nil {
+				e, _ := json.Marshal(map[string]string{"error": out.err.Error()})
+				merged[i] = e
+				continue
+			}
+			merged[i] = out.results[k]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]json.RawMessage{"results": merged})
+	return http.StatusOK, nil
+}
+
+// jobSubmitRequest is the POST /jobs body: a corpus of sources
+// analyzed asynchronously, each unit routed by its content key.
+type jobSubmitRequest struct {
+	Sources []string `json:"sources"`
+	Lang    string   `json:"lang,omitempty"`
+}
+
+func (c *Coordinator) handleJobSubmit(w http.ResponseWriter, r *http.Request) (int, *apiError) {
+	var req jobSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("invalid JSON body: %v", err)}
+	}
+	if len(req.Sources) == 0 {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: "missing \"sources\""}
+	}
+	if len(req.Sources) > c.cfg.MaxJobSources {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("%d sources exceed the per-job limit of %d", len(req.Sources), c.cfg.MaxJobSources)}
+	}
+	switch req.Lang {
+	case "", "minipl", "go":
+	default:
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("unknown lang %q (want minipl or go)", req.Lang)}
+	}
+	jb, err := c.jobs.submit(req.Lang, req.Sources)
+	if err != nil {
+		return 0, &apiError{Status: http.StatusServiceUnavailable, Code: "jobs_unavailable", Message: err.Error()}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": jb.id, "units": len(jb.units), "status": "running",
+		"poll": "/jobs/" + jb.id, "stream": "/jobs/" + jb.id + "/stream",
+	})
+	return http.StatusAccepted, nil
+}
+
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) (int, *apiError) {
+	jb, ok := c.jobs.get(r.PathValue("id"))
+	if !ok {
+		return 0, &apiError{Status: http.StatusNotFound, Code: "not_found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))}
+	}
+	includeBodies := r.URL.Query().Get("results") == "1"
+	includeUnits := r.URL.Query().Get("units") != "0"
+	writeJSON(w, http.StatusOK, jb.view(includeUnits, includeBodies))
+	return http.StatusOK, nil
+}
+
+// streamEvent is one NDJSON line on /jobs/{id}/stream: a completed
+// unit, or the terminal summary line (Done set).
+type streamEvent struct {
+	// Index is omitted only on the terminal summary line (Done true);
+	// unit lines always carry it, including unit 0.
+	Index  *int            `json:"index,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Status string          `json:"status,omitempty"`
+	Shard  string          `json:"shard,omitempty"`
+	Code   int             `json:"code,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Done   bool            `json:"done,omitempty"`
+	Total  int             `json:"total,omitempty"`
+}
+
+// handleJobStream serves GET /jobs/{id}/stream: newline-delimited JSON
+// of per-unit results in completion order — units already finished
+// replay first, then live completions as the fleet produces them — and
+// a terminal {"done":true} line once the job completes.
+func (c *Coordinator) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	jb, ok := c.jobs.get(r.PathValue("id"))
+	if !ok {
+		c.writeError(w, "/jobs/{id}/stream", &apiError{Status: http.StatusNotFound, Code: "not_found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitted := 0
+	for {
+		jb.mu.Lock()
+		events := make([]streamEvent, 0, len(jb.completionLog)-emitted)
+		for _, unit := range jb.completionLog[emitted:] {
+			u := &jb.units[unit]
+			idx := u.index
+			events = append(events, streamEvent{
+				Index: &idx, Key: u.key, Status: u.status(), Shard: u.result.Shard,
+				Code: u.result.Status, Error: u.result.Err, Body: u.result.Body,
+			})
+		}
+		emitted = len(jb.completionLog)
+		complete := jb.complete
+		notify := jb.notify
+		total := len(jb.units)
+		jb.mu.Unlock()
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if complete {
+			_ = enc.Encode(streamEvent{Done: true, Total: total})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			c.met.request("/jobs/{id}/stream", http.StatusOK)
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// joinRequest is the POST /cluster/join body a shard (or operator)
+// registers a replica with.
+type joinRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) (int, *apiError) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: fmt.Sprintf("invalid JSON body: %v", err)}
+	}
+	if req.ID == "" || req.URL == "" {
+		return 0, &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: "need both \"id\" and \"url\""}
+	}
+	// Upsert: a shard restarting on a new port re-joins under its old
+	// ID and keeps its keyspace slice; only a genuinely bad request
+	// (empty URL) conflicts.
+	if err := c.UpsertShard(req.ID, req.URL); err != nil {
+		return 0, &apiError{Status: http.StatusConflict, Code: "join_conflict", Message: err.Error()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "shards": c.router.Len()})
+	return http.StatusOK, nil
+}
+
+// shardStatusView is one row of /cluster/status.
+type shardStatusView struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Requests int64  `json:"requests"`
+	Failures int64  `json:"failures"`
+	Rejected int64  `json:"rejected"`
+	InFlight int    `json:"inFlight"`
+}
+
+// handleStatus serves GET /cluster/status: topology, per-shard health
+// and counters, and the job tier's summary.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) (int, *apiError) {
+	c.mu.RLock()
+	views := make([]shardStatusView, 0, len(c.shards))
+	for _, st := range c.shards {
+		views = append(views, shardStatusView{
+			ID: st.id, URL: st.baseURL(), Healthy: st.healthy.Load(),
+			Requests: st.requests.Load(), Failures: st.failures.Load(),
+			Rejected: st.rejected.Load(), InFlight: st.inFlight(),
+		})
+	}
+	c.mu.RUnlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	healthy := 0
+	for _, v := range views {
+		if v.Healthy {
+			healthy++
+		}
+	}
+	jobs, complete, pending := c.jobs.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":        views,
+		"healthyShards": healthy,
+		"vnodes":        c.cfg.VNodes,
+		"jobs": map[string]int{
+			"total": jobs, "complete": complete, "pendingUnits": pending,
+		},
+	})
+	return http.StatusOK, nil
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.RLock()
+	health := make(map[string]bool, len(c.shards))
+	for id, st := range c.shards {
+		health[id] = st.healthy.Load()
+	}
+	c.mu.RUnlock()
+	jobs, complete, pending := c.jobs.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, c.met.render(health, jobs, complete, pending))
+}
+
+// runUnit dispatches one job unit through the routed forward path —
+// the callback the job manager drives its workers with.
+func (c *Coordinator) runUnit(ctx context.Context, lang, source string) unitResult {
+	body, err := json.Marshal(map[string]string{"source": source, "lang": langOrDefault(lang)})
+	if err != nil {
+		return unitResult{Status: http.StatusInternalServerError, Err: err.Error()}
+	}
+	parent := ctx
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	res, ferr := c.forward(ctx, ContentKey(lang, source), http.MethodPost, "/analyze", "application/json", body)
+	if ferr != nil {
+		if parent.Err() != nil {
+			// Shutdown, not a shard failure: report no result so the
+			// unit stays pending and replays on the next start.
+			return unitResult{}
+		}
+		return unitResult{Status: http.StatusServiceUnavailable, Err: ferr.Error()}
+	}
+	return unitResult{Status: res.status, Shard: res.shard, Body: res.body}
+}
+
+// langOrDefault normalizes the job-level language field for the
+// per-unit /analyze bodies.
+func langOrDefault(lang string) string {
+	if lang == "" {
+		return "minipl"
+	}
+	return lang
+}
+
+// waitHealthy blocks until at least n shards probe healthy or the
+// timeout lapses — a convenience for harnesses and the daemon's
+// startup logging. Reports whether the threshold was reached.
+func (c *Coordinator) WaitHealthy(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.RLock()
+		healthy := 0
+		for _, st := range c.shards {
+			if st.healthy.Load() {
+				healthy++
+			}
+		}
+		c.mu.RUnlock()
+		if healthy >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		c.probeAll()
+		time.Sleep(25 * time.Millisecond)
+	}
+}

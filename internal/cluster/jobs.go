@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"sideeffect/internal/store"
+)
+
+// unitResult is one corpus unit's terminal outcome: the shard's
+// verbatim /analyze response (Status/Body) or a routing-layer failure
+// (Err, when no shard could be reached).
+type unitResult struct {
+	Status int             `json:"status"`
+	Shard  string          `json:"shard,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Err    string          `json:"error,omitempty"`
+}
+
+// jobUnit is one source's slot in a job.
+type jobUnit struct {
+	index  int
+	key    string
+	done   bool
+	result unitResult
+}
+
+// job is one submitted corpus: its units, completion state, and the
+// broadcast channel streamers wait on.
+type job struct {
+	id   string
+	lang string
+	// sources is retained so a coordinator restart can re-dispatch
+	// units the journal has no result for.
+	sources []string
+
+	mu    sync.Mutex
+	units []jobUnit
+	done  int
+	// completionLog lists unit indexes in completion order — the order
+	// /jobs/{id}/stream emits.
+	completionLog []int
+	complete      bool
+	// notify is closed and replaced on every completion; streamers
+	// re-arm on it instead of polling.
+	notify chan struct{}
+}
+
+// snapshotUnit is the wire form of one unit in poll responses.
+type snapshotUnit struct {
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	Status string          `json:"status"` // "pending", "done", or "error"
+	Shard  string          `json:"shard,omitempty"`
+	Code   int             `json:"code,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// jobView is the GET /jobs/{id} wire shape.
+type jobView struct {
+	ID       string         `json:"id"`
+	Lang     string         `json:"lang"`
+	Total    int            `json:"total"`
+	Done     int            `json:"done"`
+	Errors   int            `json:"errors"`
+	Complete bool           `json:"complete"`
+	Units    []snapshotUnit `json:"units,omitempty"`
+}
+
+// unitStatus classifies a completed unit for the wire: 2xx answers are
+// "done", everything else (shard error status or routing failure) is
+// "error".
+func (u *jobUnit) status() string {
+	switch {
+	case !u.done:
+		return "pending"
+	case u.result.Err == "" && u.result.Status/100 == 2:
+		return "done"
+	default:
+		return "error"
+	}
+}
+
+// view renders the job's poll shape; includeBodies additionally embeds
+// each completed unit's verbatim response body.
+func (j *job) view(includeUnits, includeBodies bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{ID: j.id, Lang: j.lang, Total: len(j.units), Done: j.done, Complete: j.complete}
+	for i := range j.units {
+		u := &j.units[i]
+		if u.done && u.status() == "error" {
+			v.Errors++
+		}
+		if !includeUnits {
+			continue
+		}
+		su := snapshotUnit{Index: u.index, Key: u.key, Status: u.status(), Shard: u.result.Shard}
+		if u.done {
+			su.Code = u.result.Status
+			su.Error = u.result.Err
+			if includeBodies {
+				su.Body = u.result.Body
+			}
+		}
+		v.Units = append(v.Units, su)
+	}
+	return v
+}
+
+// journalRec is the one envelope every journal record decodes to.
+type journalRec struct {
+	Type    string          `json:"type"` // "submit", "result", or "done"
+	Job     string          `json:"job"`
+	Lang    string          `json:"lang,omitempty"`
+	Sources []string        `json:"sources,omitempty"`
+	Unit    int             `json:"unit,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Status  int             `json:"status,omitempty"`
+	Shard   string          `json:"shard,omitempty"`
+	Err     string          `json:"error,omitempty"`
+	Body    json.RawMessage `json:"body,omitempty"`
+}
+
+// unitRef addresses one pending unit in the dispatch queue.
+type unitRef struct {
+	job  *job
+	unit int
+}
+
+// jobManager owns the async tier: the job table, the durable journal,
+// and the dispatch queue its workers drain. Dispatch itself is
+// delegated to the coordinator's routed forward path via the run
+// callback, so the manager knows nothing about HTTP.
+type jobManager struct {
+	journal *store.Journal // nil = ephemeral (no -state-dir)
+	run     func(ctx context.Context, lang, source string) unitResult
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	order   []string // job IDs in creation order
+	nextID  int
+	queue   []unitRef
+	stopped bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// newJobManager builds the manager and, when journalPath is non-empty,
+// opens the journal and replays it into the job table. Units without a
+// durable result are re-enqueued; a job whose every unit already
+// completed is marked complete even if its "done" record was lost.
+func newJobManager(journalPath string, run func(ctx context.Context, lang, source string) unitResult) (*jobManager, error) {
+	m := &jobManager{
+		run:  run,
+		jobs: make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	if journalPath == "" {
+		return m, nil
+	}
+	j, records, err := store.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	m.journal = j
+	for _, data := range records {
+		var rec journalRec
+		if err := json.Unmarshal(data, &rec); err != nil {
+			// An undecodable (but checksum-valid) record means a newer
+			// schema wrote it; skip rather than fail the whole replay.
+			continue
+		}
+		m.applyReplay(&rec)
+	}
+	// Re-enqueue every unit the journal has no result for.
+	for _, id := range m.order {
+		jb := m.jobs[id]
+		for i := range jb.units {
+			if !jb.units[i].done {
+				m.queue = append(m.queue, unitRef{job: jb, unit: i})
+			}
+		}
+	}
+	return m, nil
+}
+
+// applyReplay folds one journal record into the job table.
+func (m *jobManager) applyReplay(rec *journalRec) {
+	switch rec.Type {
+	case "submit":
+		if _, dup := m.jobs[rec.Job]; dup || rec.Job == "" {
+			return
+		}
+		jb := newJob(rec.Job, rec.Lang, rec.Sources)
+		m.jobs[rec.Job] = jb
+		m.order = append(m.order, rec.Job)
+		if n := jobSeq(rec.Job); n >= m.nextID {
+			m.nextID = n + 1
+		}
+	case "result":
+		jb := m.jobs[rec.Job]
+		if jb == nil || rec.Unit < 0 || rec.Unit >= len(jb.units) || jb.units[rec.Unit].done {
+			return
+		}
+		jb.setResult(rec.Unit, unitResult{Status: rec.Status, Shard: rec.Shard, Body: rec.Body, Err: rec.Err})
+	case "done":
+		if jb := m.jobs[rec.Job]; jb != nil {
+			jb.mu.Lock()
+			jb.complete = jb.done == len(jb.units)
+			jb.mu.Unlock()
+		}
+	}
+}
+
+// jobSeq parses the numeric suffix of a "job-N" ID (-1 if malformed).
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil || !strings.HasPrefix(id, "job-") {
+		return -1
+	}
+	return n
+}
+
+func newJob(id, lang string, sources []string) *job {
+	jb := &job{id: id, lang: lang, sources: sources, notify: make(chan struct{})}
+	jb.units = make([]jobUnit, len(sources))
+	for i := range jb.units {
+		jb.units[i] = jobUnit{index: i, key: ContentKey(lang, sources[i])}
+	}
+	return jb
+}
+
+// setResult records a unit's terminal outcome and wakes streamers.
+// It reports whether the job just completed.
+func (jb *job) setResult(unit int, res unitResult) bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	u := &jb.units[unit]
+	if u.done {
+		return false
+	}
+	u.done = true
+	u.result = res
+	jb.done++
+	jb.completionLog = append(jb.completionLog, unit)
+	close(jb.notify)
+	jb.notify = make(chan struct{})
+	if jb.done == len(jb.units) {
+		jb.complete = true
+		return true
+	}
+	return false
+}
+
+// start launches n dispatch workers.
+func (m *jobManager) start(n int) {
+	if n <= 0 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+}
+
+// stop halts dispatch: workers drain out, in-flight units either
+// finish (and are journaled) or are cut off by the manager context and
+// left pending for the next replay. The journal is closed last.
+func (m *jobManager) stop() {
+	m.mu.Lock()
+	m.stopped = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal != nil {
+		m.journal.Close()
+	}
+}
+
+// worker drains the dispatch queue.
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.stopped {
+			m.cond.Wait()
+		}
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		ref := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.dispatch(ref)
+	}
+}
+
+// dispatch runs one unit through the routed forward path and records
+// its outcome durably before exposing it. A unit cut off by shutdown
+// (manager context cancelled) is NOT recorded — it stays pending in
+// the journal and the next coordinator run re-dispatches it, which is
+// what makes completion exactly-once: the only path that marks a unit
+// done is a successful journal append, and replay never re-enqueues a
+// unit that has one.
+func (m *jobManager) dispatch(ref unitRef) {
+	jb := ref.job
+	jb.mu.Lock()
+	already := jb.units[ref.unit].done
+	src := jb.sources[ref.unit]
+	key := jb.units[ref.unit].key
+	jb.mu.Unlock()
+	if already {
+		return
+	}
+	res := m.run(m.ctx, jb.lang, src)
+	if m.ctx.Err() != nil && res.Status == 0 {
+		return // shutdown cut the dispatch short; leave the unit pending
+	}
+	if m.journal != nil {
+		rec := journalRec{Type: "result", Job: jb.id, Unit: ref.unit, Key: key,
+			Status: res.Status, Shard: res.Shard, Err: res.Err, Body: res.Body}
+		if err := m.appendRec(&rec); err != nil {
+			// A failed append means the result is not durable; surface
+			// the unit as a routing error rather than lying about
+			// durability. (The unit will be re-dispatched on restart.)
+			return
+		}
+	}
+	if jb.setResult(ref.unit, res) && m.journal != nil {
+		_ = m.appendRec(&journalRec{Type: "done", Job: jb.id})
+	}
+}
+
+// appendRec journals one envelope.
+func (m *jobManager) appendRec(rec *journalRec) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal == nil {
+		return nil
+	}
+	return m.journal.Append(data)
+}
+
+// submit creates a job over sources and enqueues every unit.
+func (m *jobManager) submit(lang string, sources []string) (*job, error) {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("cluster: job tier is shut down")
+	}
+	id := fmt.Sprintf("job-%d", m.nextID)
+	m.nextID++
+	jb := newJob(id, lang, sources)
+	m.jobs[id] = jb
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	if m.journal != nil {
+		rec := journalRec{Type: "submit", Job: id, Lang: lang, Sources: sources}
+		if err := m.appendRec(&rec); err != nil {
+			m.mu.Lock()
+			delete(m.jobs, id)
+			m.order = m.order[:len(m.order)-1]
+			m.mu.Unlock()
+			return nil, fmt.Errorf("cluster: journal submit: %w", err)
+		}
+	}
+
+	m.mu.Lock()
+	for i := range jb.units {
+		m.queue = append(m.queue, unitRef{job: jb, unit: i})
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	return jb, nil
+}
+
+// get looks a job up by ID.
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jb, ok := m.jobs[id]
+	return jb, ok
+}
+
+// stats summarizes the tier for /cluster/status.
+func (m *jobManager) stats() (jobs, complete, pendingUnits int) {
+	m.mu.Lock()
+	list := make([]*job, 0, len(m.jobs))
+	for _, jb := range m.jobs {
+		list = append(list, jb)
+	}
+	m.mu.Unlock()
+	for _, jb := range list {
+		jb.mu.Lock()
+		jobs++
+		if jb.complete {
+			complete++
+		} else {
+			pendingUnits += len(jb.units) - jb.done
+		}
+		jb.mu.Unlock()
+	}
+	return jobs, complete, pendingUnits
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sideeffect/internal/store"
+)
+
+// fakeRunner is a dispatch callback that records every invocation and
+// can block units behind a gate to freeze a job mid-flight.
+type fakeRunner struct {
+	mu   sync.Mutex
+	runs map[string]int // source -> dispatch count
+
+	gate    chan struct{} // nil = never block
+	allowed int           // units that may complete before blocking on gate
+}
+
+func newFakeRunner() *fakeRunner {
+	return &fakeRunner{runs: make(map[string]int)}
+}
+
+func (f *fakeRunner) run(ctx context.Context, lang, source string) unitResult {
+	f.mu.Lock()
+	f.runs[source]++
+	blocked := f.gate != nil && f.allowed <= 0
+	if !blocked {
+		f.allowed--
+	}
+	f.mu.Unlock()
+	if blocked {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return unitResult{} // cut off mid-dispatch: stays pending
+		}
+	}
+	body, _ := json.Marshal(map[string]string{"echo": source, "lang": lang})
+	return unitResult{Status: http.StatusOK, Shard: "fake", Body: body}
+}
+
+func (f *fakeRunner) count(source string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runs[source]
+}
+
+func (f *fakeRunner) total() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.runs {
+		n += c
+	}
+	return n
+}
+
+func waitComplete(t *testing.T, jb *job, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		jb.mu.Lock()
+		complete := jb.complete
+		done, total := jb.done, len(jb.units)
+		jb.mu.Unlock()
+		if complete {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never completed (%d/%d)", jb.id, done, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func sourcesN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("program p%d; begin x := %d end.", i, i)
+	}
+	return out
+}
+
+// TestJobManagerCompletesAllUnits checks the ephemeral tier: every
+// unit dispatches exactly once and the job view reflects the results.
+func TestJobManagerCompletesAllUnits(t *testing.T) {
+	f := newFakeRunner()
+	m, err := newJobManager("", f.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.start(4)
+	defer m.stop()
+
+	srcs := sourcesN(20)
+	jb, err := m.submit("minipl", srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitComplete(t, jb, 10*time.Second)
+	for _, s := range srcs {
+		if c := f.count(s); c != 1 {
+			t.Errorf("source dispatched %d times, want exactly 1: %q", c, s)
+		}
+	}
+	v := jb.view(true, true)
+	if v.Done != len(srcs) || v.Errors != 0 || !v.Complete {
+		t.Fatalf("view = done %d errors %d complete %v", v.Done, v.Errors, v.Complete)
+	}
+	for i, u := range v.Units {
+		if u.Status != "done" || u.Index != i || u.Key != ContentKey("minipl", srcs[i]) {
+			t.Fatalf("unit %d = %+v", i, u)
+		}
+		var body struct {
+			Echo string `json:"echo"`
+		}
+		if err := json.Unmarshal(u.Body, &body); err != nil || body.Echo != srcs[i] {
+			t.Fatalf("unit %d body = %s (%v)", i, u.Body, err)
+		}
+	}
+}
+
+// TestJobManagerJournalReplay is the coordinator-restart story at the
+// manager level: freeze a job mid-flight, tear the manager down, build
+// a new one over the same journal, and require (a) units that
+// completed durably are NOT re-dispatched, (b) pending units ARE, and
+// (c) every unit ends with exactly one recorded result.
+func TestJobManagerJournalReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	srcs := sourcesN(10)
+
+	f1 := newFakeRunner()
+	f1.gate = make(chan struct{})
+	f1.allowed = 3 // three units complete, the rest block
+	m1, err := newJobManager(path, f1.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.start(2)
+	jb1, err := m1.submit("minipl", srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jb1.mu.Lock()
+		done := jb1.done
+		jb1.mu.Unlock()
+		if done == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pre-restart manager completed %d units, want 3", done)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Tear down with units in flight: stop cancels the manager context,
+	// blocked dispatches bail out, and their units stay pending.
+	m1.stop()
+
+	completedBefore := make(map[string]bool)
+	jb1.mu.Lock()
+	for i := range jb1.units {
+		if jb1.units[i].done {
+			completedBefore[srcs[i]] = true
+		}
+	}
+	jb1.mu.Unlock()
+	if len(completedBefore) != 3 {
+		t.Fatalf("%d units durable before restart, want 3", len(completedBefore))
+	}
+
+	// "Restart": a fresh manager over the same journal.
+	f2 := newFakeRunner()
+	m2, err := newJobManager(path, f2.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.start(4)
+	defer m2.stop()
+	jb2, ok := m2.get(jb1.id)
+	if !ok {
+		t.Fatalf("job %s lost across restart", jb1.id)
+	}
+	waitComplete(t, jb2, 10*time.Second)
+
+	for _, s := range srcs {
+		if completedBefore[s] {
+			if c := f2.count(s); c != 0 {
+				t.Errorf("durably completed unit re-dispatched %d times after restart: %q", c, s)
+			}
+		} else if c := f2.count(s); c != 1 {
+			t.Errorf("pending unit dispatched %d times after restart, want 1: %q", c, s)
+		}
+	}
+
+	// Exactly-once at the journal level: one result record per unit.
+	m2.stop()
+	records, err := journalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUnit := make(map[int]int)
+	for _, rec := range records {
+		if rec.Type == "result" && rec.Job == jb1.id {
+			perUnit[rec.Unit]++
+		}
+	}
+	if len(perUnit) != len(srcs) {
+		t.Fatalf("journal holds results for %d units, want %d", len(perUnit), len(srcs))
+	}
+	for unit, n := range perUnit {
+		if n != 1 {
+			t.Errorf("unit %d has %d result records, want exactly 1", unit, n)
+		}
+	}
+
+	// A third open replays a fully complete job without re-dispatching
+	// anything.
+	f3 := newFakeRunner()
+	m3, err := newJobManager(path, f3.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.start(2)
+	defer m3.stop()
+	jb3, ok := m3.get(jb1.id)
+	if !ok {
+		t.Fatal("job lost on second restart")
+	}
+	waitComplete(t, jb3, 2*time.Second)
+	time.Sleep(50 * time.Millisecond) // give any spurious dispatch a chance to fire
+	if n := f3.total(); n != 0 {
+		t.Errorf("complete job re-dispatched %d units on replay", n)
+	}
+}
+
+// TestJobManagerStopIsIdempotent guards the daemon shutdown path,
+// which can reach stop through both the defer and the signal handler.
+func TestJobManagerStopIsIdempotent(t *testing.T) {
+	f := newFakeRunner()
+	m, err := newJobManager(filepath.Join(t.TempDir(), "jobs.journal"), f.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.start(1)
+	jb, err := m.submit("minipl", sourcesN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitComplete(t, jb, 5*time.Second)
+	m.stop()
+	m.stop()
+}
+
+// journalRecords decodes every journal envelope at path — exactly
+// what a restarting coordinator would replay.
+func journalRecords(path string) ([]journalRec, error) {
+	j, raw, err := store.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	var records []journalRec
+	for _, data := range raw {
+		var rec journalRec
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, err
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}

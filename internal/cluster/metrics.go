@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// routeBounds are the proxy-latency histogram bucket upper bounds in
+// seconds. Routing rides loopback or a LAN hop, so the buckets start
+// finer than the server's analysis histogram.
+var routeBounds = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// metrics is the coordinator's observability state. All methods are
+// safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // endpoint + "\x00" + status
+	// counts: routed requests per shard, retries, failovers (answer
+	// came from a non-first-preference shard), shed (per-shard
+	// admission full), and requests no shard could serve.
+	routed    map[string]int64
+	retries   int64
+	failovers int64
+	shed      int64
+	noShard   int64
+	// route latency histogram: the coordinator-observed end-to-end
+	// proxy time (pick + forward + shard service).
+	routeCounts []int64
+	routeSum    float64
+	routeN      int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:    make(map[string]int64),
+		routed:      make(map[string]int64),
+		routeCounts: make([]int64, len(routeBounds)+1),
+	}
+}
+
+func (m *metrics) request(endpoint string, status int) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s\x00%d", endpoint, status)]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) route(shard string, failover bool, seconds float64) {
+	m.mu.Lock()
+	m.routed[shard]++
+	if failover {
+		m.failovers++
+	}
+	i := sort.SearchFloat64s(routeBounds, seconds)
+	m.routeCounts[i]++
+	m.routeSum += seconds
+	m.routeN++
+	m.mu.Unlock()
+}
+
+func (m *metrics) retry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *metrics) shedOne() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+func (m *metrics) noShardOne() {
+	m.mu.Lock()
+	m.noShard++
+	m.mu.Unlock()
+}
+
+// render produces the Prometheus text exposition. shardHealth maps
+// shard ID to its current health gauge.
+func (m *metrics) render(shardHealth map[string]bool, jobs, jobsComplete, pendingUnits int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	b.WriteString("# HELP modand_cluster_requests_total Coordinator HTTP requests by endpoint and status code.\n")
+	b.WriteString("# TYPE modand_cluster_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "\x00", 2)
+		fmt.Fprintf(&b, "modand_cluster_requests_total{endpoint=%q,code=%q} %d\n", parts[0], parts[1], m.requests[k])
+	}
+
+	b.WriteString("# HELP modand_cluster_routed_total Requests routed, by serving shard.\n")
+	b.WriteString("# TYPE modand_cluster_routed_total counter\n")
+	shards := make([]string, 0, len(m.routed))
+	for id := range m.routed {
+		shards = append(shards, id)
+	}
+	sort.Strings(shards)
+	for _, id := range shards {
+		fmt.Fprintf(&b, "modand_cluster_routed_total{shard=%q} %d\n", id, m.routed[id])
+	}
+
+	b.WriteString("# HELP modand_cluster_shard_healthy Shard health as seen by the prober (1 = healthy).\n")
+	b.WriteString("# TYPE modand_cluster_shard_healthy gauge\n")
+	ids := make([]string, 0, len(shardHealth))
+	for id := range shardHealth {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := 0
+		if shardHealth[id] {
+			v = 1
+		}
+		fmt.Fprintf(&b, "modand_cluster_shard_healthy{shard=%q} %d\n", id, v)
+	}
+
+	b.WriteString("# HELP modand_cluster_retries_total Attempts retried after a shard failure or capacity signal.\n")
+	b.WriteString("# TYPE modand_cluster_retries_total counter\n")
+	fmt.Fprintf(&b, "modand_cluster_retries_total %d\n", m.retries)
+	b.WriteString("# HELP modand_cluster_failovers_total Requests answered by a shard other than the key's first preference.\n")
+	b.WriteString("# TYPE modand_cluster_failovers_total counter\n")
+	fmt.Fprintf(&b, "modand_cluster_failovers_total %d\n", m.failovers)
+	b.WriteString("# HELP modand_cluster_shed_total Attempts skipped because a shard's admission slots were full at the router.\n")
+	b.WriteString("# TYPE modand_cluster_shed_total counter\n")
+	fmt.Fprintf(&b, "modand_cluster_shed_total %d\n", m.shed)
+	b.WriteString("# HELP modand_cluster_no_shard_total Requests that exhausted every shard candidate.\n")
+	b.WriteString("# TYPE modand_cluster_no_shard_total counter\n")
+	fmt.Fprintf(&b, "modand_cluster_no_shard_total %d\n", m.noShard)
+
+	b.WriteString("# TYPE modand_cluster_jobs gauge\n")
+	fmt.Fprintf(&b, "modand_cluster_jobs %d\n", jobs)
+	b.WriteString("# TYPE modand_cluster_jobs_complete gauge\n")
+	fmt.Fprintf(&b, "modand_cluster_jobs_complete %d\n", jobsComplete)
+	b.WriteString("# TYPE modand_cluster_job_units_pending gauge\n")
+	fmt.Fprintf(&b, "modand_cluster_job_units_pending %d\n", pendingUnits)
+
+	// The runtime block mirrors the shard servers' exposition so
+	// shard-scaling numbers stay interpretable: a coordinator packing
+	// more shards than cores onto one box is oversubscribed and its
+	// aggregate qps reflects scheduling, not fleet capacity.
+	b.WriteString("# TYPE modand_cluster_num_cpu gauge\n")
+	fmt.Fprintf(&b, "modand_cluster_num_cpu %d\n", runtime.NumCPU())
+	b.WriteString("# TYPE modand_cluster_gomaxprocs gauge\n")
+	fmt.Fprintf(&b, "modand_cluster_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+
+	b.WriteString("# HELP modand_cluster_route_seconds Coordinator-observed proxy latency (routing + shard service).\n")
+	b.WriteString("# TYPE modand_cluster_route_seconds histogram\n")
+	var cum int64
+	for i, bound := range routeBounds {
+		cum += m.routeCounts[i]
+		fmt.Fprintf(&b, "modand_cluster_route_seconds_bucket{le=%q} %d\n", trimFloat(bound), cum)
+	}
+	cum += m.routeCounts[len(routeBounds)]
+	fmt.Fprintf(&b, "modand_cluster_route_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "modand_cluster_route_seconds_sum %g\n", m.routeSum)
+	fmt.Fprintf(&b, "modand_cluster_route_seconds_count %d\n", m.routeN)
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.5f", f), "0"), ".")
+}

@@ -1,0 +1,204 @@
+// Package cluster scales the modand analysis service across N shard
+// replicas: a consistent-hash router assigns every request's content
+// key to a shard deterministically, a coordinator proxies the
+// synchronous endpoints (/analyze, /lint, /batch) with health-checked
+// failover, bounded jittered retries, and per-shard admission, and an
+// async job tier (/jobs) fans whole corpora out to the fleet behind a
+// durable work-queue journal so batch runs survive coordinator
+// restarts.
+//
+// The design leans on the same locality observation that makes the
+// paper's analysis linear: the cache is content-addressed (SHA-256 of
+// the source bytes), so requests shard deterministically with no
+// cross-shard state. Any shard can answer any request correctly —
+// routing is purely a cache-locality and load-spreading decision —
+// which is what makes failover trivially safe: rerouting can cost a
+// recompute, never a wrong answer.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the per-shard virtual-node count. Rendezvous
+// hashing is already uniform with one node per shard; the virtual-node
+// map exists so unevenly weighted shards can be expressed later and so
+// the assignment keeps its balance when the shard set is tiny.
+const DefaultVNodes = 64
+
+// ContentKey derives the routing key for a source text in a given
+// language namespace: the hex SHA-256 over lang and the source bytes.
+// It deliberately does not reuse the serving cache's key (which folds
+// in frontend lowering versions); the router only needs determinism
+// and uniformity, and must keep routing identically when a frontend
+// bumps its lowering version — cross-version entries still live on
+// the same shard's cache.
+func ContentKey(lang, src string) string {
+	if lang == "" {
+		lang = "minipl"
+	}
+	sum := sha256.Sum256([]byte(lang + "\x00" + src))
+	return hex.EncodeToString(sum[:])
+}
+
+// splitmix64 is the SplitMix64 finalizer, the same mixer the fault
+// injector uses — cheap and well distributed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a over s.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// routerShard is one member's precomputed virtual-node seeds.
+type routerShard struct {
+	id    string
+	seeds []uint64
+}
+
+// Router assigns content keys to shard IDs by rendezvous (highest
+// random weight) hashing over a virtual-node map. The assignment is a
+// pure function of (shard IDs, vnode count, key): it survives router
+// restarts, is identical on every replica that knows the same member
+// set, and moves only ~1/(N+1) of the keyspace when a shard joins —
+// the property that keeps content-addressed caches warm through
+// topology changes. Ties (astronomically rare 64-bit score
+// collisions) break deterministically toward the lexicographically
+// smaller shard ID. Safe for concurrent use.
+type Router struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	shards []*routerShard // sorted by id
+}
+
+// NewRouter builds an empty router. vnodes <= 0 selects DefaultVNodes.
+func NewRouter(vnodes int) *Router {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Router{vnodes: vnodes}
+}
+
+// seedsFor precomputes a shard's virtual-node seeds.
+func seedsFor(id string, vnodes int) []uint64 {
+	seeds := make([]uint64, vnodes)
+	base := hashString(id)
+	for v := range seeds {
+		seeds[v] = splitmix64(base ^ splitmix64(uint64(v)+0x9e37))
+	}
+	return seeds
+}
+
+// Add registers a shard ID. Adding an existing ID is an error — the
+// caller is about to double-route.
+func (r *Router) Add(id string) error {
+	if id == "" {
+		return fmt.Errorf("cluster: empty shard id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.shards), func(i int) bool { return r.shards[i].id >= id })
+	if i < len(r.shards) && r.shards[i].id == id {
+		return fmt.Errorf("cluster: shard %q already registered", id)
+	}
+	s := &routerShard{id: id, seeds: seedsFor(id, r.vnodes)}
+	r.shards = append(r.shards, nil)
+	copy(r.shards[i+1:], r.shards[i:])
+	r.shards[i] = s
+	return nil
+}
+
+// Remove unregisters a shard ID (a no-op if absent).
+func (r *Router) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.shards), func(i int) bool { return r.shards[i].id >= id })
+	if i < len(r.shards) && r.shards[i].id == id {
+		r.shards = append(r.shards[:i], r.shards[i+1:]...)
+	}
+}
+
+// Shards returns the registered shard IDs, sorted.
+func (r *Router) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, len(r.shards))
+	for i, s := range r.shards {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// Len reports the member count.
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+// score computes one shard's rendezvous weight for keyHash: the
+// maximum mixed score across its virtual nodes.
+func (s *routerShard) score(keyHash uint64) uint64 {
+	var best uint64
+	for _, seed := range s.seeds {
+		if v := splitmix64(seed ^ keyHash); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Pick returns the shard ID that owns key, or "" when the router is
+// empty.
+func (r *Router) Pick(key string) string {
+	ranked := r.Rank(key)
+	if len(ranked) == 0 {
+		return ""
+	}
+	return ranked[0]
+}
+
+// Rank returns every shard ID in preference order for key: the owner
+// first, then the failover sequence. The order is deterministic —
+// scores descending, shard ID ascending on the (vanishingly rare)
+// equal score — so every router instance agrees on both the owner and
+// the retry path.
+func (r *Router) Rank(key string) []string {
+	keyHash := splitmix64(hashString(key))
+	r.mu.RLock()
+	type scored struct {
+		id    string
+		score uint64
+	}
+	ranked := make([]scored, len(r.shards))
+	for i, s := range r.shards {
+		ranked[i] = scored{id: s.id, score: s.score(keyHash)}
+	}
+	r.mu.RUnlock()
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	ids := make([]string, len(ranked))
+	for i, s := range ranked {
+		ids[i] = s.id
+	}
+	return ids
+}

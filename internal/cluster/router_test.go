@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys derives n deterministic content keys (seeded — the
+// uniformity and remap bounds below are exact assertions on this key
+// set, not statistical hopes).
+func testKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = ContentKey("minipl", fmt.Sprintf("program p%d; begin x := %d end.", i, rng.Int63()))
+	}
+	return keys
+}
+
+func newRouterWith(t *testing.T, ids ...string) *Router {
+	t.Helper()
+	r := NewRouter(0)
+	for _, id := range ids {
+		if err := r.Add(id); err != nil {
+			t.Fatalf("Add(%q): %v", id, err)
+		}
+	}
+	return r
+}
+
+// TestRouterDeterministicAcrossRestarts pins the core routing
+// property: the assignment is a pure function of (member set, key). A
+// "restarted" router — same members added in a different order — must
+// agree on every owner AND every failover rank, or a coordinator
+// restart would silently re-home the cache.
+func TestRouterDeterministicAcrossRestarts(t *testing.T) {
+	a := newRouterWith(t, "s1", "s2", "s3", "s4", "s5")
+	b := newRouterWith(t, "s4", "s2", "s5", "s1", "s3") // different join order
+	for _, key := range testKeys(10000) {
+		ra, rb := a.Rank(key), b.Rank(key)
+		if len(ra) != len(rb) {
+			t.Fatalf("rank lengths differ: %d vs %d", len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("key %s: rank[%d] = %s vs %s (full: %v vs %v)", key[:12], i, ra[i], rb[i], ra, rb)
+			}
+		}
+	}
+}
+
+// TestRouterUniformity checks load spread: over 10k keys and 8 shards
+// every shard holds within ±15% of the fair share.
+func TestRouterUniformity(t *testing.T) {
+	ids := []string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"}
+	r := newRouterWith(t, ids...)
+	keys := testKeys(10000)
+	counts := make(map[string]int)
+	for _, key := range keys {
+		counts[r.Pick(key)]++
+	}
+	fair := float64(len(keys)) / float64(len(ids))
+	lo, hi := int(fair*0.85), int(fair*1.15)
+	for _, id := range ids {
+		if c := counts[id]; c < lo || c > hi {
+			t.Errorf("shard %s owns %d keys, outside [%d, %d] (fair share %.0f ±15%%)", id, c, lo, hi, fair)
+		}
+	}
+}
+
+// TestRouterRemapOnJoin checks the minimal-disruption property: adding
+// an (N+1)th shard moves only ~1/(N+1) of the keyspace, and every
+// moved key moves TO the new shard — never between surviving shards.
+func TestRouterRemapOnJoin(t *testing.T) {
+	keys := testKeys(10000)
+	before := newRouterWith(t, "s1", "s2", "s3", "s4")
+	owners := make(map[string]string, len(keys))
+	for _, key := range keys {
+		owners[key] = before.Pick(key)
+	}
+	after := newRouterWith(t, "s1", "s2", "s3", "s4", "s5")
+	moved := 0
+	for _, key := range keys {
+		now := after.Pick(key)
+		if now == owners[key] {
+			continue
+		}
+		moved++
+		if now != "s5" {
+			t.Fatalf("key %s moved %s -> %s: a join must only move keys to the joiner", key[:12], owners[key], now)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Expected 1/5 = 0.20 of the keyspace; allow a generous band.
+	if frac < 0.14 || frac > 0.27 {
+		t.Errorf("join moved %.3f of the keyspace, want ~0.20 (1/N+1)", frac)
+	}
+
+	// Symmetric property: removing the joiner restores every owner.
+	after.Remove("s5")
+	for _, key := range keys {
+		if got := after.Pick(key); got != owners[key] {
+			t.Fatalf("key %s owned by %s after remove, was %s", key[:12], got, owners[key])
+		}
+	}
+}
+
+// TestRouterFailoverRank checks the retry path: each key's rank is a
+// permutation of the members, and dropping the owner promotes exactly
+// the second-ranked shard.
+func TestRouterFailoverRank(t *testing.T) {
+	ids := []string{"s1", "s2", "s3", "s4"}
+	r := newRouterWith(t, ids...)
+	for _, key := range testKeys(1000) {
+		rank := r.Rank(key)
+		if len(rank) != len(ids) {
+			t.Fatalf("rank has %d entries, want %d", len(rank), len(ids))
+		}
+		seen := make(map[string]bool)
+		for _, id := range rank {
+			if seen[id] {
+				t.Fatalf("rank %v repeats %s", rank, id)
+			}
+			seen[id] = true
+		}
+		// Remove the owner: the new owner must be the old second choice.
+		r2 := NewRouter(0)
+		for _, id := range ids {
+			if id != rank[0] {
+				_ = r2.Add(id)
+			}
+		}
+		if got := r2.Pick(key); got != rank[1] {
+			t.Fatalf("key %s: owner-down pick = %s, want rank[1] = %s", key[:12], got, rank[1])
+		}
+	}
+}
+
+// TestRouterPinnedAssignments is the table-driven pin: these exact
+// key->shard assignments are part of the cluster's compatibility
+// surface. If this table changes, every deployed cache's locality is
+// invalidated on upgrade — treat a diff here as a breaking change, not
+// a test to update casually.
+func TestRouterPinnedAssignments(t *testing.T) {
+	r := newRouterWith(t, "s1", "s2", "s3", "s4")
+	cases := []struct {
+		lang, src string
+		want      string
+	}{
+		{"minipl", "program a; begin x := 1 end.", "s1"},
+		{"minipl", "program b; begin x := 2 end.", "s1"},
+		{"minipl", "program cluster; global g; begin g := 1 end.", "s2"},
+		{"", "program a; begin x := 1 end.", "s1"}, // "" = minipl: same shard as the first row
+		{"go", "package a\n", "s2"},
+		{"go", "package b\nvar X int\n", "s1"},
+	}
+	for i, c := range cases {
+		got := r.Pick(ContentKey(c.lang, c.src))
+		if got != c.want {
+			t.Errorf("case %d (lang=%q src=%q): routed to %s, want %s", i, c.lang, c.src, got, c.want)
+		}
+	}
+}
+
+// TestContentKeyLangNamespace pins that the default language is
+// minipl (same key) and that language namespaces keys apart.
+func TestContentKeyLangNamespace(t *testing.T) {
+	src := "program a; begin x := 1 end."
+	if ContentKey("", src) != ContentKey("minipl", src) {
+		t.Error(`ContentKey("") must equal ContentKey("minipl")`)
+	}
+	if ContentKey("go", src) == ContentKey("minipl", src) {
+		t.Error("go and minipl keys must differ for identical source bytes")
+	}
+}
+
+// TestRouterMembershipErrors pins the edge cases: duplicate and empty
+// IDs are rejected, an empty router picks nothing.
+func TestRouterMembershipErrors(t *testing.T) {
+	r := NewRouter(0)
+	if got := r.Pick("anything"); got != "" {
+		t.Fatalf("empty router picked %q", got)
+	}
+	if err := r.Add(""); err == nil {
+		t.Fatal("Add(\"\") succeeded")
+	}
+	if err := r.Add("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("s1"); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	r.Remove("absent") // no-op
+	if n := r.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}

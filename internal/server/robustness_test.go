@@ -107,8 +107,8 @@ func TestInjectedPanicIsolatedPerRequest(t *testing.T) {
 	// The process survived; a fault-free server still answers. (This
 	// server is saturated with faults, so just verify /healthz, which
 	// carries no fault point.)
-	var ok map[string]bool
-	if code := request(t, http.MethodGet, ts.URL+"/healthz", nil, &ok); code != http.StatusOK || !ok["ok"] {
+	var ok map[string]any
+	if code := request(t, http.MethodGet, ts.URL+"/healthz", nil, &ok); code != http.StatusOK || ok["ok"] != true {
 		t.Fatalf("healthz after fault: %d %v", code, ok)
 	}
 	if n := srv.faults.Total(); n == 0 {

@@ -1,0 +1,225 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Journal is the durable append-only log under the cluster
+// coordinator's async job tier. It carries the same contract the
+// checkpoint Store does, restated for a queue:
+//
+//   - an appended record, once Append returns, survives a process
+//     crash (each append is fsynced before it is acknowledged), and
+//   - a torn tail — the half-written record a dying process leaves —
+//     is detected by its length/checksum frame and truncated away on
+//     the next open, so replay yields exactly the acknowledged prefix,
+//     never garbage.
+//
+// Compaction reuses the checkpoint discipline verbatim: Rewrite
+// publishes the surviving records through a temp-file + fsync + rename
+// sequence, so a crash mid-compaction leaves either the old journal or
+// the new one, never a partial file.
+type Journal struct {
+	path string
+	f    *os.File
+	// size is the current committed file length; the next append's
+	// frame starts here.
+	size int64
+}
+
+// journalMagic heads every journal file. Bump the trailing version
+// byte when the frame layout changes; an unknown version reads as
+// corrupt (callers start an empty queue), never as decodable frames.
+const journalMagic = "MODANDJRNL\x00\x01"
+
+// maxJournalRecord bounds one record's payload, guarding replay
+// against allocating from a corrupt length word.
+const maxJournalRecord = 64 << 20
+
+// journalSumLen is the truncated-SHA-256 checksum carried per frame.
+const journalSumLen = 8
+
+// OpenJournal opens (or creates) the journal at path and replays every
+// intact record. A torn or corrupt tail is truncated away — the
+// returned records are exactly the durably acknowledged prefix. The
+// journal is then positioned for appending.
+func OpenJournal(path string) (*Journal, [][]byte, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: journal: %w", err)
+		}
+		if _, err := f.WriteString(journalMagic); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: %w", err)
+		}
+		return &Journal{path: path, f: f, size: int64(len(journalMagic))}, nil, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+
+	records, good := replayJournal(data)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	// Drop the torn tail (if any) so future appends extend the good
+	// prefix instead of following garbage.
+	if good < int64(len(data)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	return &Journal{path: path, f: f, size: good}, records, nil
+}
+
+// replayJournal walks data's frames and returns the intact records
+// plus the byte offset the good prefix ends at. A missing or damaged
+// magic header yields no records and a magic-only prefix, so the file
+// is reset to an empty journal.
+func replayJournal(data []byte) ([][]byte, int64) {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return nil, int64(len(journalMagic))
+	}
+	var records [][]byte
+	off := int64(len(journalMagic))
+	for {
+		rec, next, ok := readFrame(data, off)
+		if !ok {
+			return records, off
+		}
+		records = append(records, rec)
+		off = next
+	}
+}
+
+// readFrame decodes one frame at off: 4-byte big-endian payload
+// length, 8-byte truncated SHA-256 of the payload, then the payload.
+func readFrame(data []byte, off int64) (rec []byte, next int64, ok bool) {
+	header := off + 4 + journalSumLen
+	if header > int64(len(data)) {
+		return nil, 0, false
+	}
+	n := int64(binary.BigEndian.Uint32(data[off : off+4]))
+	if n > maxJournalRecord || header+n > int64(len(data)) {
+		return nil, 0, false
+	}
+	payload := data[header : header+n]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:journalSumLen], data[off+4:header]) {
+		return nil, 0, false
+	}
+	// Copy out: data is one big read buffer we don't want pinned.
+	return append([]byte(nil), payload...), header + n, true
+}
+
+// Append durably adds one record: when Append returns nil the record
+// will be replayed by every future OpenJournal, crashes included.
+func (j *Journal) Append(rec []byte) error {
+	if len(rec) > maxJournalRecord {
+		return fmt.Errorf("store: journal: record of %d bytes exceeds the %d-byte limit", len(rec), maxJournalRecord)
+	}
+	frame := make([]byte, 0, 4+journalSumLen+len(rec))
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+	sum := sha256.Sum256(rec)
+	frame = append(frame, lenBuf[:]...)
+	frame = append(frame, sum[:journalSumLen]...)
+	frame = append(frame, rec...)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("store: journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal: fsync: %w", err)
+	}
+	j.size += int64(len(frame))
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with records —
+// the compaction path. The new journal is written beside the old one,
+// fsynced, and renamed into place (then the directory is fsynced), so
+// a crash leaves either the previous journal or the compacted one.
+func (j *Journal) Rewrite(records [][]byte) error {
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: journal: compact: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(journalMagic)
+	for _, rec := range records {
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+		sum := sha256.Sum256(rec)
+		buf.Write(lenBuf[:])
+		buf.Write(sum[:journalSumLen])
+		buf.Write(rec)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: journal: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: journal: compact fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("store: journal: publish: %w", err)
+	}
+	syncDir(filepath.Dir(j.path))
+	// Swap the append handle onto the compacted file.
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: journal: reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("store: journal: reopen: %w", err)
+	}
+	j.f = nf
+	j.size = int64(buf.Len())
+	old.Close()
+	return nil
+}
+
+// Size reports the journal file's committed length in bytes.
+func (j *Journal) Size() int64 { return j.size }
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the append handle. Appends after Close fail.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Smoke-test the sharded cluster end to end with real processes: three
+# shard daemons (one joining late via -join), a coordinator routing by
+# content hash, and a standalone reference daemon. Routed answers must
+# be byte-identical to direct ones, the async job tier must complete a
+# submitted job, and killing a shard must not produce a single wrong
+# or failed answer. CI runs this as the cluster-smoke job; it needs
+# only curl and python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COORD="127.0.0.1:7830"
+S1="127.0.0.1:7831"
+S2="127.0.0.1:7832"
+S3="127.0.0.1:7833"
+REF="127.0.0.1:7834"
+BASE="http://$COORD"
+LOG="$(mktemp -d)"
+SRC='program smoke;
+global g, h;
+
+proc leaf(ref x)
+begin
+  x := h
+end;
+
+begin
+  call leaf(g)
+end.
+'
+
+fail() {
+  echo "cluster_smoke: FAIL: $*" >&2
+  for f in "$LOG"/*.log; do
+    echo "--- $f" >&2
+    tail -5 "$f" >&2 || true
+  done
+  exit 1
+}
+
+go build -o /tmp/modand ./cmd/modand
+
+/tmp/modand -addr "$S1" -shard-id s1 >"$LOG/s1.log" 2>&1 &
+PID_S1=$!
+/tmp/modand -addr "$S2" -shard-id s2 >"$LOG/s2.log" 2>&1 &
+PID_S2=$!
+/tmp/modand -addr "$REF" >"$LOG/ref.log" 2>&1 &
+PID_REF=$!
+/tmp/modand -coordinator -addr "$COORD" -shards "s1=$S1,s2=$S2" >"$LOG/coord.log" 2>&1 &
+PID_COORD=$!
+# The third shard registers itself through POST /cluster/join.
+/tmp/modand -addr "$S3" -shard-id s3 -join "$BASE" >"$LOG/s3.log" 2>&1 &
+PID_S3=$!
+trap 'kill "$PID_S1" "$PID_S2" "$PID_S3" "$PID_REF" "$PID_COORD" 2>/dev/null || true' EXIT
+
+json() { python3 -c "import json,sys; d=json.load(sys.stdin); print(eval(sys.argv[1], {}, {'d': d}))" "$1"; }
+
+# Wait for the full membership: three healthy shards.
+for i in $(seq 1 100); do
+  N="$(curl -fsS "$BASE/cluster/status" 2>/dev/null | json "d['healthyShards']" || echo 0)"
+  [ "$N" = 3 ] && break
+  [ "$i" = 100 ] && fail "coordinator never saw 3 healthy shards (got ${N:-0})"
+  sleep 0.1
+done
+
+# Differential: every request is issued twice against the reference
+# and twice against the cluster; cold must match cold and warm must
+# match warm, byte for byte.
+REQ="$(python3 -c "import json,sys; print(json.dumps({'source': sys.stdin.read()}))" <<<"$SRC")"
+QREQ="$(python3 -c "import json,sys; print(json.dumps({'source': sys.stdin.read(), 'query': {'kind': 'gmod', 'proc': 'leaf'}}))" <<<"$SRC")"
+LREQ="$REQ"
+for name in analyze query lint; do
+  case "$name" in
+    analyze) path="/analyze"; body="$REQ" ;;
+    query)   path="/analyze"; body="$QREQ" ;;
+    lint)    path="/lint";    body="$LREQ" ;;
+  esac
+  for temp in cold warm; do
+    curl -fsS -X POST -d "$body" "http://$REF$path" >"$LOG/want.$name.$temp" \
+      || fail "direct $path ($temp) failed"
+    curl -fsS -X POST -d "$body" "$BASE$path" >"$LOG/got.$name.$temp" \
+      || fail "routed $path ($temp) failed"
+    cmp -s "$LOG/want.$name.$temp" "$LOG/got.$name.$temp" \
+      || fail "routed $path ($name, $temp) body differs from direct: $(diff "$LOG/want.$name.$temp" "$LOG/got.$name.$temp" | head -3)"
+  done
+done
+
+# The async job tier: submit, poll to completion, no unit errors.
+JREQ="$(python3 -c "import json,sys; s=sys.stdin.read(); print(json.dumps({'sources': [s, s + '\n', s + '\n\n']}))" <<<"$SRC")"
+JOB="$(curl -fsS -X POST -d "$JREQ" "$BASE/jobs" | json "d['id']")"
+[ -n "$JOB" ] || fail "job submit returned no id"
+for i in $(seq 1 100); do
+  DONE="$(curl -fsS "$BASE/jobs/$JOB?units=0" | json "int(d['complete']) * 10 + d['errors']")"
+  [ "$DONE" = 10 ] && break
+  [ "${DONE:-0}" -gt 10 ] && fail "job completed with errors"
+  [ "$i" = 100 ] && fail "job never completed"
+  sleep 0.1
+done
+
+# Failover: kill one shard and hammer the synchronous path; with
+# retries and rerouting every request must still answer 200 with the
+# correct (reference) body.
+kill "$PID_S2"
+for i in $(seq 1 20); do
+  curl -fsS -X POST -d "$REQ" "$BASE/analyze" >"$LOG/failover.$i" \
+    || fail "request $i failed after shard kill"
+  cmp -s "$LOG/want.analyze.warm" "$LOG/failover.$i" \
+    || cmp -s "$LOG/want.analyze.cold" "$LOG/failover.$i" \
+    || fail "request $i returned a wrong body after shard kill"
+done
+for i in $(seq 1 100); do
+  N="$(curl -fsS "$BASE/cluster/status" | json "d['healthyShards']")"
+  [ "$N" = 2 ] && break
+  [ "$i" = 100 ] && fail "health probes never noticed the dead shard"
+  sleep 0.1
+done
+
+# Cluster metrics are exported.
+curl -fsS "$BASE/metrics" | grep -q "modand_cluster_routed_total" \
+  || fail "coordinator /metrics missing modand_cluster_routed_total"
+
+# Graceful shutdown all around.
+kill -TERM "$PID_COORD"; wait "$PID_COORD" || fail "coordinator exited non-zero on SIGTERM"
+kill -TERM "$PID_S1" "$PID_S3" "$PID_REF"
+wait "$PID_S1" "$PID_S3" "$PID_REF" || fail "a shard exited non-zero on SIGTERM"
+
+echo "cluster_smoke: OK"

@@ -50,6 +50,19 @@ curl -fsS -X POST -d "$REQ" "$BASE/analyze" | json "d['cached']" | grep -q True 
 HITS="$(curl -fsS "$BASE/metrics" | awk '$1 == "modand_cache_hits_total" {print $2}')"
 [ "${HITS:-0}" -ge 1 ] || fail "modand_cache_hits_total = ${HITS:-missing}, want >= 1"
 
+# CPU context gauges: benchmarks lean on these to tell real parallel
+# speedup apart from oversubscribed scheduling, so the daemon must
+# export them and they must be sane.
+METRICS="$(curl -fsS "$BASE/metrics")"
+NUM_CPU="$(awk '$1 == "modand_num_cpu" {print $2}' <<<"$METRICS")"
+GOMAXPROCS="$(awk '$1 == "modand_gomaxprocs" {print $2}' <<<"$METRICS")"
+[ "${NUM_CPU:-0}" -ge 1 ] || fail "modand_num_cpu = ${NUM_CPU:-missing}, want >= 1"
+[ "${GOMAXPROCS:-0}" -ge 1 ] || fail "modand_gomaxprocs = ${GOMAXPROCS:-missing}, want >= 1"
+if [ "$GOMAXPROCS" -gt "$NUM_CPU" ]; then
+  echo "server_smoke: WARNING: oversubscribed (GOMAXPROCS=$GOMAXPROCS > num_cpu=$NUM_CPU);" \
+    "throughput numbers from this host measure scheduling, not cores" >&2
+fi
+
 # A per-query answer.
 QREQ="$(python3 -c "import json,sys; print(json.dumps({'source': sys.stdin.read(), 'query': {'kind': 'gmod', 'proc': 'leaf'}}))" <<<"$SRC")"
 curl -fsS -X POST -d "$QREQ" "$BASE/analyze" | json "d['names']" | grep -q "leaf.x" \
